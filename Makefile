@@ -1,0 +1,32 @@
+# Convenience targets; everything works offline.
+
+PY ?= python
+
+.PHONY: install test bench examples figures clean
+
+install:
+	$(PY) -m pip install -e . || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+# The five example scripts, end to end (artifacts under examples/out/).
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/lab2_visual.py
+	$(PY) examples/thumbnail_pipeline.py 48
+	$(PY) examples/debug_parallelism.py
+	$(PY) examples/deadlock_detector.py
+	$(PY) examples/classroom_walkthrough.py
+
+# Regenerate every paper figure/table and the recorded outputs.
+figures:
+	$(PY) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PY) -m pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

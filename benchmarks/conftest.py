@@ -1,0 +1,63 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark module regenerates one paper artifact (table or figure),
+prints a paper-vs-measured comparison, asserts the *shape* (who wins,
+rough factors, crossovers — per DESIGN.md Section 4), and writes any
+figure artifacts (SVG, ASCII) under ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> str:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    return OUT_DIR
+
+
+class Comparison:
+    """Collects paper-vs-measured rows and prints one aligned table."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.rows: list[tuple[str, str, str]] = []
+
+    def add(self, label: str, paper: str, measured: str) -> None:
+        self.rows.append((label, paper, measured))
+
+    def show(self) -> None:
+        w0 = max(len(r[0]) for r in self.rows) if self.rows else 10
+        w1 = max((len(r[1]) for r in self.rows), default=8)
+        print(f"\n=== {self.title} ===")
+        print(f"{'case':<{w0}}  {'paper':<{max(w1, 5)}}  measured")
+        for label, paper, measured in self.rows:
+            print(f"{label:<{w0}}  {paper:<{max(w1, 5)}}  {measured}")
+
+
+@pytest.fixture
+def comparison():
+    tables: list[Comparison] = []
+
+    def make(title: str) -> Comparison:
+        table = Comparison(title)
+        tables.append(table)
+        return table
+
+    yield make
+    for table in tables:
+        table.show()
+
+
+def median_and_variance(values: list[float]) -> tuple[float, float]:
+    """The paper reports 'the median execution time ... [variance shown
+    in brackets]'."""
+    med = statistics.median(values)
+    var = statistics.variance(values) if len(values) > 1 else 0.0
+    return med, var

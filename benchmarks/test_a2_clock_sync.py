@@ -1,0 +1,134 @@
+"""A2 — the clock-synchronisation ablation (paper Section III).
+
+"At the program's end, MPE_Log_sync_clocks is called to synchronize or
+recalibrate all MPI clocks to minimize the effect of time drift."
+
+This bench gives the ranks offset *and* drifting clocks and converts
+the merged log with sync disabled vs enabled.  Without sync, arrows
+between skewed ranks violate causality (receive stamped before send);
+with the paper's sync step the timeline is causal again.
+"""
+
+import pytest
+
+from benchmarks.helpers import run_logged
+from repro.pilot.api import (
+    PI_MAIN,
+    PI_Compute,
+    PI_Configure,
+    PI_CreateChannel,
+    PI_CreateProcess,
+    PI_Read,
+    PI_StartAll,
+    PI_StopMain,
+    PI_Write,
+)
+from repro.pilotlog import JumpshotOptions
+from repro.vmpi.clock import ClockSkew
+
+# Rank 1 runs 40 ms behind; rank 2 drifts 200 ppm fast.
+SKEWS = {1: ClockSkew(offset=-0.04), 2: ClockSkew(offset=0.02, drift=2e-4)}
+ROUNDS = 20
+
+
+def pingpong_program(argv):
+    chans = {}
+
+    def work(i, _a):
+        for _ in range(ROUNDS):
+            v = PI_Read(chans[f"to{i}"], "%d")
+            PI_Compute(0.002)
+            PI_Write(chans[f"from{i}"], "%d", int(v) + 1)
+        return 0
+
+    PI_Configure(argv)
+    for i in range(2):
+        p = PI_CreateProcess(work, i)
+        chans[f"to{i}"] = PI_CreateChannel(PI_MAIN, p)
+        chans[f"from{i}"] = PI_CreateChannel(p, PI_MAIN)
+    PI_StartAll()
+    for r in range(ROUNDS):
+        for i in range(2):
+            PI_Write(chans[f"to{i}"], "%d", r)
+        for i in range(2):
+            PI_Read(chans[f"from{i}"], "%d")
+    PI_StopMain(0)
+
+
+def run_sync(tmp_path, synced: bool):
+    jopts = JumpshotOptions(sync_at_init=synced, sync_at_end=synced)
+    return run_logged(pingpong_program, 3, tmp_path,
+                      name=f"a2_{synced}", jopts=jopts, skews=SKEWS)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a2_clock_sync(benchmark, comparison, tmp_path):
+    box = {}
+
+    def experiment():
+        box["raw"] = run_sync(tmp_path, synced=False)
+        box["synced"] = run_sync(tmp_path, synced=True)
+        return box["synced"][2]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _, doc_raw, rep_raw = box["raw"]
+    _, doc_synced, rep_synced = box["synced"]
+
+    # Unsynced: the 40 ms offset dwarfs real flight times, so arrows
+    # into rank 1 appear to arrive before they were sent.
+    assert len(rep_raw.causality_violations) >= ROUNDS
+    worst_raw = min(a.duration for a in doc_raw.arrows)
+    assert worst_raw < -0.01
+
+    # Synced: causal again, flight times back to the microsecond scale.
+    assert rep_synced.causality_violations == []
+    durations = [a.duration for a in doc_synced.arrows]
+    assert min(durations) >= 0
+    assert max(durations) < 2e-3
+
+    table = comparison("A2: clock-sync ablation")
+    table.add("causality violations, no sync",
+              "expected (drifting clocks)",
+              str(len(rep_raw.causality_violations)))
+    table.add("worst arrow duration, no sync", "negative",
+              f"{worst_raw * 1e3:.2f} ms")
+    table.add("causality violations, synced", "0",
+              str(len(rep_synced.causality_violations)))
+    table.add("max arrow duration, synced", "microseconds",
+              f"{max(durations) * 1e6:.1f} us")
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a2_drift_needs_two_sync_points(benchmark, comparison, tmp_path):
+    """A single end-of-run sync corrects a constant offset but not
+    drift accumulated earlier; init+end sync (MPE's recalibration)
+    handles both — worth the ablation since rank 2 drifts."""
+    box = {}
+
+    def experiment():
+        box["end_only"] = run_sync_config(tmp_path, init=False, end=True)
+        box["both"] = run_sync_config(tmp_path, init=True, end=True)
+        return box["both"][2]
+
+    def run_sync_config(tmp_path, init, end):
+        jopts = JumpshotOptions(sync_at_init=init, sync_at_end=end)
+        return run_logged(pingpong_program, 3, tmp_path,
+                          name=f"a2b_{init}_{end}", jopts=jopts,
+                          skews={2: ClockSkew(drift=5e-3)})
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    _, doc_end, rep_end = box["end_only"]
+    _, doc_both, rep_both = box["both"]
+
+    err_end = max(abs(a.duration) for a in doc_end.arrows
+                  if 2 in (a.src_rank, a.dst_rank))
+    err_both = max(abs(a.duration) for a in doc_both.arrows
+                   if 2 in (a.src_rank, a.dst_rank))
+    assert err_both < err_end
+    assert rep_both.causality_violations == []
+
+    table = comparison("A2b: one vs two sync points under drift")
+    table.add("worst |arrow| end-only sync", "drift leaks in",
+              f"{err_end * 1e6:.1f} us")
+    table.add("worst |arrow| init+end sync", "drift cancelled",
+              f"{err_both * 1e6:.1f} us")

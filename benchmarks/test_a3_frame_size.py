@@ -1,0 +1,63 @@
+"""A3 — the SLOG2 frame-size conversion parameter (paper Section II.A).
+
+The conversion step is "useful for ... adjusting conversion parameters
+that affect the subsequent display such as the 'frame size' (the amount
+of data initially displayed by the visualization tool)."  This bench
+sweeps the frame size over a real thumbnail log and reports how the
+frame tree (depth, node count, per-node payload) responds — small
+frames give deep trees with fine-grained previews; huge frames collapse
+to one node.
+"""
+
+import pytest
+
+from benchmarks.helpers import run_logged
+from repro.apps import ThumbnailConfig, thumbnail_main
+from repro.slog2 import FrameTree
+
+SWEEP = [1 << 10, 1 << 13, 1 << 16, 1 << 19]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a3_frame_size_sweep(benchmark, comparison, tmp_path):
+    box = {}
+
+    def experiment():
+        cfg = ThumbnailConfig(nfiles=300)
+        _, doc, report = run_logged(lambda argv: thumbnail_main(argv, cfg),
+                                    7, tmp_path, name="a3")
+        assert report.clean
+        box["doc"] = doc
+        box["trees"] = {size: FrameTree(doc, frame_size=size)
+                        for size in SWEEP}
+        return box["trees"]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    doc, trees = box["doc"], box["trees"]
+
+    depths = [trees[s].depth() for s in SWEEP]
+    nodes = [trees[s].node_count() for s in SWEEP]
+
+    # Monotone: smaller frames -> deeper trees with more nodes.
+    assert depths == sorted(depths, reverse=True)
+    assert nodes == sorted(nodes, reverse=True)
+    assert depths[0] > depths[-1]
+
+    # No tree loses drawables, whatever the frame size.
+    total = len(doc.drawables)
+    t0, t1 = doc.time_range
+    for size in SWEEP:
+        found, _ = trees[size].query(t0 - 1, t1 + 1)
+        assert len(found) == total
+
+    # The root preview (what the tool shows before loading frames) is
+    # identical regardless of frame size.
+    root_counts = {size: trees[size].root.preview.total_count
+                   for size in SWEEP}
+    assert len(set(root_counts.values())) == 1
+
+    table = comparison("A3: frame-size sweep (300-file thumbnail log)")
+    for size, depth, count in zip(SWEEP, depths, nodes):
+        table.add(f"frame size {size // 1024} KiB",
+                  "deeper tree at smaller frames",
+                  f"depth {depth}, {count} nodes")

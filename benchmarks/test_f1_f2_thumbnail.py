@@ -1,0 +1,115 @@
+"""F1/F2 — the thumbnail application in Jumpshot (paper Figs. 1-2).
+
+Fig. 1: the full run with PI_MAIN plus 10 work processes (compressor
+rank 1, decompressors ranks 2-10); "the apparent yellow 'lines' are
+actually patterns of event bubbles, and the vertical white lines are
+... message arrows to/from rank 0"; zoomed-out states render as striped
+preview rectangles.  The SLOG2 converts without errors after thousands
+of Pilot calls — the paper's robustness claim.
+
+Fig. 2: a zoomed-in portion where "Pilot I/O functions only take a
+small proportion of the time ... most of the execution time is used for
+computation (the gray state rectangles)".
+"""
+
+import os
+
+import pytest
+
+from benchmarks.helpers import run_logged
+from repro import jumpshot
+from repro.apps import ThumbnailConfig, thumbnail_main
+from repro.slog2 import compute_stats
+
+NFILES = 1058
+RANKS = 11  # PI_MAIN + C + 9 D
+
+
+@pytest.mark.benchmark(group="figures")
+def test_f1_full_timeline(benchmark, comparison, tmp_path, artifacts_dir):
+    box = {}
+
+    def experiment():
+        cfg = ThumbnailConfig(nfiles=NFILES)
+        box["result"], box["doc"], box["report"] = run_logged(
+            lambda argv: thumbnail_main(argv, cfg), RANKS, tmp_path,
+            name="f1")
+        return box["report"]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    result, doc, report = box["result"], box["doc"], box["report"]
+
+    # Robustness claim: "successfully read ... after calling thousands
+    # of Pilot functions without any conversion errors from CLOG-2".
+    total_calls = len(doc.states)
+    assert total_calls > 5000
+    assert report.clean, report.summary()
+
+    # 11 timelines, rank 0 = PI_MAIN, rank 1 = C, ranks 2-10 = D1..D9.
+    assert doc.num_ranks == RANKS
+    assert doc.rank_names[0] == "PI_MAIN"
+    assert doc.rank_names[1] == "C"
+    assert doc.rank_names[10] == "D9"
+
+    # Yellow bubble "lines" and white arrows to/from rank 0 exist in bulk.
+    bubbles = doc.events
+    assert len(bubbles) > 2 * NFILES
+    main_arrows = [a for a in doc.arrows if 0 in (a.src_rank, a.dst_rank)]
+    assert len(main_arrows) >= 2 * NFILES  # job in + thumbnail out
+
+    # Zoomed out, the viewer must fall back to preview striping.
+    view = jumpshot.View(doc)
+    drawables, previews = view.visible()
+    assert previews, "full zoom-out of a 1058-file run must use previews"
+
+    svg_path = os.path.join(artifacts_dir, "f1_thumbnail_full.svg")
+    jumpshot.render_svg(view, svg_path)
+    ascii_path = os.path.join(artifacts_dir, "f1_thumbnail_full.txt")
+    with open(ascii_path, "w") as fh:
+        fh.write(jumpshot.render_ascii(view, width=160))
+
+    table = comparison("F1: thumbnail full timeline (Fig. 1)")
+    table.add("ranks shown", "11 (MAIN + C + 9 D)", str(doc.num_ranks))
+    table.add("conversion errors", "none", report.summary().split(": ")[1])
+    table.add("pilot calls logged", "thousands", str(total_calls))
+    table.add("arrows to/from rank 0", ">= 2116", str(len(main_arrows)))
+    table.add("artifact", "screenshot", svg_path)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_f2_zoomed_ratio(benchmark, comparison, tmp_path, artifacts_dir):
+    box = {}
+
+    def experiment():
+        cfg = ThumbnailConfig(nfiles=240)  # a window's worth is enough
+        box["result"], box["doc"], box["report"] = run_logged(
+            lambda argv: thumbnail_main(argv, cfg), RANKS, tmp_path,
+            name="f2")
+        return box["report"]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    doc = box["doc"]
+
+    # Zoom into the pipeline's steady state (middle sixth of the run).
+    t0, t1 = doc.time_range
+    span = t1 - t0
+    w0, w1 = t0 + span * 0.45, t0 + span * 0.55
+    stats = compute_stats(doc, w0, w1)
+
+    gray = stats["Compute"].excl  # pure computing, interior calls removed
+    red = stats["PI_Read"].incl + stats["PI_Select"].incl
+    green = stats["PI_Write"].incl
+    # "the colours red and green ... are tiny in comparison to the
+    # amount of gray" — on the 9 decompressor rows, which dominate.
+    assert gray > 5 * (red + green)
+
+    view = jumpshot.View(doc)
+    view.zoom_to(w0, w1)
+    svg_path = os.path.join(artifacts_dir, "f2_thumbnail_zoom.svg")
+    jumpshot.render_svg(view, svg_path)
+
+    table = comparison("F2: zoomed thumbnail window (Fig. 2)")
+    table.add("gray : red+green", "gray dominates",
+              f"{gray:.2f}s : {red + green:.2f}s "
+              f"({gray / (red + green):.1f}x)")
+    table.add("artifact", "screenshot", svg_path)

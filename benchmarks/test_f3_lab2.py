@@ -1,0 +1,104 @@
+"""F3 — the lab2 exercise's visual log (paper Fig. 3).
+
+Six processes: PI_MAIN (rank 0) + five workerFunc instances.  What the
+figure shows, and this bench asserts:
+
+* each worker "waits with two PI_Read calls" (size, then data), then a
+  gray addition loop, then "the short green bar" reporting the subtotal;
+* PI_MAIN mirrors them: 10 green PI_Write bars, 5 red PI_Read bars;
+* "White arrows stand for messages" — 15 of them (3 per worker);
+* total execution time under 3 ms.
+"""
+
+import os
+
+import pytest
+
+from benchmarks.helpers import run_logged, states_by_rank
+from repro import jumpshot
+from repro.apps import Lab2Config, lab2_main
+
+
+@pytest.mark.benchmark(group="figures")
+def test_f3_lab2_visual_log(benchmark, comparison, tmp_path, artifacts_dir):
+    box = {}
+
+    def experiment():
+        box["result"], box["doc"], box["report"] = run_logged(
+            lab2_main, 6, tmp_path, name="f3")
+        return box["report"]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    result, doc, report = box["result"], box["doc"], box["report"]
+
+    out = result.vmpi.results[0]
+    assert out["total"] == out["expected"]
+    assert report.clean, report.summary()
+
+    reads = states_by_rank(doc, "PI_Read")
+    writes = states_by_rank(doc, "PI_Write")
+    # Workers: two reads + one write each.
+    for rank in range(1, 6):
+        assert len(reads[rank]) == 2, f"rank {rank}"
+        assert len(writes[rank]) == 1, f"rank {rank}"
+        # The reads precede the report write.
+        assert max(r.end for r in reads[rank]) <= writes[rank][0].start
+    # PI_MAIN: 10 writes (2 per worker) then 5 subtotal reads.
+    assert len(writes[0]) == 10
+    assert len(reads[0]) == 5
+
+    # White arrows: 2 to each worker + 1 back = 15.
+    assert len(doc.arrows) == 15
+    assert doc.category_by_name("message").color == "white"
+
+    # Gray compute between the reads and the report on each worker.
+    compute = states_by_rank(doc, "Compute")
+    for rank in range(6):
+        assert len(compute[rank]) == 1
+
+    # "Total execution time is under 3 ms."
+    t0, t1 = doc.time_range
+    assert (t1 - t0) < 3e-3
+
+    view = jumpshot.View(doc)
+    svg_path = os.path.join(artifacts_dir, "f3_lab2.svg")
+    jumpshot.render_svg(view, svg_path)
+    with open(os.path.join(artifacts_dir, "f3_lab2.txt"), "w") as fh:
+        fh.write(jumpshot.render_ascii(view, width=140))
+
+    table = comparison("F3: lab2 visual log (Fig. 3)")
+    table.add("processes", "6 (MAIN + 5 workerFunc)", str(doc.num_ranks))
+    table.add("reads per worker", "2 red bars", "2")
+    table.add("writes on PI_MAIN", "10 green bars", str(len(writes[0])))
+    table.add("message arrows", "15 white arrows", str(len(doc.arrows)))
+    table.add("total time", "< 3 ms", f"{(t1 - t0) * 1e3:.3f} ms")
+    table.add("artifact", "screenshot", svg_path)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_f3_footnote3_autoalloc(benchmark, comparison, tmp_path):
+    """Footnote 3: the %^d variant makes one call but two internal
+    messages, and "this change will be accurately reflected in the
+    visual log"."""
+    box = {}
+
+    def experiment():
+        box["result"], box["doc"], box["report"] = run_logged(
+            lambda argv: lab2_main(argv, Lab2Config(use_autoalloc=True)),
+            6, tmp_path, name="f3b")
+        return box["report"]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    doc = box["doc"]
+
+    reads = states_by_rank(doc, "PI_Read")
+    for rank in range(1, 6):
+        assert len(reads[rank]) == 1  # one call now...
+    bubbles = [e for e in doc.events_of("PI_Read msg") if e.rank != 0]
+    assert len(bubbles) == 10  # ...but still two arrival bubbles each
+    assert len(doc.arrows) == 15  # and the same wire messages
+
+    table = comparison("F3b: footnote-3 %^d variant")
+    table.add("PI_Read calls per worker", "1 (was 2)", "1")
+    table.add("arrival bubbles per worker", "2 (two internal messages)", "2")
+    table.add("arrows", "15", str(len(doc.arrows)))

@@ -1,0 +1,151 @@
+"""F4/F5 — the student collision-CSV submissions (paper Figs. 4-5).
+
+Fig. 4 (instance A): "file reading runs from 0 to 1.1 seconds, then
+query processing continues on to 2 seconds.  During file reading, the
+partial overlapping of gray bars show that the program was unable to
+fully parallelize the I/O.  But more seriously, during query
+processing, it looks like pairs of PI_Write and PI_Read were called for
+each worker in a loop ... Thus, the program inadvertently serialized
+the calculations."
+
+Fig. 5 (instance B): "the workers were kept waiting till PI_MAIN did 11
+seconds of initialization ... so the total run time always stayed
+nearly the same (since the calculations were fast)."
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks.helpers import overlap, run_logged, states_by_rank
+from repro import jumpshot
+from repro.apps import GOOD, INSTANCE_A, INSTANCE_B, CollisionConfig, collisions_main
+from repro.slog2 import compute_stats
+
+CFG = CollisionConfig(nrecords=20_000)
+WORKERS = 5
+
+
+def run_variant(variant, tmp_path, name):
+    res, doc, report = run_logged(
+        lambda argv: collisions_main(argv, variant, CFG), WORKERS + 1,
+        tmp_path, name=name)
+    out = res.vmpi.results[0]
+    assert all(np.array_equal(out["results"][k], out["expected"][k])
+               for k in out["expected"]), "queries must still be correct"
+    return res, doc, report
+
+
+@pytest.mark.benchmark(group="figures")
+def test_f4_instance_a_serialized_queries(benchmark, comparison, tmp_path,
+                                          artifacts_dir):
+    box = {}
+
+    def experiment():
+        box["a"] = run_variant(INSTANCE_A, tmp_path, "f4a")
+        box["good"] = run_variant(GOOD, tmp_path, "f4good")
+        return box["a"][2]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    res_a, doc_a, _ = box["a"]
+    res_good, _, _ = box["good"]
+
+    # The reading phase ends when the last worker announces its slice is
+    # loaded: each worker's first PI_Write is that marker.
+    writes = states_by_rank(doc_a, "PI_Write")
+    load_done = max(min(w.start for w in writes[r]) for r in range(1, WORKERS + 1))
+
+    # Fig. 4: file reading runs to ~1.1 s, whole run to ~2 s.
+    assert 0.8 < load_done < 1.5
+    assert 1.6 < res_a.total_time < 2.5
+
+    # Partial (not full) I/O parallelism: per-worker disk spans overlap
+    # pairwise, yet the phase takes much longer than a fully parallel
+    # read would (virtual_bytes/W at disk bandwidth ~ 0.21 s).
+    solo_read = CFG.virtual_bytes / WORKERS / CFG.disk.bandwidth
+    assert load_done > 3 * solo_read
+
+    # THE bug: worker query computations are serialised — no pair of
+    # workers' query-compute intervals overlaps.  A worker computes a
+    # query between reading the query id (PI_Read end) and writing its
+    # partial result (next PI_Write start).
+    reads = states_by_rank(doc_a, "PI_Read")
+    q_spans = []
+    for r in range(1, WORKERS + 1):
+        w_starts = sorted(w.start for w in writes[r] if w.start > load_done)
+        spans = []
+        for rd in sorted(reads[r], key=lambda s: s.start):
+            if rd.end < load_done:
+                continue
+            nxt = next((ws for ws in w_starts if ws >= rd.end), None)
+            if nxt is not None:
+                spans.append((rd.end, nxt))
+        q_spans.append(spans)
+    pair_overlap = 0.0
+    for i in range(WORKERS):
+        for j in range(i + 1, WORKERS):
+            for a in q_spans[i]:
+                for b in q_spans[j]:
+                    pair_overlap += overlap(a, b)
+    assert pair_overlap < 1e-6, "instance A must serialise query compute"
+
+    # And the intended solution is visibly faster on the query phase.
+    assert res_a.total_time > res_good.total_time * 1.3
+
+    # The first tell the paper mentions: unfavourable gray:red ratio.
+    stats = compute_stats(doc_a, load_done, res_a.exec_end_time)
+    assert stats["PI_Read"].incl > stats["Compute"].excl
+
+    view = jumpshot.View(doc_a)
+    svg_path = os.path.join(artifacts_dir, "f4_instance_a.svg")
+    jumpshot.render_svg(view, svg_path)
+
+    table = comparison("F4: instance A (Fig. 4)")
+    table.add("file reading ends", "~1.1 s", f"{load_done:.2f} s")
+    table.add("query processing ends", "~2 s", f"{res_a.total_time:.2f} s")
+    table.add("worker query overlap", "none (serialized)",
+              f"{pair_overlap:.6f} s")
+    table.add("vs intended solution", "slower",
+              f"{res_a.total_time:.2f}s vs {res_good.total_time:.2f}s")
+    table.add("artifact", "screenshot", svg_path)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_f5_instance_b_serial_init(benchmark, comparison, tmp_path,
+                                   artifacts_dir):
+    box = {}
+
+    def experiment():
+        box["b"] = run_variant(INSTANCE_B, tmp_path, "f5b")
+        return box["b"][2]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    res_b, doc_b, _ = box["b"]
+
+    # Fig. 5: ~11 s of PI_MAIN-only initialisation.
+    reads = states_by_rank(doc_b, "PI_Read")
+    first_worker_unblock = min(r.end for rank in range(1, WORKERS + 1)
+                               for r in reads[rank])
+    assert 10.0 < first_worker_unblock < 12.5
+    # Workers spend that whole time blocked in PI_Read (red bars from
+    # the very start of the execution phase).
+    for rank in range(1, WORKERS + 1):
+        first_read = min(reads[rank], key=lambda s: s.start)
+        assert first_read.duration > 10.0
+
+    # "the total run time always stayed nearly the same (since the
+    # calculations were fast)": the tail after init is small.
+    assert res_b.total_time - first_worker_unblock < 1.5
+    assert 10.5 < res_b.total_time < 13.0
+
+    view = jumpshot.View(doc_b)
+    svg_path = os.path.join(artifacts_dir, "f5_instance_b.svg")
+    jumpshot.render_svg(view, svg_path)
+
+    table = comparison("F5: instance B (Fig. 5)")
+    table.add("PI_MAIN init", "~11 s", f"{first_worker_unblock:.2f} s")
+    table.add("total run", "~= init (queries fast)",
+              f"{res_b.total_time:.2f} s")
+    table.add("workers during init", "blocked in PI_Read", "blocked (red)")
+    table.add("artifact", "screenshot", svg_path)

@@ -1,0 +1,109 @@
+"""L1 — the legend statistics (paper Section III).
+
+The legend gives per-category count / incl / excl, where "Inclusive
+means the sum of the duration of its state instances ... Exclusive is
+the inclusive time minus any nested states ... which amounts to the
+time spent computing purely in the state and not in its substates.
+These statistics are potentially useful for performance purposes in the
+absence of special-purpose profiling tools."
+
+This bench regenerates the legend for lab2 and the thumbnail pipeline
+and verifies the counting and nesting laws against ground truth known
+from the program structure.
+"""
+
+import pytest
+
+from benchmarks.helpers import run_logged
+from repro.apps import Lab2Config, ThumbnailConfig, lab2_main, thumbnail_main
+from repro.jumpshot import Legend
+from repro.slog2 import compute_stats
+
+NFILES = 120
+RANKS = 6  # MAIN + C + 4 D
+
+
+@pytest.mark.benchmark(group="stats")
+def test_l1_lab2_legend(benchmark, comparison, tmp_path):
+    box = {}
+
+    def experiment():
+        box["res"], box["doc"], box["rep"] = run_logged(
+            lab2_main, 6, tmp_path, name="l1a")
+        return box["doc"]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    doc = box["doc"]
+    legend = Legend(doc)
+
+    # Counts are call counts: 15 writes (10 MAIN + 5 workers), 15 reads
+    # (10 workers + 5 MAIN), 6 Compute and 6 PI_Configure phase states.
+    assert legend.entry("PI_Write").count == 15
+    assert legend.entry("PI_Read").count == 15
+    assert legend.entry("Compute").count == 6
+    assert legend.entry("PI_Configure").count == 6
+    assert legend.entry("message").count == 15  # arrows
+
+    # The nesting law: Compute.excl == Compute.incl - (I/O inside it).
+    compute = legend.entry("Compute")
+    inner = legend.entry("PI_Read").incl + legend.entry("PI_Write").incl
+    assert compute.excl == pytest.approx(compute.incl - inner, rel=1e-6)
+
+    # Reads/writes contain no substates: excl == incl.
+    for name in ("PI_Read", "PI_Write"):
+        e = legend.entry(name)
+        assert e.excl == pytest.approx(e.incl, rel=1e-9)
+
+    table = comparison("L1: lab2 legend (count / incl / excl)")
+    for e in legend.rows(sort_by="incl"):
+        if e.count:
+            table.add(e.name, "consistent with Fig. 3",
+                      f"{e.count:4d} / {e.incl * 1e3:8.3f} ms / "
+                      f"{e.excl * 1e3:8.3f} ms")
+
+
+@pytest.mark.benchmark(group="stats")
+def test_l1_thumbnail_legend_and_window(benchmark, comparison, tmp_path):
+    box = {}
+
+    def experiment():
+        cfg = ThumbnailConfig(nfiles=NFILES)
+        box["res"], box["doc"], box["rep"] = run_logged(
+            lambda argv: thumbnail_main(argv, cfg), RANKS, tmp_path,
+            name="l1b")
+        return box["doc"]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    doc = box["doc"]
+    legend = Legend(doc)
+
+    # Per-file call counts from the pipeline structure:
+    #   each file: D ready-write + MAIN job-write + D pix-write +
+    #              C thumb-write = 4 writes ... plus terminations.
+    writes = legend.entry("PI_Write").count
+    assert writes >= 4 * NFILES
+    selects = legend.entry("PI_Select").count
+    assert selects >= 2 * NFILES  # MAIN's and C's demand loops
+
+    # Nesting law again, now over thousands of states.
+    compute = legend.entry("Compute")
+    inner = sum(legend.entry(n).incl for n in
+                ("PI_Read", "PI_Write", "PI_Select"))
+    assert compute.excl == pytest.approx(compute.incl - inner, rel=1e-6)
+
+    # Windowed statistics (Jumpshot's selected-duration feature) sum
+    # consistently: splitting the run in half loses nothing.
+    t0, t1 = doc.time_range
+    mid = (t0 + t1) / 2
+    whole = compute_stats(doc)
+    left = compute_stats(doc, t0, mid)
+    right = compute_stats(doc, mid, t1)
+    for name in ("Compute", "PI_Read", "PI_Write"):
+        assert (left[name].incl + right[name].incl
+                == pytest.approx(whole[name].incl, rel=1e-9))
+
+    table = comparison("L1b: thumbnail legend")
+    for e in legend.rows(sort_by="incl"):
+        if e.count and e.shape == "state":
+            table.add(e.name, "useful for performance purposes",
+                      f"{e.count:5d} / {e.incl:8.3f} s / {e.excl:8.3f} s")

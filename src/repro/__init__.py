@@ -1,0 +1,30 @@
+"""repro — reproduction of "Log Visualization Tool for Message-Passing
+Programming in Pilot" (Bao & Gardner, IPPS 2017).
+
+Layer map (bottom up; see DESIGN.md for the full inventory):
+
+* :mod:`repro.vmpi` — deterministic virtual-time MPI substrate
+* :mod:`repro.pilot` — the Pilot library (PI_* API, error levels,
+  native log, deadlock detector)
+* :mod:`repro.mpe` — MPE-style logging (CLOG2, clock sync, merge)
+* :mod:`repro.slog2` — SLOG2 drawables + clog2TOslog2 converter
+* :mod:`repro.jumpshot` — headless Jumpshot (views, legend, SVG/ASCII)
+* :mod:`repro.pilotlog` — the paper's contribution: Pilot -> MPE
+  integration (taxonomy, colours, bubbles, arrows, -pisvc=j)
+* :mod:`repro.apps` — the paper's workloads (thumbnail pipeline, lab2,
+  collision CSV assignment, toy JPEG codec)
+"""
+
+__version__ = "1.0.0"
+
+from repro import apps, jumpshot, mpe, pilot, pilotlog, slog2, vmpi  # noqa: E402,F401
+
+__all__ = [
+    "apps",
+    "jumpshot",
+    "mpe",
+    "pilot",
+    "pilotlog",
+    "slog2",
+    "vmpi",
+]

@@ -1,0 +1,18 @@
+"""Shared small utilities used across the ``repro`` packages.
+
+Nothing in here is specific to the paper; these are the kind of helpers a
+production codebase keeps in one place so that the domain packages
+(:mod:`repro.vmpi`, :mod:`repro.pilot`, ...) stay focused.
+"""
+
+from repro._util.callsite import CallSite, capture_callsite
+from repro._util.ids import IdAllocator
+from repro._util.text import clamp_text, format_seconds
+
+__all__ = [
+    "CallSite",
+    "capture_callsite",
+    "IdAllocator",
+    "clamp_text",
+    "format_seconds",
+]

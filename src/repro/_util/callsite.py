@@ -1,0 +1,59 @@
+"""Capture "where was this API called from" for diagnostics and popups.
+
+The paper's visualization reports, for every Pilot call, *the line number
+where it is called in the original .c file* (Section III.B).  Pilot's
+error diagnostics similarly "pinpoint the problem right to the line of
+source code".  In this Python reproduction we capture the same
+information from the interpreter call stack.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """A source location: file, line and enclosing function name."""
+
+    filename: str
+    lineno: int
+    function: str
+
+    @property
+    def basename(self) -> str:
+        """File name without directories (what a student would recognise)."""
+        return self.filename.rsplit("/", 1)[-1]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.basename}:{self.lineno} in {self.function}"
+
+
+_UNKNOWN = CallSite("<unknown>", 0, "<unknown>")
+
+
+def capture_callsite(skip: int = 1, *, internal_prefixes: tuple[str, ...] = ()) -> CallSite:
+    """Return the :class:`CallSite` of the caller's caller.
+
+    Parameters
+    ----------
+    skip:
+        Number of frames to skip *above* this function.  ``skip=1`` means
+        "the caller of the function that invoked capture_callsite".
+    internal_prefixes:
+        Module file-path prefixes considered library-internal.  Frames in
+        these files are skipped so the reported line is in *user* code,
+        mirroring how Pilot reports the application's ``.c`` line rather
+        than a line inside ``pilot.c``.
+    """
+    frame = sys._getframe(skip)
+    try:
+        while frame is not None:
+            filename = frame.f_code.co_filename
+            if not any(filename.startswith(p) for p in internal_prefixes):
+                return CallSite(filename, frame.f_lineno, frame.f_code.co_name)
+            frame = frame.f_back
+        return _UNKNOWN
+    finally:
+        del frame  # break reference cycle

@@ -1,0 +1,29 @@
+"""Monotonic integer id allocation.
+
+MPE hands out "event IDs" (an MPE-generated integer, Section III of the
+paper) and Pilot numbers processes ("P3"), channels ("C3") and bundles
+("B4").  All of those are allocated through this tiny helper so the
+numbering rules live in exactly one place.
+"""
+
+from __future__ import annotations
+
+
+class IdAllocator:
+    """Allocate consecutive integer ids starting from ``first``."""
+
+    def __init__(self, first: int = 0) -> None:
+        self._next = first
+
+    def allocate(self, count: int = 1) -> int:
+        """Reserve ``count`` consecutive ids, returning the first one."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        first = self._next
+        self._next += count
+        return first
+
+    @property
+    def peek(self) -> int:
+        """The id the next :meth:`allocate` call would return."""
+        return self._next

@@ -1,0 +1,31 @@
+"""Text helpers shared by the logging and rendering layers."""
+
+from __future__ import annotations
+
+
+def clamp_text(text: str, limit: int) -> str:
+    """Truncate ``text`` to at most ``limit`` bytes of UTF-8.
+
+    MPE limits the optional text attached to an event instance to 40
+    bytes (Section III); the CLOG2 writer enforces that limit with this
+    function.  Truncation never splits a multi-byte character.
+    """
+    if limit < 0:
+        raise ValueError(f"limit must be >= 0, got {limit}")
+    raw = text.encode("utf-8")
+    if len(raw) <= limit:
+        return text
+    return raw[:limit].decode("utf-8", errors="ignore")
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration with a unit a human can read at a glance."""
+    if t < 0:
+        return "-" + format_seconds(-t)
+    if t >= 1.0:
+        return f"{t:.3f}s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.3f}ms"
+    if t >= 1e-6:
+        return f"{t * 1e6:.3f}us"
+    return f"{t * 1e9:.0f}ns"

@@ -1,0 +1,46 @@
+"""``repro.apps`` — the paper's workloads as Pilot programs.
+
+* :mod:`repro.apps.thumbnail` — the JPEG thumbnail pipeline (III.D)
+* :mod:`repro.apps.lab2` — the Fig. 3 hands-on exercise
+* :mod:`repro.apps.collisions` — the collision-CSV assignment with the
+  two buggy student variants of Figs. 4-5
+* :mod:`repro.apps.jpeglite` — the toy JPEG codec behind the pipeline
+* :mod:`repro.apps.datagen` — synthetic photos and collision records
+* :mod:`repro.apps.simio` — the shared-disk model
+"""
+
+from repro.apps.collisions import (
+    GOOD,
+    INSTANCE_A,
+    INSTANCE_B,
+    QUERIES,
+    VARIANTS,
+    CollisionConfig,
+    collisions_main,
+)
+from repro.apps.lab2 import Lab2Config, lab2_main
+from repro.apps.labs import DYNAMIC, STATIC, Lab3Config, lab1_main, lab3_main
+from repro.apps.simio import DiskModel, disk_for, disk_io
+from repro.apps.thumbnail import ThumbnailConfig, thumbnail_main
+
+__all__ = [
+    "DYNAMIC",
+    "GOOD",
+    "INSTANCE_A",
+    "INSTANCE_B",
+    "QUERIES",
+    "STATIC",
+    "VARIANTS",
+    "CollisionConfig",
+    "DiskModel",
+    "Lab2Config",
+    "Lab3Config",
+    "ThumbnailConfig",
+    "collisions_main",
+    "disk_for",
+    "disk_io",
+    "lab1_main",
+    "lab2_main",
+    "lab3_main",
+    "thumbnail_main",
+]

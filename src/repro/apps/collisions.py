@@ -1,0 +1,215 @@
+"""The collision-CSV assignment (paper Section IV.B, Figs. 4-5).
+
+Students read "a 316MB .csv file of data on automotive collisions in
+Canada, with different worker processes starting from different file
+offsets, and then carry out a series of queries in parallel, merging
+the results."  Three submissions are modelled:
+
+* :data:`GOOD` — the intended solution: workers read their own file
+  slice (sharing the disk), then for each query PI_MAIN performs *all*
+  the PI_Writes before *any* PI_Read, so worker query processing
+  overlaps.
+* :data:`INSTANCE_A` — Fig. 4: identical reading phase, but the query
+  loop pairs each PI_Write immediately with its PI_Read, inadvertently
+  serialising the calculations ("the workers never did query
+  processing in parallel at all").
+* :data:`INSTANCE_B` — Fig. 5: PI_MAIN reads and parses the whole file
+  itself (~11 s) while every worker sits blocked in PI_Read, then
+  ships slices out; the queries are fast, "so the total run time
+  always stayed nearly the same".
+
+These are bugs *in parallelization*, not correctness: all three
+variants produce identical query results, which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.apps import datagen
+from repro.apps.simio import DiskModel, disk_io
+from repro.pilot.api import (
+    PI_MAIN,
+    PI_Compute,
+    PI_Configure,
+    PI_CreateChannel,
+    PI_CreateProcess,
+    PI_Read,
+    PI_SetName,
+    PI_StartAll,
+    PI_StopMain,
+    PI_Write,
+)
+from repro.pilot.program import current_run
+
+GOOD = "good"
+INSTANCE_A = "instance_a"
+INSTANCE_B = "instance_b"
+VARIANTS = (GOOD, INSTANCE_A, INSTANCE_B)
+
+# Columns of the parsed dataset (see datagen.COLLISION_HEADER).
+YEAR, MONTH, SEVERITY, VEHICLES, PERSONS, REGION = range(6)
+
+_YEARS = np.arange(1999, 2015)
+
+
+def _q_by_severity(d: np.ndarray) -> np.ndarray:
+    return np.bincount(d[:, SEVERITY], minlength=4)[1:4].astype(np.int64)
+
+
+def _q_by_year(d: np.ndarray) -> np.ndarray:
+    return np.array([(d[:, YEAR] == y).sum() for y in _YEARS], dtype=np.int64)
+
+
+def _q_persons_by_severity(d: np.ndarray) -> np.ndarray:
+    out = np.zeros(3, dtype=np.int64)
+    for s in (1, 2, 3):
+        out[s - 1] = d[d[:, SEVERITY] == s][:, PERSONS].sum()
+    return out
+
+
+def _q_vehicles_by_region(d: np.ndarray) -> np.ndarray:
+    out = np.zeros(13, dtype=np.int64)
+    for r in range(1, 14):
+        out[r - 1] = d[d[:, REGION] == r][:, VEHICLES].sum()
+    return out
+
+
+def _q_by_month(d: np.ndarray) -> np.ndarray:
+    return np.bincount(d[:, MONTH], minlength=13)[1:13].astype(np.int64)
+
+
+def _q_fatal_by_year(d: np.ndarray) -> np.ndarray:
+    fatal = d[d[:, SEVERITY] == 1]
+    return np.array([(fatal[:, YEAR] == y).sum() for y in _YEARS], dtype=np.int64)
+
+
+QUERIES: tuple[tuple[str, Callable[[np.ndarray], np.ndarray]], ...] = (
+    ("count_by_severity", _q_by_severity),
+    ("count_by_year", _q_by_year),
+    ("persons_by_severity", _q_persons_by_severity),
+    ("vehicles_by_region", _q_vehicles_by_region),
+    ("count_by_month", _q_by_month),
+    ("fatal_by_year", _q_fatal_by_year),
+)
+
+_QUIT = -1
+
+
+@dataclass(frozen=True)
+class CollisionConfig:
+    """Workload parameters.
+
+    ``nrecords`` synthetic records are really parsed and queried;
+    ``virtual_bytes`` (the paper's 316 MB) drives the *timing* of disk
+    reads and transfers, so the figures keep the paper's scale without
+    generating 316 MB of text."""
+
+    nrecords: int = 60_000
+    virtual_bytes: float = 316e6
+    seed: int = 7
+    worker_parse_time: float = 0.08  # per worker, after its slice read
+    query_work_total: float = 0.85  # summed over all workers x queries
+    b_parse_time: float = 9.9  # instance B's single-process parse
+    disk: DiskModel = field(default_factory=DiskModel)
+
+
+def collisions_main(argv: list[str], variant: str,
+                    config: CollisionConfig = CollisionConfig()) -> dict[str, Any]:
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+    cfg = config
+    dataset = datagen.make_collision_csv(cfg.nrecords, cfg.seed)
+    parsed_all = datagen.parse_collision_csv(dataset.text)
+
+    n_avail = PI_Configure(argv)
+    workers = n_avail - 1
+    if workers < 1:
+        raise ValueError("collision app needs at least one worker")
+    nq = len(QUERIES)
+    query_cost = cfg.query_work_total / (workers * nq)
+    slices = _record_slices(cfg.nrecords, workers)
+    slice_bytes = cfg.virtual_bytes / workers
+
+    to_w: list = []
+    from_w: list = []
+
+    def worker(index: int, _arg2: Any) -> int:
+        run = current_run()
+        if variant == INSTANCE_B:
+            # Wait for PI_MAIN to ship the parsed slice (this is where
+            # Fig. 5's long red bars come from).
+            _n, flat = PI_Read(to_w[index], "%^ld")
+            data = np.asarray(flat).reshape(-1, 6)
+        else:
+            # Read my own slice of the file (shared disk), then parse.
+            disk_io(run, int(slice_bytes), cfg.disk)
+            lo, hi = slices[index]
+            data = parsed_all[lo:hi]
+            PI_Compute(cfg.worker_parse_time)
+            PI_Write(from_w[index], "%d", len(data))
+        while True:
+            q = int(PI_Read(to_w[index], "%d"))
+            if q == _QUIT:
+                break
+            partial = QUERIES[q][1](data).astype(np.int64)
+            PI_Compute(query_cost)
+            PI_Write(from_w[index], "%^ld", len(partial), partial)
+        return 0
+
+    procs = []
+    for i in range(workers):
+        procs.append(PI_CreateProcess(worker, i, None))
+        PI_SetName(procs[i], f"W{i + 1}")
+        to_w.append(PI_CreateChannel(PI_MAIN, procs[i]))
+        from_w.append(PI_CreateChannel(procs[i], PI_MAIN))
+    PI_StartAll()
+
+    run = current_run()
+    if variant == INSTANCE_B:
+        # PI_MAIN does everything up front: whole-file read + parse.
+        disk_io(run, int(cfg.virtual_bytes), cfg.disk)
+        PI_Compute(cfg.b_parse_time)
+        for i in range(workers):
+            lo, hi = slices[i]
+            flat = parsed_all[lo:hi].reshape(-1)
+            PI_Write(to_w[i], "%^ld", len(flat), flat)
+    else:
+        # Wait for every worker to finish loading its slice.
+        for i in range(workers):
+            PI_Read(from_w[i], "%d")
+
+    results: dict[str, np.ndarray] = {}
+    for q in range(nq):
+        name = QUERIES[q][0]
+        if variant == INSTANCE_A:
+            # The bug: write/read pairs per worker serialise the work.
+            merged = None
+            for i in range(workers):
+                PI_Write(to_w[i], "%d", q)
+                _n, partial = PI_Read(from_w[i], "%^ld")
+                merged = partial if merged is None else merged + partial
+        else:
+            # All the PI_Writes, then all the PI_Reads.
+            for i in range(workers):
+                PI_Write(to_w[i], "%d", q)
+            merged = None
+            for i in range(workers):
+                _n, partial = PI_Read(from_w[i], "%^ld")
+                merged = partial if merged is None else merged + partial
+        results[name] = np.asarray(merged)
+    for i in range(workers):
+        PI_Write(to_w[i], "%d", _QUIT)
+    PI_StopMain(0)
+    expected = {name: fn(parsed_all) for name, fn in QUERIES}
+    return {"results": results, "expected": expected, "workers": workers}
+
+
+def _record_slices(nrecords: int, nparts: int) -> list[tuple[int, int]]:
+    """Contiguous record ranges, one per worker (the "different file
+    offsets")."""
+    cuts = [nrecords * i // nparts for i in range(nparts + 1)]
+    return [(cuts[i], cuts[i + 1]) for i in range(nparts)]

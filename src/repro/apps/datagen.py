@@ -1,0 +1,106 @@
+"""Synthetic inputs for the paper's workloads.
+
+The paper's evaluation uses data we do not have: "more than one
+thousand JPEG files" for the thumbnail assignment and "a 316MB .csv
+file of data on automotive collisions in Canada" for the debugging
+case study.  Per DESIGN.md Section 2 we generate structurally
+equivalent synthetic inputs: plausible grayscale photos compressed with
+the toy codec, and collision records with the fields the queries need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps import jpeglite
+
+
+def make_photo(rng: np.random.Generator, height: int = 96,
+               width: int = 128) -> np.ndarray:
+    """A synthetic "photo": smooth gradients + blobs + mild noise, so
+    the codec sees realistic (compressible but nontrivial) content."""
+    y, x = np.mgrid[0:height, 0:width]
+    img = (120
+           + 60 * np.sin(2 * np.pi * x / width * rng.uniform(0.5, 3))
+           + 50 * np.cos(2 * np.pi * y / height * rng.uniform(0.5, 3)))
+    for _ in range(rng.integers(2, 6)):
+        cy, cx = rng.uniform(0, height), rng.uniform(0, width)
+        r = rng.uniform(5, height / 3)
+        amp = rng.uniform(-70, 70)
+        img += amp * np.exp(-(((y - cy) ** 2 + (x - cx) ** 2) / (2 * r ** 2)))
+    img += rng.normal(0, 4, img.shape)
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+def make_jpeg_corpus(nfiles: int, seed: int = 0, height: int = 96,
+                     width: int = 128, quality: int = 75) -> list[bytes]:
+    """``nfiles`` encoded JPLT files (the assignment's input directory)."""
+    rng = np.random.default_rng(seed)
+    return [jpeglite.encode(make_photo(rng, height, width), quality)
+            for _ in range(nfiles)]
+
+
+# ---------------------------------------------------------------------------
+# Collision CSV
+# ---------------------------------------------------------------------------
+
+COLLISION_HEADER = "year,month,severity,vehicles,persons,region"
+SEVERITIES = (1, 2, 3)  # 1 = fatal, 2 = injury, 3 = property damage
+REGIONS = tuple(range(1, 14))  # 13 provinces/territories
+
+
+@dataclass(frozen=True)
+class CollisionDataset:
+    """A generated CSV plus ground-truth aggregates for query checks."""
+
+    text: str
+    nrecords: int
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.text.encode("utf-8"))
+
+    def line_offsets(self, nparts: int) -> list[tuple[int, int]]:
+        """Byte (start, end) ranges splitting the body into ``nparts``
+        at line boundaries — "different worker processes starting from
+        different file offsets" (paper Section IV.B)."""
+        body = self.text
+        header_end = body.index("\n") + 1
+        total = len(body)
+        cuts = [header_end]
+        for i in range(1, nparts):
+            approx = header_end + (total - header_end) * i // nparts
+            cut = body.index("\n", approx) + 1
+            cuts.append(cut)
+        cuts.append(total)
+        return [(cuts[i], cuts[i + 1]) for i in range(nparts)]
+
+
+def make_collision_csv(nrecords: int, seed: int = 0) -> CollisionDataset:
+    """Synthetic Canadian collision records, one CSV line each."""
+    rng = np.random.default_rng(seed)
+    years = rng.integers(1999, 2015, nrecords)
+    months = rng.integers(1, 13, nrecords)
+    severity = rng.choice(SEVERITIES, nrecords, p=[0.02, 0.38, 0.60])
+    vehicles = rng.integers(1, 5, nrecords)
+    persons = vehicles + rng.integers(0, 4, nrecords)
+    region = rng.choice(REGIONS, nrecords)
+    lines = [COLLISION_HEADER]
+    lines.extend(
+        f"{years[i]},{months[i]},{severity[i]},{vehicles[i]},{persons[i]},{region[i]}"
+        for i in range(nrecords))
+    return CollisionDataset("\n".join(lines) + "\n", nrecords)
+
+
+def parse_collision_csv(text: str) -> np.ndarray:
+    """Parse CSV body lines into an (n, 6) int array (header skipped if
+    present)."""
+    lines = text.strip().splitlines()
+    if lines and lines[0].startswith("year"):
+        lines = lines[1:]
+    if not lines:
+        return np.zeros((0, 6), dtype=np.int64)
+    return np.array([[int(v) for v in line.split(",")] for line in lines],
+                    dtype=np.int64)

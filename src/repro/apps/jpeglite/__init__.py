@@ -1,0 +1,26 @@
+"""``repro.apps.jpeglite`` — a toy DCT-based JPEG-like codec.
+
+Substitute for libjpeg in the thumbnail assignment: 8x8 block DCT,
+Annex-K quantisation with IJG quality scaling, zigzag run-length
+entropy stage, plus the assignment's crop/down-sample operations.
+"""
+
+from repro.apps.jpeglite.codec import (
+    DEFAULT_QUALITY,
+    JpegLiteError,
+    crop_center,
+    decode,
+    downsample,
+    encode,
+    psnr,
+)
+
+__all__ = [
+    "DEFAULT_QUALITY",
+    "JpegLiteError",
+    "crop_center",
+    "decode",
+    "downsample",
+    "encode",
+    "psnr",
+]

@@ -1,0 +1,106 @@
+"""The toy JPEG-like codec: DCT + quantisation + zigzag RLE.
+
+Stands in for libjpeg in the thumbnail assignment (paper Section III.D)
+so the pipeline's decompress / crop / down-sample / recompress stages do
+real array work.  Grayscale only; dimensions padded to multiples of 8.
+
+File layout: magic ``JPLT``, u16 height, u16 width, u8 quality, then
+the RLE stream.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.apps.jpeglite import dct, quant, rle
+
+MAGIC = b"JPLT"
+_HDR = struct.Struct("<4sHHB")
+
+DEFAULT_QUALITY = 75
+
+
+class JpegLiteError(ValueError):
+    """Corrupt or non-JPLT data."""
+
+
+def _pad_to_blocks(image: np.ndarray) -> np.ndarray:
+    h, w = image.shape
+    ph = (-h) % dct.BLOCK
+    pw = (-w) % dct.BLOCK
+    if ph or pw:
+        image = np.pad(image, ((0, ph), (0, pw)), mode="edge")
+    return image
+
+
+def encode(image: np.ndarray, quality: int = DEFAULT_QUALITY) -> bytes:
+    """Compress a 2-D uint8 grayscale image."""
+    arr = np.asarray(image)
+    if arr.ndim != 2:
+        raise JpegLiteError(f"expected a 2-D grayscale image, got shape {arr.shape}")
+    h, w = arr.shape
+    if h == 0 or w == 0:
+        raise JpegLiteError("empty image")
+    padded = _pad_to_blocks(arr.astype(np.float64) - 128.0)
+    table = quant.table_for_quality(quality)
+    blocks = dct.blockify(padded)
+    coeffs = dct.forward(blocks)
+    quantized = quant.quantize(coeffs, table)
+    payload = rle.encode_blocks(quantized)
+    return _HDR.pack(MAGIC, h, w, quality) + payload
+
+
+def decode(data: bytes) -> np.ndarray:
+    """Decompress back to a 2-D uint8 image (lossy round-trip)."""
+    if len(data) < _HDR.size:
+        raise JpegLiteError("data shorter than header")
+    magic, h, w, quality = _HDR.unpack(data[:_HDR.size])
+    if magic != MAGIC:
+        raise JpegLiteError(f"bad magic {magic!r}")
+    ph = h + (-h) % dct.BLOCK
+    pw = w + (-w) % dct.BLOCK
+    nblocks = (ph // dct.BLOCK) * (pw // dct.BLOCK)
+    quantized = rle.decode_blocks(data[_HDR.size:], nblocks)
+    table = quant.table_for_quality(quality)
+    blocks = dct.inverse(quant.dequantize(quantized, table))
+    padded = dct.unblockify(blocks, ph, pw)
+    return np.clip(padded[:h, :w] + 128.0, 0, 255).astype(np.uint8)
+
+
+# -- the assignment's image operations (paper Section III.D) ---------------
+
+
+def crop_center(image: np.ndarray, fraction: float = 0.32) -> np.ndarray:
+    """Crop out the centre ``fraction`` of the pixel *area*.
+
+    The assignment crops "the center 32% of the pixel array": each axis
+    keeps sqrt(fraction) of its extent so the area ratio is ``fraction``.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    h, w = image.shape
+    keep = np.sqrt(fraction)
+    kh = max(1, int(round(h * keep)))
+    kw = max(1, int(round(w * keep)))
+    top = (h - kh) // 2
+    left = (w - kw) // 2
+    return image[top:top + kh, left:left + kw]
+
+
+def downsample(image: np.ndarray, step: int = 3) -> np.ndarray:
+    """Keep every ``step``-th pixel on each axis ("every third one")."""
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    return image[::step, ::step]
+
+
+def psnr(a: np.ndarray, b: np.ndarray) -> float:
+    """Peak signal-to-noise ratio between two uint8 images (dB)."""
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    mse = np.mean((a.astype(np.float64) - b.astype(np.float64)) ** 2)
+    if mse == 0:
+        return float("inf")
+    return float(10.0 * np.log10(255.0 ** 2 / mse))

@@ -1,0 +1,35 @@
+"""Quantisation tables for the toy JPEG codec."""
+
+from __future__ import annotations
+
+import numpy as np
+
+# The JPEG Annex K luminance table — the classic one.
+BASE_LUMA = np.array([
+    [16, 11, 10, 16, 24, 40, 51, 61],
+    [12, 12, 14, 19, 26, 58, 60, 55],
+    [14, 13, 16, 24, 40, 57, 69, 56],
+    [14, 17, 22, 29, 51, 87, 80, 62],
+    [18, 22, 37, 56, 68, 109, 103, 77],
+    [24, 35, 55, 64, 81, 104, 113, 92],
+    [49, 64, 78, 87, 103, 121, 120, 101],
+    [72, 92, 95, 98, 112, 100, 103, 99],
+], dtype=np.float64)
+
+
+def table_for_quality(quality: int) -> np.ndarray:
+    """IJG-style quality scaling (1 = worst, 100 = near lossless)."""
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be 1..100, got {quality}")
+    scale = 5000 / quality if quality < 50 else 200 - 2 * quality
+    table = np.floor((BASE_LUMA * scale + 50) / 100)
+    return np.clip(table, 1, 255)
+
+
+def quantize(coeffs: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Round DCT coefficients to table multiples (the lossy step)."""
+    return np.round(coeffs / table).astype(np.int32)
+
+
+def dequantize(quantized: np.ndarray, table: np.ndarray) -> np.ndarray:
+    return quantized.astype(np.float64) * table

@@ -1,0 +1,97 @@
+"""Zigzag scan + run-length entropy stage for the toy JPEG codec.
+
+Real JPEG Huffman-codes (run, size) pairs; we keep the structurally
+equivalent but simpler scheme: zigzag order, then a byte stream of
+``(zero-run u8, value zigzag-varint)`` tokens per block with an
+end-of-block marker.  Lossless and self-delimiting, which is all the
+pipeline needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.jpeglite.dct import BLOCK
+
+_EOB = 0xFF  # end-of-block marker in the run byte position
+
+
+def _zigzag_order(n: int = BLOCK) -> np.ndarray:
+    """Indices that visit an n x n block in zigzag order."""
+    idx = sorted(((i + j, (j if (i + j) % 2 else i), i * n + j)
+                  for i in range(n) for j in range(n)))
+    return np.array([flat for _, _, flat in idx], dtype=np.int64)
+
+
+ZIGZAG = _zigzag_order()
+UNZIGZAG = np.argsort(ZIGZAG)
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    """Zigzag-encoded unsigned LEB128: positive -> 2v, negative -> 2|v|-1."""
+    u = 2 * value if value >= 0 else -2 * value - 1
+    while True:
+        byte = u & 0x7F
+        u >>= 7
+        if u:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(data: bytes, pos: int) -> tuple[int, int]:
+    u = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        u |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            break
+        shift += 7
+    value = u // 2 if u % 2 == 0 else -(u + 1) // 2
+    return value, pos
+
+
+def encode_blocks(quantized: np.ndarray) -> bytes:
+    """RLE-encode (nblocks, 8, 8) int32 coefficients."""
+    out = bytearray()
+    flat = quantized.reshape(len(quantized), -1)[:, ZIGZAG]
+    for row in flat:
+        run = 0
+        for v in row:
+            if v == 0:
+                run += 1
+                continue
+            # A block has 64 cells, so a zero run never reaches the EOB
+            # marker value.
+            out.append(run)
+            _write_varint(out, int(v))
+            run = 0
+        out.append(_EOB)
+    return bytes(out)
+
+
+def decode_blocks(data: bytes, nblocks: int) -> np.ndarray:
+    """Inverse of :func:`encode_blocks`."""
+    out = np.zeros((nblocks, BLOCK * BLOCK), dtype=np.int32)
+    pos = 0
+    for b in range(nblocks):
+        cell = 0
+        while True:
+            if pos >= len(data):
+                raise ValueError("truncated RLE stream")
+            run = data[pos]
+            pos += 1
+            if run == _EOB:
+                break
+            value, pos = _read_varint(data, pos)
+            cell += run
+            if cell >= BLOCK * BLOCK:
+                raise ValueError(f"RLE overruns block {b}")
+            out[b, cell] = value
+            cell += 1
+    if pos != len(data):
+        raise ValueError(f"{len(data) - pos} trailing bytes after last block")
+    return out[:, UNZIGZAG].reshape(nblocks, BLOCK, BLOCK)

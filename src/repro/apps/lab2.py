@@ -1,0 +1,101 @@
+"""The "lab 2" hands-on exercise (paper Fig. 3).
+
+A line-for-line translation of the listed C program: PI_MAIN fills an
+array with numbers, deals a portion to each of W workers over
+per-worker channels ("%d" size message then "%*d" data message), each
+worker sums its share and reports the subtotal on its result channel;
+PI_MAIN accumulates the grand total.  Executed with six processes the
+visual log is the paper's Fig. 3: red double-reads on each worker, a
+gray addition loop, a short green report, and matching green/red bars
+with white arrows on PI_MAIN.
+
+``use_autoalloc=True`` switches to the V2.1 single-call form from the
+paper's footnote 3 — ``PI_Read(ch, "%^d")`` receives length and data in
+one call (two wire messages, hence two arrival bubbles), with the write
+side changed to match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.pilot.api import (
+    PI_MAIN,
+    PI_Compute,
+    PI_Configure,
+    PI_CreateChannel,
+    PI_CreateProcess,
+    PI_Read,
+    PI_StartAll,
+    PI_StopMain,
+    PI_Write,
+)
+
+W = 5  # fixed no. of workers (paper listing)
+NUM = 10000  # size of data array
+
+
+@dataclass(frozen=True)
+class Lab2Config:
+    workers: int = W
+    num: int = NUM
+    add_cost: float = 5e-8  # virtual seconds per addition in the sum loop
+    use_autoalloc: bool = False
+    seed: int = 42
+
+
+def lab2_main(argv: list[str], config: Lab2Config = Lab2Config()) -> dict[str, Any]:
+    cfg = config
+    toWorker: list = []
+    result: list = []
+
+    def workerFunc(index: int, _arg2: Any) -> int:
+        if cfg.use_autoalloc:
+            myshare, buff = PI_Read(toWorker[index], "%^d")
+        else:
+            myshare = PI_Read(toWorker[index], "%d")
+            buff = PI_Read(toWorker[index], "%*d", myshare)
+        total = 0
+        for v in buff:  # the paper's addition loop, element by element
+            total += int(v)
+        PI_Compute(cfg.add_cost * int(myshare))
+        PI_Write(result[index], "%d", total)
+        return 0
+
+    n_avail = PI_Configure(argv)
+    if n_avail < cfg.workers + 1:
+        raise ValueError(
+            f"need {cfg.workers + 1} processes, only {n_avail} available")
+    workers = []
+    for i in range(cfg.workers):
+        workers.append(PI_CreateProcess(workerFunc, i, None))
+        toWorker.append(PI_CreateChannel(PI_MAIN, workers[i]))
+        result.append(PI_CreateChannel(workers[i], PI_MAIN))
+    PI_StartAll()  # workers launch, PI_MAIN continues
+
+    rng = np.random.default_rng(cfg.seed)
+    numbers = rng.integers(0, 100, cfg.num).astype(np.int32)
+    for i in range(cfg.workers):
+        portion = cfg.num // cfg.workers
+        if i == cfg.workers - 1:
+            portion += cfg.num % cfg.workers
+        chunk = numbers[i * (cfg.num // cfg.workers):
+                        i * (cfg.num // cfg.workers) + portion]
+        if cfg.use_autoalloc:
+            PI_Write(toWorker[i], "%^d", portion, chunk)
+        else:
+            PI_Write(toWorker[i], "%d", portion)
+            PI_Write(toWorker[i], "%*d", portion, chunk)
+
+    total = 0
+    subtotals = []
+    for i in range(cfg.workers):
+        s = int(PI_Read(result[i], "%d"))
+        subtotals.append(s)
+        total += s
+    PI_StopMain(0)  # workers also cease
+    return {"total": total, "subtotals": subtotals,
+            "expected": int(numbers.sum())}

@@ -1,0 +1,153 @@
+"""The other hands-on exercises, and the load-balance case study.
+
+The paper's Pilot training opens with "three hands-on exercises, one
+shown in Fig. 3" (Section IV.A).  Fig. 3's array-sum is
+:mod:`repro.apps.lab2`; this module supplies companions in the same
+spirit:
+
+* :func:`lab1_main` — the first-contact exercise: every worker sends a
+  greeting over its channel; PI_MAIN reads them in order.  (The
+  "compile, run, observe" program of a first lab session.)
+* :func:`lab3_main` — work allocation: the same skewed task bag
+  executed under a **static** round-robin split or a **dynamic**
+  demand-driven scheme (PI_Select over ready channels).
+
+lab3 exists because of the paper's closing observation (Section IV.B):
+"Log visualization could also expose load imbalances among the worker
+processes and help the programmer, for example, adjust work granularity
+to provide a more even distribution, or perhaps switch from a static to
+a dynamic work allocation scheme."  Benchmark L2 regenerates exactly
+that comparison, and :func:`repro.jumpshot.per_rank_load` quantifies
+the imbalance the timeline shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.pilot.api import (
+    PI_MAIN,
+    BundleUsage,
+    PI_Compute,
+    PI_Configure,
+    PI_CreateBundle,
+    PI_CreateChannel,
+    PI_CreateProcess,
+    PI_Read,
+    PI_Select,
+    PI_SetName,
+    PI_StartAll,
+    PI_StopMain,
+    PI_Write,
+)
+
+STATIC = "static"
+DYNAMIC = "dynamic"
+
+
+def lab1_main(argv: list[str], workers: int = 4) -> dict[str, Any]:
+    """Exercise 1: greetings over point-to-point channels."""
+    chans: list = []
+
+    def greeter(index: int, _arg2: Any) -> int:
+        PI_Write(chans[index], "%s %d", f"hello from worker", index)
+        return 0
+
+    n_avail = PI_Configure(argv)
+    if n_avail < workers + 1:
+        raise ValueError(f"need {workers + 1} processes, have {n_avail}")
+    for i in range(workers):
+        p = PI_CreateProcess(greeter, i)
+        chans.append(PI_CreateChannel(p, PI_MAIN))
+    PI_StartAll()
+    greetings = []
+    for i in range(workers):
+        text, idx = PI_Read(chans[i], "%s %d")
+        greetings.append(f"{text} {int(idx)}")
+    PI_StopMain(0)
+    return {"greetings": greetings}
+
+
+@dataclass(frozen=True)
+class Lab3Config:
+    """A skewed bag of tasks: most are quick, a few are very slow —
+    the classic recipe for static-allocation imbalance."""
+
+    workers: int = 4
+    ntasks: int = 64
+    base_cost: float = 0.01  # seconds per ordinary task
+    heavy_every: int = 8  # every k-th task is heavy...
+    heavy_factor: float = 12.0  # ...by this much
+    seed: int = 5
+
+    def task_costs(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        costs = np.full(self.ntasks, self.base_cost)
+        heavy = np.arange(0, self.ntasks, self.heavy_every)
+        costs[heavy] *= self.heavy_factor
+        # Shuffle so the heavy tasks cluster unpredictably, as real
+        # inputs do (this is what sinks the round-robin split).
+        rng.shuffle(costs)
+        return costs
+
+
+def lab3_main(argv: list[str], scheme: str,
+              config: Lab3Config = Lab3Config()) -> dict[str, Any]:
+    """Exercise 3: static vs dynamic work allocation over one task bag."""
+    if scheme not in (STATIC, DYNAMIC):
+        raise ValueError(f"scheme must be {STATIC!r} or {DYNAMIC!r}")
+    cfg = config
+    costs = cfg.task_costs()
+    jobs: list = []
+    ready: list = []
+    done: list = []
+
+    def worker(index: int, _arg2: Any) -> int:
+        executed = 0
+        while True:
+            if scheme == DYNAMIC:
+                PI_Write(ready[index], "%d", index)
+            task = int(PI_Read(jobs[index], "%d"))
+            if task < 0:
+                break
+            PI_Compute(float(costs[task]))
+            executed += 1
+        PI_Write(done[index], "%d", executed)
+        return executed
+
+    n_avail = PI_Configure(argv)
+    if n_avail < cfg.workers + 1:
+        raise ValueError(f"need {cfg.workers + 1} processes, have {n_avail}")
+    for i in range(cfg.workers):
+        p = PI_CreateProcess(worker, i)
+        PI_SetName(p, f"W{i + 1}")
+        jobs.append(PI_CreateChannel(PI_MAIN, p))
+        ready.append(PI_CreateChannel(p, PI_MAIN))
+        done.append(PI_CreateChannel(p, PI_MAIN))
+    selector = (PI_CreateBundle(BundleUsage.SELECT, ready)
+                if scheme == DYNAMIC else None)
+    PI_StartAll()
+
+    if scheme == STATIC:
+        # Round-robin split decided up front.
+        for task in range(cfg.ntasks):
+            PI_Write(jobs[task % cfg.workers], "%d", task)
+    else:
+        # Demand-driven: the next task goes to whoever asks first.
+        for task in range(cfg.ntasks):
+            idx = PI_Select(selector)
+            PI_Read(ready[idx], "%d")
+            PI_Write(jobs[idx], "%d", task)
+    for i in range(cfg.workers):
+        if scheme == DYNAMIC:
+            # Every worker announces readiness once more after its last
+            # task; consume that before sending the quit marker.
+            PI_Read(ready[i], "%d")
+        PI_Write(jobs[i], "%d", -1)
+    executed = [int(PI_Read(done[i], "%d")) for i in range(cfg.workers)]
+    PI_StopMain(0)
+    return {"executed": executed, "total": sum(executed),
+            "task_costs": costs}

@@ -1,0 +1,58 @@
+"""Simulated disk I/O for the applications.
+
+The paper's workloads are I/O-shaped: the thumbnail assignment
+constrains all disk I/O to PI_MAIN, and the collision assignment's
+whole point is (mis)parallelising reads of one big file.  We model a
+shared disk as an engine :class:`~repro.vmpi.engine.Resource` with a
+bandwidth; reads are chunked so that concurrent readers *interleave*
+on a capacity-1 disk — which is precisely the "partial overlapping of
+gray bars" visible in the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pilot.program import PilotRun
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Bandwidth in bytes/second; ``capacity`` concurrent streams at
+    full speed; ``chunk_bytes`` granularity of interleaving."""
+
+    bandwidth: float = 300e6
+    capacity: int = 1
+    chunk_bytes: int = 4 * 1024 * 1024
+    per_op_latency: float = 2e-4  # seek/open cost per operation
+
+
+def disk_for(run: PilotRun, model: DiskModel | None = None):
+    """The run-wide shared disk resource (created on first use)."""
+    model = model or DiskModel()
+    disk = getattr(run, "_sim_disk", None)
+    if disk is None:
+        disk = run.engine.resource(capacity=model.capacity, name="disk")
+        run._sim_disk = disk  # type: ignore[attr-defined]
+        run._sim_disk_model = model  # type: ignore[attr-defined]
+    return disk
+
+
+def disk_io(run: PilotRun, nbytes: int, model: DiskModel | None = None) -> None:
+    """Charge a read/write of ``nbytes`` against the shared disk.
+
+    The transfer is split into chunks; the disk is released between
+    chunks so concurrent readers take turns (partial overlap), instead
+    of either perfect parallelism or strict one-after-the-other.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    disk = disk_for(run, model)
+    model = run._sim_disk_model  # type: ignore[attr-defined]
+    run.engine.advance(model.per_op_latency, "disk seek")
+    remaining = nbytes
+    while remaining > 0:
+        chunk = min(remaining, model.chunk_bytes)
+        with disk:
+            run.engine.advance(chunk / model.bandwidth, "disk transfer")
+        remaining -= chunk

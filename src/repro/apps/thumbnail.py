@@ -1,0 +1,218 @@
+"""The JPEG thumbnail pipeline (paper Section III.D, Figs. 1-2).
+
+Three kinds of processes: PI_MAIN does all disk I/O and ships each
+input file to "the next available" decompressor; data-parallel D_i
+workers decompress, crop the centre 32% and down-sample to every third
+pixel; a single compressor C re-encodes thumbnails and returns them to
+PI_MAIN.  The app "scales by adding additional data parallel D
+processes, since this is the most time-consuming stage".
+
+Demand-driven scheduling uses Pilot idiomatically: each D announces
+readiness on its own channel; PI_MAIN PI_Selects over a bundle holding
+every ready channel *plus* C's output channel, so feeding and draining
+interleave.
+
+Two kernels:
+
+* ``"real"`` — actually decode/crop/downsample/encode with
+  :mod:`repro.apps.jpeglite` (used by examples and figure benches);
+* ``"declared"`` — skip the array work, move the same bytes and charge
+  the same virtual durations (used by the Section III.E overhead sweep,
+  where 60+ full runs would otherwise dominate wall time).
+
+Virtual stage durations default to values calibrated so the paper's
+Section III.E table shape reproduces (see benchmarks/test_t1_overhead).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.apps import datagen, jpeglite
+from repro.apps.simio import DiskModel, disk_io
+from repro.pilot.api import (
+    PI_MAIN,
+    PI_Compute,
+    PI_Configure,
+    PI_CreateBundle,
+    PI_CreateChannel,
+    PI_CreateProcess,
+    PI_Read,
+    PI_Select,
+    PI_SetName,
+    PI_StartAll,
+    PI_StopMain,
+    PI_Write,
+    BundleUsage,
+)
+from repro.pilot.program import current_run
+
+_PIX_HDR = struct.Struct("<HH")
+
+
+@dataclass(frozen=True)
+class ThumbnailConfig:
+    """Workload parameters.  Defaults reproduce the paper's setup:
+    1058 input files; stage times calibrated to its measured totals."""
+
+    nfiles: int = 1058
+    height: int = 96
+    width: int = 128
+    quality: int = 75
+    kernel: str = "declared"  # "real" | "declared"
+    stage_states: bool = False  # subdivide D's work with PI_DefineState
+    t_decompress: float = 0.117  # D: decode + crop + downsample, per file
+    t_compress: float = 0.008  # C: re-encode, per file
+    file_bytes: int = 3000  # declared-kernel stand-in sizes
+    pixel_bytes: int = 1600
+    thumb_bytes: int = 700
+    seed: int = 0
+    disk: DiskModel = field(default_factory=DiskModel)
+
+    def __post_init__(self) -> None:
+        if self.kernel not in ("real", "declared"):
+            raise ValueError(f"kernel must be 'real' or 'declared', got {self.kernel!r}")
+        if self.nfiles < 1:
+            raise ValueError(f"nfiles must be >= 1, got {self.nfiles}")
+
+
+def thumbnail_main(argv: list[str], config: ThumbnailConfig) -> dict[str, Any]:
+    """The Pilot program; run on every rank via run_pilot."""
+    cfg = config
+    N = PI_Configure(argv)
+    workers = N - 1
+    if workers < 2:
+        raise ValueError(
+            f"thumbnail pipeline needs at least 2 work processes "
+            f"(1 compressor + 1 decompressor), have {workers}")
+    n_dec = workers - 1
+
+    # -- work functions (close over the channel tables below) -------------
+
+    def decompressor(index: int, _arg2: Any) -> int:
+        from contextlib import nullcontext
+
+        from repro.pilot.api import PI_State
+
+        rng = current_run().engine._require_task().rng
+        processed = 0
+        while True:
+            PI_Write(ready[index], "%d", index)
+            data = PI_Read(jobs[index], "%b")
+            if len(data) == 0:
+                break
+            # Per-file duration jitter (+-2%): real images decode at
+            # slightly different speeds, and it gives the seed-to-seed
+            # variance the paper's medians carry.
+            jitter = 1.0 + 0.04 * (rng.random() - 0.5)
+            # The decompress stage dominates (paper: ~85% of t_dec);
+            # crop+downsample is array slicing, nearly free.
+            t_dec = cfg.t_decompress * 0.85 * jitter
+            t_crop = cfg.t_decompress * 0.15 * jitter
+            with (PI_State(st_decode) if stage_ctx else nullcontext()):
+                img = jpeglite.decode(data) if cfg.kernel == "real" else None
+                PI_Compute(t_dec)
+            with (PI_State(st_crop) if stage_ctx else nullcontext()):
+                if cfg.kernel == "real":
+                    thumb = jpeglite.downsample(
+                        jpeglite.crop_center(img, 0.32), 3)
+                    payload = _PIX_HDR.pack(*thumb.shape) + thumb.tobytes()
+                else:
+                    payload = b"\0" * cfg.pixel_bytes
+                PI_Compute(t_crop)
+            PI_Write(pix[index], "%b", payload)
+            processed += 1
+        return processed
+
+    def compressor(_index: int, _arg2: Any) -> int:
+        expected = PI_Read(count_ch, "%d")
+        for _ in range(int(expected)):
+            idx = PI_Select(pixsel)
+            payload = PI_Read(pix[idx], "%b")
+            if cfg.kernel == "real":
+                h, w = _PIX_HDR.unpack(payload[:_PIX_HDR.size])
+                pixels = np.frombuffer(payload[_PIX_HDR.size:],
+                                       dtype=np.uint8).reshape(h, w)
+                out = jpeglite.encode(pixels, cfg.quality)
+            else:
+                out = b"\0" * cfg.thumb_bytes
+            PI_Compute(cfg.t_compress)
+            PI_Write(thumbs, "%b", out)
+        return int(expected)
+
+    # -- configuration phase ------------------------------------------------
+
+    if cfg.stage_states:
+        from repro.pilot.api import PI_DefineState
+
+        st_decode = PI_DefineState("decode", "blue")
+        st_crop = PI_DefineState("crop+downsample", "cyan")
+        stage_ctx = True
+    else:
+        st_decode = st_crop = None
+        stage_ctx = False
+
+    comp = PI_CreateProcess(compressor, 0, None)
+    PI_SetName(comp, "C")
+    decs = []
+    ready, jobs, pix = [], [], []
+    for i in range(n_dec):
+        d = PI_CreateProcess(decompressor, i, None)
+        PI_SetName(d, f"D{i + 1}")
+        decs.append(d)
+        ready.append(PI_CreateChannel(d, PI_MAIN))
+        PI_SetName(ready[i], f"ready{i + 1}")
+        jobs.append(PI_CreateChannel(PI_MAIN, d))
+        PI_SetName(jobs[i], f"job{i + 1}")
+        pix.append(PI_CreateChannel(d, comp))
+        PI_SetName(pix[i], f"pix{i + 1}")
+    thumbs = PI_CreateChannel(comp, PI_MAIN)
+    PI_SetName(thumbs, "thumbs")
+    count_ch = PI_CreateChannel(PI_MAIN, comp)
+    PI_SetName(count_ch, "count")
+    mainsel = PI_CreateBundle(BundleUsage.SELECT, ready + [thumbs])
+    PI_SetName(mainsel, "mainsel")
+    pixsel = PI_CreateBundle(BundleUsage.SELECT, pix)
+    PI_SetName(pixsel, "pixsel")
+
+    PI_StartAll()
+
+    # -- PI_MAIN: the only process allowed to touch the disk ---------------
+
+    run = current_run()
+    corpus = (datagen.make_jpeg_corpus(cfg.nfiles, cfg.seed, cfg.height,
+                                       cfg.width, cfg.quality)
+              if cfg.kernel == "real" else None)
+    PI_Write(count_ch, "%d", cfg.nfiles)
+    next_file = 0
+    thumbs_done = 0
+    out_bytes = 0
+    terminated = [False] * n_dec
+    while thumbs_done < cfg.nfiles:
+        idx = PI_Select(mainsel)
+        if idx < n_dec:
+            PI_Read(ready[idx], "%d")
+            if next_file < cfg.nfiles:
+                data = corpus[next_file] if corpus else b"\0" * cfg.file_bytes
+                disk_io(run, len(data), cfg.disk)
+                PI_Write(jobs[idx], "%b", data)
+                next_file += 1
+            else:
+                PI_Write(jobs[idx], "%b", b"")
+                terminated[idx] = True
+        else:
+            thumb = PI_Read(thumbs, "%b")
+            disk_io(run, len(thumb), cfg.disk)
+            out_bytes += len(thumb)
+            thumbs_done += 1
+    for i in range(n_dec):
+        if not terminated[i]:
+            PI_Read(ready[i], "%d")
+            PI_Write(jobs[i], "%b", b"")
+    PI_StopMain(0)
+    return {"files": cfg.nfiles, "thumbs": thumbs_done,
+            "out_bytes": out_bytes, "decompressors": n_dec}

@@ -1,0 +1,55 @@
+"""``repro.jumpshot`` — a headless Jumpshot-4.
+
+The paper displays its logs in Argonne's Jumpshot (a Java GUI).  This
+package substitutes a non-interactive viewer with the same model —
+timelines, zooming/scrolling, preview striping, the legend table with
+count/incl/excl statistics, search-and-scan, popups — rendering to SVG
+(for humans) and ASCII (for tests and terminals).
+
+Typical use::
+
+    from repro import jumpshot, slog2, mpe
+
+    doc, report = slog2.convert(mpe.read_clog2("run.clog2"))
+    view = jumpshot.View(doc)
+    jumpshot.render_svg(view, "run.svg")
+    print(jumpshot.render_ascii(view, width=120))
+"""
+
+from repro.jumpshot.ascii import render_ascii
+from repro.jumpshot.canvas import Canvas, RowBox
+from repro.jumpshot.compare import render_comparison_svg
+from repro.jumpshot.html import render_html
+from repro.jumpshot.legend import Legend, LegendEntry
+from repro.jumpshot.palette import PALETTE, rgb
+from repro.jumpshot.search import search, search_all
+from repro.jumpshot.source_view import (
+    annotate_lines,
+    render_source_ansi,
+    render_source_html,
+)
+from repro.jumpshot.statwin import imbalance_ratio, per_rank_load, render_stats_svg
+from repro.jumpshot.svg import render_svg
+from repro.jumpshot.viewer import View
+
+__all__ = [
+    "Canvas",
+    "Legend",
+    "LegendEntry",
+    "PALETTE",
+    "RowBox",
+    "View",
+    "annotate_lines",
+    "imbalance_ratio",
+    "per_rank_load",
+    "render_ascii",
+    "render_comparison_svg",
+    "render_html",
+    "render_source_ansi",
+    "render_source_html",
+    "render_stats_svg",
+    "render_svg",
+    "rgb",
+    "search",
+    "search_all",
+]

@@ -1,0 +1,174 @@
+"""Headless Jumpshot as a command.
+
+Like Jumpshot-4, the viewer accepts SLOG2 natively and converts CLOG2
+on the fly with its "integrated logfile converter" (paper Section
+II.B)::
+
+    python -m repro.jumpshot run.slog2 --svg out.svg
+    python -m repro.jumpshot run.clog2 --ascii --width 120
+    python -m repro.jumpshot run.slog2 --window 1.0 2.5 --legend
+    python -m repro.jumpshot run.slog2 --search PI_Read
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._util.text import format_seconds
+from repro.jumpshot.ascii import render_ascii
+from repro.jumpshot.svg import render_svg
+from repro.jumpshot.viewer import View
+from repro.mpe.clog2 import Clog2FormatError, read_clog2
+from repro.slog2.convert import convert
+from repro.slog2.file import Slog2FormatError, read_slog2
+
+
+def open_log(path: str):
+    """Load an SLOG2 document from either format (integrated converter).
+
+    SLOG2 is tried first by magic; a CLOG2 file is converted in memory,
+    exactly as Jumpshot's built-in converter would.
+    """
+    try:
+        return read_slog2(path)
+    except Slog2FormatError:
+        pass
+    try:
+        doc, _report = convert(read_clog2(path))
+        return doc
+    except Clog2FormatError:
+        raise SystemExit(
+            f"{path}: neither an SLOG2 nor a CLOG2 file we understand")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.jumpshot",
+        description="Render a Pilot/MPE logfile, Jumpshot style.")
+    parser.add_argument("log", help=".slog2 or .clog2 file")
+    parser.add_argument("--svg", metavar="PATH", help="write an SVG here")
+    parser.add_argument("--ascii", action="store_true",
+                        help="print an ASCII timeline (default if no --svg)")
+    parser.add_argument("--width", type=int, default=110,
+                        help="ASCII width in cells (default %(default)s)")
+    parser.add_argument("--window", nargs=2, type=float,
+                        metavar=("T0", "T1"), help="zoom to [T0, T1] seconds")
+    parser.add_argument("--hide", action="append", default=[],
+                        metavar="CATEGORY", help="hide a legend category "
+                        "(repeatable)")
+    parser.add_argument("--legend", action="store_true",
+                        help="print the legend table with count/incl/excl")
+    parser.add_argument("--search", metavar="TEXT",
+                        help="search-and-scan: list matching drawables")
+    parser.add_argument("--stats", metavar="PATH",
+                        help="write the statistics-window SVG for the "
+                             "current window")
+    parser.add_argument("--by-rank", action="store_true",
+                        help="with --stats: per-timeline load-balance bars")
+    parser.add_argument("--html", metavar="PATH",
+                        help="write the interactive single-file viewer")
+    parser.add_argument("--source", nargs=2, metavar=("SRC", "OUT"),
+                        help="write a colour-coded listing of source "
+                             "file SRC to OUT (Fig. 3 style)")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="print the run's critical path (the "
+                             "zero-slack chain of work and messages)")
+    parser.add_argument("--chrome-trace", metavar="PATH",
+                        help="export a chrome://tracing / Perfetto JSON")
+    parser.add_argument("--compare", nargs=2, metavar=("OTHERLOG", "OUT"),
+                        help="render this log stacked over OTHERLOG on a "
+                             "shared time axis, written to OUT (also "
+                             "prints the category diff)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    doc = open_log(args.log)
+    view = View(doc)
+    if args.window:
+        view.zoom_to(args.window[0], args.window[1])
+    for name in args.hide:
+        try:
+            view.legend.set_visible(name, False)
+        except KeyError:
+            print(f"warning: no category named {name!r}", file=sys.stderr)
+
+    if args.search:
+        hits = _search_all(view, args.search)
+        print(f"{len(hits)} match(es) for {args.search!r}")
+        for hit in hits[:50]:
+            print("  " + view.popup(hit).replace("\n", " | "))
+        return 0
+
+    cpath = None
+    if args.critical_path:
+        from repro.slog2.critical_path import critical_path
+
+        cpath = critical_path(doc)
+
+    if args.svg:
+        # With --critical-path, the SVG carries the gold overlay too.
+        render_svg(view, args.svg, highlight_path=cpath)
+        print(f"wrote {args.svg}")
+    if args.stats:
+        from repro.jumpshot.statwin import render_stats_svg
+
+        render_stats_svg(view, args.stats, by_rank=args.by_rank)
+        print(f"wrote {args.stats}")
+    if args.html:
+        from repro.jumpshot.html import render_html
+
+        render_html(view, args.html, title=args.log)
+        print(f"wrote {args.html}")
+    if args.source:
+        from repro.jumpshot.source_view import render_source_html
+
+        src_path, out_path = args.source
+        with open(src_path, encoding="utf-8") as fh:
+            source = fh.read()
+        render_source_html(doc, source, out_path, title=src_path)
+        print(f"wrote {out_path}")
+    if cpath is not None:
+        print()
+        print(cpath.summary(doc))
+    if args.chrome_trace:
+        from repro.slog2.tracing import write_chrome_trace
+
+        n = write_chrome_trace(doc, args.chrome_trace)
+        print(f"wrote {args.chrome_trace} ({n} trace events)")
+    if args.compare:
+        from repro.jumpshot.compare import render_comparison_svg
+        from repro.slog2.diff import diff_logs
+
+        other_path, out_path = args.compare
+        other = open_log(other_path)
+        render_comparison_svg(other, doc, out_path,
+                              label_a=other_path, label_b=args.log)
+        print(f"wrote {out_path}")
+        print()
+        print(diff_logs(other, doc, label_a=other_path,
+                        label_b=args.log).summary())
+    if args.ascii or not args.svg:
+        print(render_ascii(view, width=args.width))
+    if args.legend:
+        print("\nLegend (count / incl / excl):")
+        for entry in view.legend.rows(sort_by="incl"):
+            if entry.count:
+                print(f"  {entry.name:<16} {entry.count:6d}  "
+                      f"{format_seconds(entry.incl):>12}  "
+                      f"{format_seconds(entry.excl):>12}")
+    return 0
+
+
+def _search_all(view: View, text: str):
+    from repro.jumpshot.search import search_all
+
+    return search_all(
+        view.doc, text,
+        exclude_categories=view.legend.unsearchable_category_indices())
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

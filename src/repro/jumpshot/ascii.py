@@ -1,0 +1,104 @@
+"""ASCII renderer: the timeline in a terminal.
+
+One row per displayed rank; each character cell shows the category that
+dominates that slice of the window (states weighted by covered time),
+``o`` where an event bubble lands, and a header/footer with the time
+axis.  Tests assert against this rendering because it is trivially
+diffable; the instructor-facing pretty output is the SVG.
+"""
+
+from __future__ import annotations
+
+from repro._util.text import format_seconds
+from repro.jumpshot.viewer import View
+from repro.slog2.model import Arrow, Event, State
+
+# Category name -> glyph.  Defaults cover the Pilot scheme; anything
+# else cycles through lowercase letters.
+DEFAULT_GLYPHS = {
+    "PI_Read": "R",
+    "PI_Write": "W",
+    "PI_Broadcast": "B",
+    "PI_Scatter": "S",
+    "PI_Gather": "G",
+    "PI_Reduce": "D",
+    "PI_Select": "L",
+    "Compute": "#",
+    "PI_Configure": "=",
+}
+
+
+def render_ascii(view: View, width: int = 100, *, show_legend: bool = True,
+                 glyphs: dict[str, str] | None = None) -> str:
+    """Render the current window as fixed-width text."""
+    if width < 20:
+        raise ValueError(f"width must be >= 20, got {width}")
+    glyph_map = dict(DEFAULT_GLYPHS)
+    if glyphs:
+        glyph_map.update(glyphs)
+    spare = iter("abcdefghijklmnpqrstuvwxyz")
+    for cat in view.doc.categories:
+        if cat.shape == "state" and cat.name not in glyph_map:
+            glyph_map[cat.name] = next(spare, "?")
+
+    span = view.span
+    cell = span / width
+    drawables, previews = view.visible()
+    hidden = view.legend.hidden_category_indices()
+
+    label_w = max((len(view.rank_label(r)) for r in view.rows), default=1) + 1
+    lines = [f"{'':>{label_w}}|{format_seconds(view.t0)} .. "
+             f"{format_seconds(view.t1)} (span {format_seconds(span)})"]
+    for rank in view.rows:
+        weights: list[dict[str, float]] = [{} for _ in range(width)]
+        bubbles = [False] * width
+        for d in drawables:
+            if isinstance(d, State) and d.rank == rank and d.category not in hidden:
+                name = view.doc.categories[d.category].name
+                c0 = max(int((d.start - view.t0) / cell), 0)
+                c1 = min(int((d.end - view.t0) / cell), width - 1)
+                for c in range(c0, c1 + 1):
+                    cover = (min(d.end, view.t0 + (c + 1) * cell)
+                             - max(d.start, view.t0 + c * cell))
+                    if cover > 0:
+                        # Deeper (nested) states win ties so inner
+                        # rectangles remain visible, as in Jumpshot.
+                        weights[c][name] = weights[c].get(name, 0.0) + cover * (1 + d.depth)
+            elif isinstance(d, Event) and d.rank == rank:
+                c = int((d.time - view.t0) / cell)
+                if 0 <= c < width:
+                    bubbles[c] = True
+        # Zoomed-out preview stripes contribute their per-category
+        # duration shares to the cells their node covers.
+        for node in previews:
+            c0 = max(int((node.t0 - view.t0) / cell), 0)
+            c1 = min(int((node.t1 - view.t0) / cell), width - 1)
+            ncells = max(c1 - c0 + 1, 1)
+            for (prank, cat), dur in node.preview.duration.items():
+                if prank != rank or cat in hidden or dur <= 0:
+                    continue
+                name = view.doc.categories[cat].name
+                for c in range(c0, c1 + 1):
+                    weights[c][name] = weights[c].get(name, 0.0) + dur / ncells
+        row = []
+        for c in range(width):
+            if bubbles[c]:
+                row.append("o")
+            elif weights[c]:
+                best = max(weights[c].items(), key=lambda kv: kv[1])[0]
+                row.append(glyph_map.get(best, "?"))
+            else:
+                row.append(".")
+        lines.append(f"{view.rank_label(rank):>{label_w}}|{''.join(row)}")
+
+    arrows = [d for d in drawables if isinstance(d, Arrow)]
+    lines.append(f"{'':>{label_w}}|arrows in window: {len(arrows)}")
+    if show_legend:
+        for entry in view.legend.rows(sort_by="incl"):
+            if entry.shape != "state" or entry.count == 0:
+                continue
+            g = glyph_map.get(entry.name, "?")
+            lines.append(f"{'':>{label_w}}|{g} = {entry.name}: count={entry.count} "
+                         f"incl={format_seconds(entry.incl)} "
+                         f"excl={format_seconds(entry.excl)}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Layout mathematics shared by the SVG and ASCII renderers.
+
+Jumpshot "displays are drawn on coordinate axes presenting processes
+and global time (in seconds) on Y and X axes, respectively", rank 0
+(PI_MAIN) on top (Section III).  The canvas maps a :class:`View`'s
+window and row order onto pixel space, supporting vertically expanded
+timelines (per-row weights) and nested-state insets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RowBox:
+    rank: int
+    y_top: float
+    y_bottom: float
+
+    @property
+    def height(self) -> float:
+        return self.y_bottom - self.y_top
+
+    @property
+    def y_center(self) -> float:
+        return (self.y_top + self.y_bottom) / 2.0
+
+
+class Canvas:
+    """Window + row geometry -> pixel coordinates."""
+
+    def __init__(self, t0: float, t1: float, rows: list[int],
+                 row_weights: dict[int, float], width: float,
+                 row_height: float = 36.0, margin_left: float = 90.0,
+                 margin_top: float = 28.0) -> None:
+        if t1 <= t0:
+            raise ValueError(f"empty time window [{t0}, {t1}]")
+        self.t0 = t0
+        self.t1 = t1
+        self.width = width
+        self.margin_left = margin_left
+        self.margin_top = margin_top
+        self.plot_width = width - margin_left - 12.0
+        self._rows: dict[int, RowBox] = {}
+        y = margin_top
+        for rank in rows:
+            h = row_height * row_weights.get(rank, 1.0)
+            self._rows[rank] = RowBox(rank, y, y + h)
+            y += h + 4.0
+        self.height = y + 24.0
+
+    # -- time axis ---------------------------------------------------------
+
+    def x(self, t: float) -> float:
+        frac = (t - self.t0) / (self.t1 - self.t0)
+        return self.margin_left + frac * self.plot_width
+
+    def clamp_x(self, t: float) -> float:
+        return min(max(self.x(t), self.margin_left),
+                   self.margin_left + self.plot_width)
+
+    def ticks(self, n: int = 8) -> list[tuple[float, float]]:
+        """(time, x) pairs for axis labels."""
+        span = self.t1 - self.t0
+        return [(self.t0 + i * span / n, self.x(self.t0 + i * span / n))
+                for i in range(n + 1)]
+
+    # -- rows ------------------------------------------------------------------
+
+    def row(self, rank: int) -> RowBox | None:
+        return self._rows.get(rank)
+
+    @property
+    def rows(self) -> list[RowBox]:
+        return sorted(self._rows.values(), key=lambda r: r.y_top)
+
+    def state_box(self, rank: int, start: float, end: float,
+                  depth: int) -> tuple[float, float, float, float] | None:
+        """(x, y, w, h) of a state rectangle, inset by nesting depth so
+        inner states draw as rectangles within their parents."""
+        row = self.row(rank)
+        if row is None:
+            return None
+        inset = min(depth * 3.0, row.height / 2 - 2.0)
+        x0 = self.clamp_x(max(start, self.t0))
+        x1 = self.clamp_x(min(end, self.t1))
+        return (x0, row.y_top + inset, max(x1 - x0, 0.75),
+                max(row.height - 2 * inset, 2.0))

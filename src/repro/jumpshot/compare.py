@@ -1,0 +1,79 @@
+"""Side-by-side (stacked) comparison of two runs.
+
+The before/after teaching moment — instance A vs the intended solution,
+static vs dynamic allocation — wants both timelines on one page with a
+**shared time axis**, so the student sees the speedup as literal empty
+space.  :func:`render_comparison_svg` stacks two views, aligns their
+clocks, and annotates each with its makespan; pairs naturally with
+:func:`repro.slog2.diff_logs` for the numbers.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro._util.text import format_seconds
+from repro.jumpshot.svg import render_svg
+from repro.jumpshot.viewer import View
+from repro.slog2.model import Slog2Doc
+
+
+def render_comparison_svg(doc_a: Slog2Doc, doc_b: Slog2Doc,
+                          path: str | None = None, *,
+                          label_a: str = "before", label_b: str = "after",
+                          width: int = 1100, row_height: int = 24,
+                          legend: bool = False) -> str:
+    """Stack two timelines over one shared time scale."""
+    view_a = View(doc_a)
+    view_b = View(doc_b)
+    # Shared clock: both windows start at their own t0 but span the
+    # longer of the two runs, so durations compare 1:1 horizontally.
+    span = max(view_a.span, view_b.span)
+    view_a.set_window(view_a.full_range[0], view_a.full_range[0] + span)
+    view_b.set_window(view_b.full_range[0], view_b.full_range[0] + span)
+
+    svg_a = render_svg(view_a, width=width, row_height=row_height,
+                       legend=legend)
+    svg_b = render_svg(view_b, width=width, row_height=row_height,
+                       legend=legend)
+    height_a = _svg_height(svg_a)
+    height_b = _svg_height(svg_b)
+    header = 26
+    total_h = header * 2 + height_a + height_b + 8
+
+    def banner(y: float, label: str, view: View) -> str:
+        makespan = view.full_range[1] - view.full_range[0]
+        return (f'<text x="10" y="{y:.0f}" fill="#ffd700" '
+                f'font-weight="bold">{escape(label)} — makespan '
+                f'{escape(format_seconds(makespan))}</text>')
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{total_h:.0f}" font-family="monospace" font-size="12">',
+        f'<rect width="{width}" height="{total_h:.0f}" fill="#0d0d0d"/>',
+        banner(18, label_a, view_a),
+        f'<g transform="translate(0,{header})">{_strip_svg_tag(svg_a)}</g>',
+        banner(header + height_a + 18, label_b, view_b),
+        f'<g transform="translate(0,{header * 2 + height_a + 4})">'
+        f'{_strip_svg_tag(svg_b)}</g>',
+        "</svg>",
+    ]
+    svg = "\n".join(parts)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+    return svg
+
+
+def _svg_height(svg: str) -> float:
+    import re
+
+    m = re.search(r'height="([\d.]+)"', svg)
+    return float(m.group(1)) if m else 200.0
+
+
+def _strip_svg_tag(svg: str) -> str:
+    """Inner content of a rendered SVG, for embedding in a group."""
+    start = svg.index(">") + 1
+    end = svg.rindex("</svg>")
+    return svg[start:end]

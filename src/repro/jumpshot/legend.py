@@ -1,0 +1,76 @@
+"""The legend table.
+
+Jumpshot's legend window (paper Sections II.B and III) lists every
+category with its coloured icon, name and sortable statistics (count /
+incl / excl), and offers per-category **visibility** and
+**searchability** toggles.  :class:`Legend` is that table as a model
+object; the renderers draw it and :mod:`repro.jumpshot.search` consults
+the searchability flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.slog2.model import Slog2Doc
+from repro.slog2.stats import CategoryStats, compute_stats
+
+
+@dataclass
+class LegendEntry:
+    name: str
+    color: str
+    shape: str
+    count: int
+    incl: float
+    excl: float
+    visible: bool = True
+    searchable: bool = True
+
+
+class Legend:
+    """Per-category display controls + statistics for one document."""
+
+    def __init__(self, doc: Slog2Doc) -> None:
+        self.doc = doc
+        stats = compute_stats(doc)
+        self.entries: dict[str, LegendEntry] = {
+            name: LegendEntry(name, s.color, s.shape, s.count, s.incl, s.excl)
+            for name, s in stats.items()
+        }
+
+    def entry(self, name: str) -> LegendEntry:
+        try:
+            return self.entries[name]
+        except KeyError:
+            raise KeyError(f"no category named {name!r} in this log") from None
+
+    def set_visible(self, name: str, visible: bool) -> None:
+        self.entry(name).visible = visible
+
+    def set_searchable(self, name: str, searchable: bool) -> None:
+        self.entry(name).searchable = searchable
+
+    def set_color(self, name: str, color: str) -> None:
+        """Adjust a colour "to individual taste ... this setting only
+        persists for the current Jumpshot session" (Section III.A) —
+        i.e. it changes this Legend, never the log file."""
+        self.entry(name).color = color
+
+    def hidden_category_indices(self) -> set[int]:
+        return {c.index for c in self.doc.categories
+                if not self.entries[c.name].visible}
+
+    def unsearchable_category_indices(self) -> set[int]:
+        return {c.index for c in self.doc.categories
+                if not self.entries[c.name].searchable}
+
+    def rows(self, sort_by: str = "incl", descending: bool = True) -> list[LegendEntry]:
+        if sort_by not in ("name", "count", "incl", "excl"):
+            raise ValueError(f"cannot sort legend by {sort_by!r}")
+        return sorted(self.entries.values(),
+                      key=lambda e: getattr(e, sort_by), reverse=descending)
+
+    def refresh_window(self, t0: float, t1: float) -> dict[str, CategoryStats]:
+        """Statistics over a user-selected duration (Section II.B)."""
+        return compute_stats(self.doc, t0, t1)

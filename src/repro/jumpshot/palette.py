@@ -1,0 +1,38 @@
+"""Colour-name resolution for the renderers.
+
+Category colours travel through CLOG2/SLOG2 as *names* (MPE's
+describe-calls take names like "ForestGreen"); resolving a name to RGB
+is the viewer's business.  The names cover the paper's default scheme
+(Section III.A) plus common override choices.
+"""
+
+from __future__ import annotations
+
+PALETTE: dict[str, str] = {
+    "red": "#ff0000",
+    "green": "#00c000",
+    "ForestGreen": "#228b22",
+    "SeaGreen": "#2e8b57",
+    "IndianRed": "#cd5c5c",
+    "FireBrick": "#b22222",
+    "OrangeRed": "#ff4500",
+    "bisque": "#ffe4c4",
+    "gray": "#808080",
+    "yellow": "#ffd700",
+    "white": "#ffffff",
+    "black": "#000000",
+    "blue": "#4169e1",
+    "purple": "#800080",
+    "orange": "#ffa500",
+    "cyan": "#00bcd4",
+    "magenta": "#d81b60",
+}
+
+FALLBACK = "#999999"
+
+
+def rgb(color_name: str) -> str:
+    """Hex RGB for a colour name; unknown names render mid-gray."""
+    if color_name.startswith("#"):
+        return color_name
+    return PALETTE.get(color_name, FALLBACK)

@@ -1,0 +1,57 @@
+"""Search-and-scan: locate drawables that are hard to find by eye.
+
+Jumpshot "has a search-and-scan facility that helps locate graphical
+objects" (Section II.B).  We search forward or backward in time from a
+reference point, matching category name and/or popup text, honouring
+the legend's searchability toggles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.slog2.model import Arrow, Drawable, Event, Slog2Doc, State, drawable_span
+
+
+def _sorted_by_time(doc: Slog2Doc) -> list[Drawable]:
+    return sorted(doc.drawables, key=lambda d: drawable_span(d)[0])
+
+
+def _matches(doc: Slog2Doc, d: Drawable, text: str) -> bool:
+    needle = text.lower()
+    if isinstance(d, Arrow):
+        hay = doc.categories[d.category].name
+    elif isinstance(d, State):
+        hay = " ".join((doc.categories[d.category].name, d.start_text, d.end_text))
+    else:
+        hay = " ".join((doc.categories[d.category].name, d.text))
+    return needle in hay.lower()
+
+
+def search(doc: Slog2Doc, text: str, from_time: float = float("-inf"), *,
+           backward: bool = False,
+           exclude_categories: Iterable[int] = ()) -> Drawable | None:
+    """First drawable matching ``text`` strictly after (before, if
+    ``backward``) ``from_time``.  Returns None when the scan runs off
+    the end of the log."""
+    excluded = set(exclude_categories)
+    ordered = _sorted_by_time(doc)
+    if backward:
+        ordered = [d for d in reversed(ordered)
+                   if drawable_span(d)[0] < from_time]
+    else:
+        ordered = [d for d in ordered if drawable_span(d)[0] > from_time]
+    for d in ordered:
+        if d.category in excluded:
+            continue
+        if _matches(doc, d, text):
+            return d
+    return None
+
+
+def search_all(doc: Slog2Doc, text: str, *,
+               exclude_categories: Iterable[int] = ()) -> list[Drawable]:
+    """Every match, in time order (the "scan" half of search-and-scan)."""
+    excluded = set(exclude_categories)
+    return [d for d in _sorted_by_time(doc)
+            if d.category not in excluded and _matches(doc, d, text)]

@@ -1,0 +1,136 @@
+"""Colour-coded source listings (the top half of the paper's Fig. 3).
+
+Fig. 3 "lists lab2.c (colour-coded) along with its visual log":
+each Pilot call in the source is tinted with the same colour its state
+rectangles carry in the timeline, so students map code to picture at a
+glance.  Every logged state popup already carries its call site
+("Line: 28 Proc: ..."), so the mapping comes straight out of the log —
+no source analysis needed, and it works for any language the program
+was written in.
+
+Outputs: HTML (for handouts) and ANSI (for terminals).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+from xml.sax.saxutils import escape
+
+from repro.jumpshot.palette import rgb
+from repro.slog2.model import Slog2Doc
+
+_LINE_RE = re.compile(r"\bLine: (\d+)\b")
+
+# ANSI 256-colour approximations for the default scheme.
+_ANSI = {
+    "red": 196, "green": 40, "ForestGreen": 28, "SeaGreen": 29,
+    "IndianRed": 167, "FireBrick": 124, "OrangeRed": 202,
+    "bisque": 223, "gray": 245, "yellow": 220, "white": 255,
+}
+
+
+@dataclass(frozen=True)
+class LineAnnotation:
+    lineno: int
+    category: str
+    color: str
+    count: int  # how many state instances came from this line
+
+
+def annotate_lines(doc: Slog2Doc) -> dict[int, LineAnnotation]:
+    """Map source line -> (dominant category, colour, instance count).
+
+    A line that produced several kinds of states (rare: one statement,
+    one call) is tinted by its most frequent category.
+    """
+    per_line: dict[int, Counter] = {}
+    for s in doc.states:
+        m = _LINE_RE.search(s.start_text)
+        if not m:
+            continue
+        lineno = int(m.group(1))
+        name = doc.categories[s.category].name
+        per_line.setdefault(lineno, Counter())[name] += 1
+    # Solo bubbles (PI_Log, PI_TrySelect, ...) also carry line info.
+    for e in doc.events:
+        m = _LINE_RE.search(e.text)
+        if not m:
+            continue
+        name = doc.categories[e.category].name
+        if name.endswith(" msg"):
+            continue  # arrival bubbles point at the read/write line
+        per_line.setdefault(int(m.group(1)), Counter())[name] += 1
+    out: dict[int, LineAnnotation] = {}
+    for lineno, counts in per_line.items():
+        name, count = counts.most_common(1)[0]
+        color = next((c.color for c in doc.categories if c.name == name),
+                     "gray")
+        out[lineno] = LineAnnotation(lineno, name, color,
+                                     sum(counts.values()))
+    return out
+
+
+def render_source_html(doc: Slog2Doc, source_text: str,
+                       path: str | None = None, *,
+                       title: str = "source") -> str:
+    """An HTML listing with Pilot-call lines tinted by category colour."""
+    annotations = annotate_lines(doc)
+    rows = []
+    for i, line in enumerate(source_text.splitlines(), start=1):
+        ann = annotations.get(i)
+        text = escape(line) or "&nbsp;"
+        if ann is not None:
+            style = (f"background:{rgb(ann.color)}33;"
+                     f"border-left:4px solid {rgb(ann.color)};")
+            tip = f"{ann.category} ({ann.count} instance(s) in the log)"
+            rows.append(f'<div class="ln hit" style="{style}" '
+                        f'title="{escape(tip)}">'
+                        f'<span class="no">{i:4d}</span>{text}</div>')
+        else:
+            rows.append(f'<div class="ln"><span class="no">{i:4d}</span>'
+                        f'{text}</div>')
+    legend = "".join(
+        f'<span class="chip" style="background:{rgb(a.color)}">'
+        f'{escape(a.category)}</span>'
+        for a in _unique_categories(annotations))
+    html = f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{escape(title)}</title>
+<style>
+body {{ background:#111; color:#ddd; font-family:monospace; }}
+.ln {{ white-space:pre; padding:0 6px; border-left:4px solid transparent; }}
+.no {{ color:#666; margin-right:12px; user-select:none; }}
+.chip {{ color:#000; padding:1px 8px; margin-right:6px; border-radius:3px; }}
+h1 {{ font-size:14px; }}
+</style></head><body>
+<h1>{escape(title)} — lines tinted by their Pilot call's log colour</h1>
+<p>{legend}</p>
+{chr(10).join(rows)}
+</body></html>"""
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(html)
+    return html
+
+
+def render_source_ansi(doc: Slog2Doc, source_text: str) -> str:
+    """The same listing with ANSI background tints, for terminals."""
+    annotations = annotate_lines(doc)
+    out = []
+    for i, line in enumerate(source_text.splitlines(), start=1):
+        ann = annotations.get(i)
+        if ann is not None:
+            code = _ANSI.get(ann.color, 245)
+            out.append(f"\x1b[38;5;{code}m{i:4d} | {line}"
+                       f"   \x1b[2m<- {ann.category}\x1b[0m")
+        else:
+            out.append(f"\x1b[2m{i:4d} |\x1b[0m {line}")
+    return "\n".join(out)
+
+
+def _unique_categories(annotations: dict[int, LineAnnotation]):
+    seen = {}
+    for ann in sorted(annotations.values(), key=lambda a: a.lineno):
+        seen.setdefault(ann.category, ann)
+    return seen.values()

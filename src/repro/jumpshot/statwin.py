@@ -1,0 +1,112 @@
+"""The statistics window: per-category bars for a selected duration.
+
+Jumpshot "can also draw a picture from user-selected duration which
+allows for ease of data analysis on the statistics of a logfile.  For
+example, it enables easy detection of load imbalance across processes
+among timelines." (paper Section II.B).
+
+Two pictures are provided:
+
+* :func:`render_stats_svg` — horizontal bars of inclusive/exclusive
+  time per category over the view's current window (the classic
+  statistics histogram);
+* :func:`per_rank_load` / the ``by_rank=True`` mode — one bar per rank
+  showing its busy (Compute-exclusive) share of the window, which is
+  the load-imbalance picture the paper calls out.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro._util.text import format_seconds
+from repro.jumpshot.palette import rgb
+from repro.jumpshot.viewer import View
+from repro.slog2.model import State
+from repro.slog2.stats import compute_stats
+
+BACKGROUND = "#0d0d0d"
+AXIS = "#c0c0c0"
+
+
+def per_rank_load(view: View, category: str = "Compute") -> dict[int, float]:
+    """Per-rank exclusive time of ``category`` within the window.
+
+    'Exclusive' mirrors the legend's definition: nested states are
+    subtracted, so this measures actual busy time, not time blocked
+    inside nested I/O calls.
+    """
+    cat = view.doc.category_by_name(category)
+    t0, t1 = view.window
+    loads: dict[int, float] = {rank: 0.0 for rank in view.rows}
+    # Clip to window; subtract nested state time per rank.
+    for s in view.doc.states:
+        if s.rank not in loads:
+            continue
+        lo = max(s.start, t0)
+        hi = min(s.end, t1)
+        if hi <= lo:
+            continue
+        if s.category == cat.index:
+            loads[s.rank] += hi - lo
+        elif s.depth > 0:
+            # Interior rectangles of any category eat into the
+            # surrounding state's exclusive time.
+            loads[s.rank] -= hi - lo
+    return {rank: max(load, 0.0) for rank, load in loads.items()}
+
+
+def imbalance_ratio(loads: dict[int, float], *, skip_rank0: bool = True) -> float:
+    """max/min busy time over worker ranks (1.0 = perfectly balanced)."""
+    values = [v for r, v in loads.items() if not (skip_rank0 and r == 0)]
+    values = [v for v in values if v > 0]
+    if len(values) < 2:
+        return 1.0
+    return max(values) / min(values)
+
+
+def render_stats_svg(view: View, path: str | None = None, *,
+                     by_rank: bool = False, width: int = 640) -> str:
+    """Render the statistics histogram for the current window."""
+    if by_rank:
+        rows = [(view.rank_label(rank), load, "gray")
+                for rank, load in sorted(per_rank_load(view).items())]
+        title = "busy time per timeline (load balance)"
+    else:
+        stats = compute_stats(view.doc, view.t0, view.t1)
+        rows = [(s.name, s.incl, s.color)
+                for s in sorted(stats.values(), key=lambda s: -s.incl)
+                if s.count and s.shape == "state"]
+        title = "inclusive time per category"
+    top = max((v for _, v, _ in rows), default=1.0) or 1.0
+
+    bar_h, gap, label_w = 18, 6, 150
+    height = 60 + len(rows) * (bar_h + gap)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="monospace" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="{BACKGROUND}"/>',
+        f'<text x="10" y="18" fill="{AXIS}" font-weight="bold">'
+        f'Statistics: {escape(title)}</text>',
+        f'<text x="10" y="34" fill="{AXIS}">window '
+        f'{escape(format_seconds(view.t0))} .. '
+        f'{escape(format_seconds(view.t1))}</text>',
+    ]
+    y = 52
+    plot_w = width - label_w - 110
+    for label, value, color in rows:
+        frac = value / top
+        parts.append(f'<text x="10" y="{y + bar_h - 5}" fill="{AXIS}">'
+                     f'{escape(label[:20])}</text>')
+        parts.append(f'<rect x="{label_w}" y="{y}" '
+                     f'width="{max(frac * plot_w, 1):.1f}" height="{bar_h}" '
+                     f'fill="{rgb(color)}" stroke="#444"/>')
+        parts.append(f'<text x="{label_w + plot_w + 8}" y="{y + bar_h - 5}" '
+                     f'fill="{AXIS}">{escape(format_seconds(value))}</text>')
+        y += bar_h + gap
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+    return svg

@@ -1,0 +1,236 @@
+"""SVG renderer: the closest thing to a Jumpshot screenshot we can make
+headlessly.
+
+Faithful to the Jumpshot look: black plot area, per-rank timelines with
+rank numbers (and PI_SetName names) on the Y axis, global seconds on X,
+coloured state rectangles (nested states inset), yellow event bubbles,
+white message arrows with arrowheads, striped outline rectangles for
+zoomed-out previews, and an optional legend panel with count/incl/excl.
+Every drawable carries an SVG ``<title>`` holding its popup text, so
+hovering in any browser reproduces the right-click information window.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro._util.text import format_seconds
+from repro.jumpshot.canvas import Canvas
+from repro.jumpshot.palette import rgb
+from repro.jumpshot.viewer import View
+from repro.slog2.frames import FrameNode
+from repro.slog2.model import Arrow, Event, State
+
+BACKGROUND = "#0d0d0d"
+PLOT_BG = "#000000"
+AXIS = "#c0c0c0"
+GRID = "#2a2a2a"
+
+
+def render_svg(view: View, path: str | None = None, *, width: int = 1100,
+               row_height: int = 36, legend: bool = True,
+               highlight_path=None) -> str:
+    """Render the view's current window; optionally write to ``path``.
+
+    ``highlight_path`` takes a :class:`repro.slog2.CriticalPath`: its
+    activity segments are traced in gold on top of the timeline and its
+    message hops drawn as thick gold arrows, so the chain that
+    determined the finish time is visible at a glance.
+    """
+    legend_width = 330 if legend else 0
+    canvas = Canvas(view.t0, view.t1, view.rows, view.row_weights,
+                    width - legend_width, row_height=row_height)
+    drawables, previews = view.visible()
+    parts: list[str] = []
+    total_h = max(canvas.height, 180.0)
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{total_h:.0f}" font-family="monospace" font-size="11">')
+    parts.append(f'<rect width="{width}" height="{total_h:.0f}" fill="{BACKGROUND}"/>')
+    parts.append(_defs())
+    parts.append(_axes(view, canvas))
+    parts.append(_previews(view, canvas, previews))
+    # States below, then arrows, then bubbles on top — Jumpshot stacking.
+    for s in sorted((d for d in drawables if isinstance(d, State)),
+                    key=lambda s: s.depth):
+        parts.append(_state(view, canvas, s))
+    for a in (d for d in drawables if isinstance(d, Arrow)):
+        parts.append(_arrow(view, canvas, a))
+    for e in (d for d in drawables if isinstance(d, Event)):
+        parts.append(_event(view, canvas, e))
+    if highlight_path is not None:
+        parts.append(_critical_overlay(view, canvas, highlight_path))
+    if legend:
+        parts.append(_legend_panel(view, width - legend_width + 10, total_h))
+    parts.append("</svg>")
+    svg = "\n".join(p for p in parts if p)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+    return svg
+
+
+def _defs() -> str:
+    return (
+        '<defs><marker id="arrowhead" markerWidth="7" markerHeight="5" '
+        'refX="6" refY="2.5" orient="auto">'
+        '<polygon points="0 0, 7 2.5, 0 5" fill="white"/></marker></defs>')
+
+
+def _axes(view: View, canvas: Canvas) -> str:
+    parts = [f'<rect x="{canvas.margin_left}" y="{canvas.margin_top - 6}" '
+             f'width="{canvas.plot_width:.1f}" '
+             f'height="{canvas.height - canvas.margin_top - 12:.1f}" '
+             f'fill="{PLOT_BG}"/>']
+    for t, x in canvas.ticks():
+        parts.append(f'<line x1="{x:.1f}" y1="{canvas.margin_top - 6}" '
+                     f'x2="{x:.1f}" y2="{canvas.height - 18:.1f}" '
+                     f'stroke="{GRID}" stroke-width="1"/>')
+        parts.append(f'<text x="{x:.1f}" y="{canvas.height - 4:.1f}" '
+                     f'fill="{AXIS}" text-anchor="middle">'
+                     f'{escape(format_seconds(t))}</text>')
+    for row in canvas.rows:
+        label = escape(view.rank_label(row.rank))
+        parts.append(f'<text x="6" y="{row.y_center + 4:.1f}" fill="{AXIS}">'
+                     f'{label}</text>')
+        parts.append(f'<line x1="{canvas.margin_left}" y1="{row.y_center:.1f}" '
+                     f'x2="{canvas.margin_left + canvas.plot_width:.1f}" '
+                     f'y2="{row.y_center:.1f}" stroke="{GRID}" '
+                     'stroke-dasharray="2,4"/>')
+    return "\n".join(parts)
+
+
+def _state(view: View, canvas: Canvas, s: State) -> str:
+    box = canvas.state_box(s.rank, s.start, s.end, s.depth)
+    if box is None:
+        return ""
+    x, y, w, h = box
+    color = rgb(view.legend.entries[view.doc.categories[s.category].name].color)
+    title = escape(view.popup(s))
+    return (f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
+            f'fill="{color}" stroke="black" stroke-width="0.4">'
+            f'<title>{title}</title></rect>')
+
+
+def _event(view: View, canvas: Canvas, e: Event) -> str:
+    row = canvas.row(e.rank)
+    if row is None or not (view.t0 <= e.time <= view.t1):
+        return ""
+    x = canvas.x(e.time)
+    color = rgb(view.legend.entries[view.doc.categories[e.category].name].color)
+    title = escape(view.popup(e))
+    return (f'<circle cx="{x:.2f}" cy="{row.y_center:.2f}" r="3.2" '
+            f'fill="{color}" stroke="black" stroke-width="0.5">'
+            f'<title>{title}</title></circle>')
+
+
+def _arrow(view: View, canvas: Canvas, a: Arrow) -> str:
+    src = canvas.row(a.src_rank)
+    dst = canvas.row(a.dst_rank)
+    if src is None or dst is None:
+        return ""
+    color = rgb(view.legend.entries[view.doc.categories[a.category].name].color)
+    x1, y1 = canvas.clamp_x(a.start), src.y_center
+    x2, y2 = canvas.clamp_x(a.end), dst.y_center
+    title = escape(view.popup(a))
+    return (f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{color}" stroke-width="1.1" marker-end="url(#arrowhead)">'
+            f'<title>{title}</title></line>')
+
+
+def _previews(view: View, canvas: Canvas, nodes: list[FrameNode]) -> str:
+    """Zoomed-out intervals: an outline rectangle striped horizontally,
+    stripe widths proportional to each category's duration share
+    (paper's description of Fig. 1)."""
+    parts: list[str] = []
+    for node in nodes:
+        per_rank: dict[int, list[tuple[int, float]]] = {}
+        for (rank, cat), dur in node.preview.duration.items():
+            if dur > 0:
+                per_rank.setdefault(rank, []).append((cat, dur))
+        for rank, shares in per_rank.items():
+            box = canvas.state_box(rank, max(node.t0, view.t0),
+                                   min(node.t1, view.t1), 0)
+            if box is None:
+                continue
+            x, y, w, h = box
+            total = sum(d for _, d in shares)
+            parts.append(f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
+                         f'height="{h:.2f}" fill="none" stroke="#888" '
+                         'stroke-width="0.7"/>')
+            sy = y + 1
+            for cat, dur in sorted(shares):
+                frac = dur / total if total else 0
+                sh = max((h - 2) * frac, 0.0)
+                name = view.doc.categories[cat].name
+                color = rgb(view.legend.entries[name].color)
+                parts.append(f'<rect x="{x + 1:.2f}" y="{sy:.2f}" '
+                             f'width="{max(w - 2, 0):.2f}" height="{sh:.2f}" '
+                             f'fill="{color}" opacity="0.85"/>')
+                sy += sh
+    return "\n".join(parts)
+
+
+CRITICAL = "#ffb300"  # gold overlay for the critical path
+
+
+def _critical_overlay(view: View, canvas: Canvas, cpath) -> str:
+    """Trace a CriticalPath over the timeline: gold underlines along
+    each activity segment, thick gold arrows for message hops."""
+    parts = ['<g stroke-linecap="round">']
+    for seg in cpath.segments:
+        if seg.end < view.t0 or seg.start > view.t1:
+            continue
+        if seg.kind == "activity":
+            row = canvas.row(seg.rank)
+            if row is None:
+                continue
+            x1 = canvas.clamp_x(max(seg.start, view.t0))
+            x2 = canvas.clamp_x(min(seg.end, view.t1))
+            y = row.y_bottom + 2.5
+            parts.append(
+                f'<line x1="{x1:.2f}" y1="{y:.2f}" x2="{x2:.2f}" '
+                f'y2="{y:.2f}" stroke="{CRITICAL}" stroke-width="3">'
+                f'<title>critical path: {escape(seg.label)} '
+                f'({format_seconds(seg.duration)})</title></line>')
+        else:
+            src = canvas.row(seg.rank)
+            dst = canvas.row(seg.dst_rank)
+            if src is None or dst is None:
+                continue
+            parts.append(
+                f'<line x1="{canvas.clamp_x(seg.start):.2f}" '
+                f'y1="{src.y_bottom + 2.5:.2f}" '
+                f'x2="{canvas.clamp_x(seg.end):.2f}" '
+                f'y2="{dst.y_bottom + 2.5:.2f}" stroke="{CRITICAL}" '
+                f'stroke-width="2.2" stroke-dasharray="5,3">'
+                f'<title>critical path: {escape(seg.label)}</title></line>')
+    parts.append("</g>")
+    return "\n".join(parts)
+
+
+def _legend_panel(view: View, x0: float, total_h: float) -> str:
+    parts = [f'<text x="{x0}" y="20" fill="{AXIS}" font-weight="bold">'
+             'Legend  (count / incl / excl)</text>']
+    y = 40
+    for entry in view.legend.rows(sort_by="incl"):
+        if y > total_h - 10:
+            break
+        shape = entry.shape
+        color = rgb(entry.color)
+        if shape == "state":
+            parts.append(f'<rect x="{x0}" y="{y - 9}" width="14" height="10" '
+                         f'fill="{color}" stroke="#666"/>')
+        elif shape == "event":
+            parts.append(f'<circle cx="{x0 + 7}" cy="{y - 4}" r="4" '
+                         f'fill="{color}" stroke="#666"/>')
+        else:
+            parts.append(f'<line x1="{x0}" y1="{y - 4}" x2="{x0 + 14}" '
+                         f'y2="{y - 4}" stroke="{color}" stroke-width="1.5"/>')
+        label = (f'{entry.name}  {entry.count} / '
+                 f'{format_seconds(entry.incl)} / {format_seconds(entry.excl)}')
+        vis = "" if entry.visible else "  [hidden]"
+        parts.append(f'<text x="{x0 + 20}" y="{y}" fill="{AXIS}">'
+                     f'{escape(label + vis)}</text>')
+        y += 16
+    return "\n".join(parts)

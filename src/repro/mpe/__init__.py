@@ -1,0 +1,47 @@
+"""``repro.mpe`` — MPE-style logging over the virtual MPI substrate.
+
+Reproduces the Multi-Processing Environment facilities the paper adapts
+(Section II.A / III): state and solo-event logging with names, colours
+and 40-byte texts; send/receive records that become message arrows;
+clock synchronisation against drift; and the merge-at-finalize step
+that writes a single CLOG2 file — which is *lost* if the job aborts,
+exactly as the paper laments.
+"""
+
+from repro.mpe.api import MergeReport, MpeLogger, MpeOptions, RankLog
+from repro.mpe.clocksync import CorrectionModel, SyncPoint, sync_clocks
+from repro.mpe.clog2 import Clog2File, Clog2FormatError, read_clog2, write_clog2
+from repro.mpe.records import (
+    RECV,
+    SEND,
+    TEXT_LIMIT,
+    BareEvent,
+    EventDef,
+    MsgEvent,
+    RankName,
+    StateDef,
+    definition_key,
+)
+
+__all__ = [
+    "RECV",
+    "SEND",
+    "TEXT_LIMIT",
+    "BareEvent",
+    "Clog2File",
+    "Clog2FormatError",
+    "CorrectionModel",
+    "EventDef",
+    "MergeReport",
+    "MpeLogger",
+    "MpeOptions",
+    "MsgEvent",
+    "RankLog",
+    "RankName",
+    "StateDef",
+    "SyncPoint",
+    "definition_key",
+    "read_clog2",
+    "sync_clocks",
+    "write_clog2",
+]

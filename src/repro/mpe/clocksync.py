@@ -1,0 +1,90 @@
+"""Clock synchronisation: MPE_Log_sync_clocks.
+
+"At the program's end, MPE_Log_sync_clocks is called to synchronize or
+recalibrate all MPI clocks to minimize the effect of time drift"
+(paper Section III).  Rank clocks in the simulation really do skew
+(:mod:`repro.vmpi.clock`), so this is a genuine estimation procedure,
+not ceremony:
+
+* rank 0 ping-pongs each other rank and estimates that rank's offset as
+  ``remote_stamp - (t1 + t2) / 2`` — the classic Cristian method;
+* each call appends a :class:`SyncPoint` on every rank;
+* the merge step corrects timestamps by interpolating offsets between
+  sync points (two calls — one at init, one at finish — cancel linear
+  drift; a single call corrects constant offset only).
+
+Benchmark A2 demonstrates the causality violations (arrows arriving
+before they were sent) that appear when this step is skipped.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.vmpi.comm import INTERNAL_TAG_BASE, Communicator
+from repro.vmpi import collectives
+
+SYNC_TAG = INTERNAL_TAG_BASE + (1 << 21)
+
+
+@dataclass(frozen=True)
+class SyncPoint:
+    """One clock-sync sample on one rank."""
+
+    local_time: float  # this rank's clock when the sync ran
+    offset: float  # estimated (local - reference) at that moment
+
+
+class CorrectionModel:
+    """Maps rank-local timestamps onto the reference (rank 0) timebase."""
+
+    def __init__(self, points: list[SyncPoint]) -> None:
+        self.points = sorted(points, key=lambda p: p.local_time)
+
+    def correct(self, local_time: float) -> float:
+        pts = self.points
+        if not pts:
+            return local_time
+        if len(pts) == 1 or local_time <= pts[0].local_time:
+            return local_time - pts[0].offset
+        if local_time >= pts[-1].local_time:
+            # Extrapolate with the slope of the last segment.
+            a, b = pts[-2], pts[-1]
+        else:
+            i = bisect_right([p.local_time for p in pts], local_time)
+            a, b = pts[i - 1], pts[i]
+        span = b.local_time - a.local_time
+        if span <= 0:
+            return local_time - b.offset
+        frac = (local_time - a.local_time) / span
+        offset = a.offset + frac * (b.offset - a.offset)
+        return local_time - offset
+
+
+def sync_clocks(comm: Communicator, rounds: int = 1) -> SyncPoint:
+    """Collective over the whole communicator; returns this rank's new
+    sync point (also meant to be appended to its MPE buffer state).
+
+    ``rounds`` ping-pongs are averaged per rank to damp quantisation
+    noise from the clock resolution.
+    """
+    rank, size = comm.rank, comm.size
+    if rank == 0:
+        offsets = [0.0] * size
+        for peer in range(1, size):
+            estimate = 0.0
+            for _ in range(max(1, rounds)):
+                t1 = comm.wtime()
+                comm.send(("ping",), dest=peer, tag=SYNC_TAG)
+                remote_stamp = comm.recv(source=peer, tag=SYNC_TAG)
+                t2 = comm.wtime()
+                estimate += remote_stamp - (t1 + t2) / 2.0
+            offsets[peer] = estimate / max(1, rounds)
+    else:
+        for _ in range(max(1, rounds)):
+            comm.recv(source=0, tag=SYNC_TAG)
+            comm.send(comm.wtime(), dest=0, tag=SYNC_TAG)
+        offsets = None
+    offsets = collectives.bcast(comm, offsets, root=0)
+    return SyncPoint(local_time=comm.wtime(), offset=offsets[rank])

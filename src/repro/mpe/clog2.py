@@ -1,0 +1,194 @@
+"""CLOG2 binary file format: writer and reader.
+
+A real on-disk format, struct-packed, with a round-trippable reader —
+the paper's workflow keeps CLOG2 as an inspectable intermediate
+("diagnosing problems with the log contents", Section II.A), and so do
+we.  Layout:
+
+``header`` — magic ``CLOG2PY1``, version u16, clock resolution f64,
+rank count i32, record count u32.
+
+Each record starts with a type byte:
+
+=====  ==========  =======================================================
+byte   kind        payload
+=====  ==========  =======================================================
+0x01   StateDef    start i32, end i32, name str, color str
+0x02   EventDef    id i32, name str, color str
+0x03   BareEvent   t f64, rank i32, id i32, text str (<= 40 bytes)
+0x04   MsgEvent    t f64, rank i32, kind u8, other i32, tag i32, size i64
+0x05   RankName    rank i32, name str
+=====  ==========  =======================================================
+
+Strings are u16 length-prefixed UTF-8.  All integers little-endian.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass
+
+from repro.mpe.records import (
+    BareEvent,
+    Definition,
+    EventDef,
+    LogRecord,
+    MsgEvent,
+    RankName,
+    StateDef,
+)
+
+MAGIC = b"CLOG2PY1"
+VERSION = 1
+
+_T_STATEDEF = 0x01
+_T_EVENTDEF = 0x02
+_T_BARE = 0x03
+_T_MSG = 0x04
+_T_RANKNAME = 0x05
+
+_HDR = struct.Struct("<8sHdiI")
+_STATEDEF = struct.Struct("<ii")
+_EVENTDEF = struct.Struct("<i")
+_BARE = struct.Struct("<dii")
+_MSG = struct.Struct("<diBiiq")
+
+
+class Clog2FormatError(ValueError):
+    """The bytes do not look like a CLOG2 file we wrote."""
+
+
+def _pack_str(out: io.BufferedIOBase, s: str) -> None:
+    raw = s.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise Clog2FormatError(f"string too long for CLOG2 ({len(raw)} bytes)")
+    out.write(struct.pack("<H", len(raw)))
+    out.write(raw)
+
+
+def _unpack_str(buf: io.BufferedIOBase) -> str:
+    (n,) = struct.unpack("<H", _read_exact(buf, 2))
+    return _read_exact(buf, n).decode("utf-8")
+
+
+def _read_exact(buf: io.BufferedIOBase, n: int) -> bytes:
+    data = buf.read(n)
+    if len(data) != n:
+        raise Clog2FormatError("truncated CLOG2 file")
+    return data
+
+
+@dataclass
+class Clog2File:
+    """Parsed contents of a CLOG2 file."""
+
+    clock_resolution: float
+    num_ranks: int
+    definitions: list[Definition]
+    records: list[LogRecord]
+
+    @property
+    def states(self) -> list[StateDef]:
+        return [d for d in self.definitions if isinstance(d, StateDef)]
+
+    @property
+    def events(self) -> list[EventDef]:
+        return [d for d in self.definitions if isinstance(d, EventDef)]
+
+    @property
+    def rank_names(self) -> dict[int, str]:
+        return {d.rank: d.name for d in self.definitions
+                if isinstance(d, RankName)}
+
+
+def write_clog2(path: str, log: Clog2File) -> None:
+    """Serialise definitions + merged records to ``path``."""
+    with open(path, "wb") as fh:
+        fh.write(_HDR.pack(MAGIC, VERSION, log.clock_resolution,
+                           log.num_ranks, len(log.records)))
+        write_items(fh, log.definitions, log.records)
+
+
+def write_items(fh, definitions: list[Definition],
+                records: list[LogRecord]) -> None:
+    """Serialise a headerless definition+record stream (shared by the
+    file writer and the salvage partials)."""
+    for d in definitions:
+        if isinstance(d, StateDef):
+            fh.write(bytes([_T_STATEDEF]))
+            fh.write(_STATEDEF.pack(d.start_id, d.end_id))
+            _pack_str(fh, d.name)
+            _pack_str(fh, d.color)
+        elif isinstance(d, EventDef):
+            fh.write(bytes([_T_EVENTDEF]))
+            fh.write(_EVENTDEF.pack(d.event_id))
+            _pack_str(fh, d.name)
+            _pack_str(fh, d.color)
+        else:
+            fh.write(bytes([_T_RANKNAME]))
+            fh.write(_EVENTDEF.pack(d.rank))
+            _pack_str(fh, d.name)
+    for r in records:
+        if isinstance(r, BareEvent):
+            fh.write(bytes([_T_BARE]))
+            fh.write(_BARE.pack(r.timestamp, r.rank, r.event_id))
+            _pack_str(fh, r.text)
+        elif isinstance(r, MsgEvent):
+            fh.write(bytes([_T_MSG]))
+            fh.write(_MSG.pack(r.timestamp, r.rank, r.kind, r.other_rank,
+                               r.tag, r.size))
+        else:  # pragma: no cover - type system prevents this
+            raise Clog2FormatError(f"unknown record {r!r}")
+
+
+def read_clog2(path: str) -> Clog2File:
+    """Parse a CLOG2 file back into records (exact round-trip)."""
+    with open(path, "rb") as fh:
+        magic, version, resolution, num_ranks, nrecords = _HDR.unpack(
+            _read_exact(fh, _HDR.size))
+        if magic != MAGIC:
+            raise Clog2FormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise Clog2FormatError(f"unsupported CLOG2 version {version}")
+        definitions, records = read_items(fh)
+        if len(records) != nrecords:
+            raise Clog2FormatError(
+                f"header promised {nrecords} records, found {len(records)}")
+    return Clog2File(resolution, num_ranks, definitions, records)
+
+
+def read_items(fh) -> tuple[list[Definition], list[LogRecord]]:
+    """Parse a headerless definition+record stream until EOF."""
+    definitions: list[Definition] = []
+    records: list[LogRecord] = []
+    while True:
+        tbyte = fh.read(1)
+        if not tbyte:
+            break
+        t = tbyte[0]
+        if t == _T_STATEDEF:
+            start, end = _STATEDEF.unpack(_read_exact(fh, _STATEDEF.size))
+            name = _unpack_str(fh)
+            color = _unpack_str(fh)
+            definitions.append(StateDef(start, end, name, color))
+        elif t == _T_EVENTDEF:
+            (eid,) = _EVENTDEF.unpack(_read_exact(fh, _EVENTDEF.size))
+            name = _unpack_str(fh)
+            color = _unpack_str(fh)
+            definitions.append(EventDef(eid, name, color))
+        elif t == _T_BARE:
+            ts, rank, eid = _BARE.unpack(_read_exact(fh, _BARE.size))
+            text = _unpack_str(fh)
+            records.append(BareEvent(ts, rank, eid, text))
+        elif t == _T_RANKNAME:
+            (rank,) = _EVENTDEF.unpack(_read_exact(fh, _EVENTDEF.size))
+            name = _unpack_str(fh)
+            definitions.append(RankName(rank, name))
+        elif t == _T_MSG:
+            ts, rank, kind, other, tag, size = _MSG.unpack(
+                _read_exact(fh, _MSG.size))
+            records.append(MsgEvent(ts, rank, kind, other, tag, size))
+        else:
+            raise Clog2FormatError(f"unknown record type byte 0x{t:02x}")
+    return definitions, records

@@ -1,0 +1,91 @@
+"""CLOG2 record model.
+
+MPE's CLOG2 is a per-rank-buffered, merge-at-finalize stream of typed
+records.  This module defines the in-memory record types shared by the
+logging API (:mod:`repro.mpe.api`), the binary file format
+(:mod:`repro.mpe.clog2`), and the SLOG2 converter
+(:mod:`repro.slog2.convert`).
+
+Record kinds (mirroring the CLOG2 concepts the paper uses):
+
+* **StateDef** — declares a state (paired start/end event ids) with a
+  display name and colour.
+* **EventDef** — declares a solo event id ("bubbles").
+* **BareEvent** — one instance of an event id at a timestamp, with up to
+  40 bytes of text (Section III's limit).
+* **MsgEvent** — a send or receive half of a message arrow; matched by
+  (src, dest, tag) order during conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util.text import clamp_text
+
+TEXT_LIMIT = 40  # bytes; MPE caps optional event text (paper Section III)
+
+SEND = 0
+RECV = 1
+
+
+@dataclass(frozen=True)
+class StateDef:
+    start_id: int
+    end_id: int
+    name: str
+    color: str
+
+
+@dataclass(frozen=True)
+class EventDef:
+    event_id: int
+    name: str
+    color: str
+
+
+@dataclass(frozen=True)
+class BareEvent:
+    timestamp: float  # rank-local clock (corrected at merge time)
+    rank: int
+    event_id: int
+    text: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "text", clamp_text(self.text, TEXT_LIMIT))
+
+
+@dataclass(frozen=True)
+class MsgEvent:
+    timestamp: float
+    rank: int
+    kind: int  # SEND or RECV
+    other_rank: int
+    tag: int
+    size: int
+
+
+@dataclass(frozen=True)
+class RankName:
+    """Display name for a rank's timeline (Pilot's PI_SetName names).
+
+    An extension over historical CLOG2: the paper's popups show process
+    names, and carrying them in the log means any viewer of the file —
+    including the command-line one — can label the Y axis correctly.
+    """
+
+    rank: int
+    name: str
+
+
+LogRecord = BareEvent | MsgEvent
+Definition = StateDef | EventDef | RankName
+
+
+def definition_key(d: Definition) -> tuple:
+    """Identity key for deduplicating definitions at merge time."""
+    if isinstance(d, StateDef):
+        return ("state", d.start_id, d.end_id)
+    if isinstance(d, EventDef):
+        return ("event", d.event_id)
+    return ("rankname", d.rank)

@@ -1,0 +1,268 @@
+"""Abort-surviving MPE logs — the paper's stated future work.
+
+Section V: "we would like to solve the problem of losing the MPE
+logfile if the program aborts ... it would be better if the MPE log
+could be finalized in all cases, and this will be a subject of future
+efforts."
+
+The root cause (Section III.B) is that MPE's merge *needs MPI
+messaging*, which ``MPI_Abort`` destroys.  The fix implemented here
+sidesteps messaging entirely:
+
+* each rank periodically **checkpoints its buffer to a per-rank partial
+  file** (rank-local disk I/O needs no messages — the same property
+  that makes Pilot's native log abort-proof);
+* on abort, whatever was checkpointed survives;
+* an offline tool, :func:`merge_partials`, later collects the partial
+  files into one CLOG2 — including timestamp correction from whatever
+  sync points were checkpointed.
+
+The cost is the paper's trade-off in reverse: buffering stays cheap,
+but every checkpoint pays a disk write during the run (measured in
+benchmark A5).
+
+Two partial-file layouts exist:
+
+* **rewrite mode** (:func:`write_partial`) — the whole buffer is
+  re-serialised every checkpoint.  Simple and atomic, but O(buffer)
+  per checkpoint: benchmark A5b measures the quadratic blow-up on
+  communication-bound runs.
+* **append mode** (:class:`AppendPartialWriter`) — sync points and new
+  records are appended as framed chunks, O(new records) per
+  checkpoint.  A torn final chunk (the abort can land mid-write) is
+  detected by its length frame and dropped.
+
+:func:`read_partial` and :func:`merge_partials` accept both layouts.
+
+Rewrite layout: magic ``CLOGPART``, sync section, one CLOG2 body.
+Append layout: magic ``CLOGPARA``, then framed chunks — each chunk is
+``u8 kind ('S' sync point | 'R' record block)``, ``u32 length``,
+payload (sync: packed floats; records: a headerless CLOG2 record
+stream).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import struct
+from dataclasses import dataclass
+
+from repro.mpe.api import RankLog
+from repro.mpe.clocksync import CorrectionModel, SyncPoint
+from repro.mpe.clog2 import (
+    Clog2File,
+    Clog2FormatError,
+    read_clog2,
+    write_clog2,
+)
+from repro.mpe.records import (
+    BareEvent,
+    Definition,
+    LogRecord,
+    MsgEvent,
+    definition_key,
+)
+
+PARTIAL_MAGIC = b"CLOGPART"
+APPEND_MAGIC = b"CLOGPARA"
+_PHDR = struct.Struct("<8sII")  # magic, rank, number of sync points
+_AHDR = struct.Struct("<8sIdI")  # magic, rank, clock resolution, reserved
+_CHUNK = struct.Struct("<BI")  # kind, payload length
+_SYNC = struct.Struct("<dd")
+
+_K_SYNC = ord("S")
+_K_RECORDS = ord("R")
+
+
+def partial_path(base_path: str, rank: int) -> str:
+    """Naming convention for per-rank partials of ``base_path``."""
+    return f"{base_path}.rank{rank:04d}.part"
+
+
+def write_partial(path: str, rank: int, log: RankLog,
+                  clock_resolution: float) -> None:
+    """Checkpoint one rank's buffer (atomic via rename)."""
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(_PHDR.pack(PARTIAL_MAGIC, rank, len(log.sync_points)))
+        for p in log.sync_points:
+            fh.write(_SYNC.pack(p.local_time, p.offset))
+    # Reuse the CLOG2 serialiser for the payload, appended after the
+    # partial header.
+    body = path + ".body"
+    write_clog2(body, Clog2File(clock_resolution, rank + 1,
+                                list(log.definitions), list(log.records)))
+    with open(tmp, "ab") as fh, open(body, "rb") as src:
+        fh.write(src.read())
+    os.remove(body)
+    os.replace(tmp, path)
+
+
+class AppendPartialWriter:
+    """O(new records) checkpointing: framed chunks appended to one file.
+
+    Create once per rank; call :meth:`checkpoint` with the rank's
+    :class:`~repro.mpe.api.RankLog` whenever enough new records have
+    accumulated.  Each call appends only what is new since the last
+    call.  A torn final chunk (abort mid-write) is detected at read
+    time by its length frame and dropped.
+    """
+
+    def __init__(self, path: str, rank: int, clock_resolution: float) -> None:
+        self.path = path
+        self.rank = rank
+        self._records_written = 0
+        self._syncs_written = 0
+        with open(path, "wb") as fh:
+            fh.write(_AHDR.pack(APPEND_MAGIC, rank, clock_resolution, 0))
+
+    def checkpoint(self, log: RankLog) -> int:
+        """Append new sync points and records; returns records appended."""
+        import io
+
+        from repro.mpe.clog2 import write_items
+
+        new_records = log.records[self._records_written:]
+        new_syncs = log.sync_points[self._syncs_written:]
+        if not new_records and not new_syncs:
+            return 0
+        with open(self.path, "ab") as fh:
+            for p in new_syncs:
+                fh.write(_CHUNK.pack(_K_SYNC, _SYNC.size))
+                fh.write(_SYNC.pack(p.local_time, p.offset))
+            if new_records or self._records_written == 0:
+                buf = io.BytesIO()
+                # Definitions ride in the first record chunk (they are
+                # complete before any event is logged).
+                defs = log.definitions if self._records_written == 0 else []
+                write_items(buf, defs, new_records)
+                payload = buf.getvalue()
+                fh.write(_CHUNK.pack(_K_RECORDS, len(payload)))
+                fh.write(payload)
+        self._records_written = len(log.records)
+        self._syncs_written = len(log.sync_points)
+        return len(new_records)
+
+
+@dataclass
+class Partial:
+    rank: int
+    sync_points: list[SyncPoint]
+    definitions: list[Definition]
+    records: list[LogRecord]
+    clock_resolution: float
+
+
+def _read_append_partial(path: str) -> Partial:
+    import io
+
+    from repro.mpe.clog2 import read_items
+
+    with open(path, "rb") as fh:
+        head = fh.read(_AHDR.size)
+        magic, rank, resolution, _ = _AHDR.unpack(head)
+        sync_points: list[SyncPoint] = []
+        definitions: list[Definition] = []
+        records: list[LogRecord] = []
+        while True:
+            frame = fh.read(_CHUNK.size)
+            if len(frame) < _CHUNK.size:
+                break  # clean EOF or torn frame header: stop here
+            kind, length = _CHUNK.unpack(frame)
+            payload = fh.read(length)
+            if len(payload) < length:
+                break  # torn chunk from an abort mid-write: drop it
+            if kind == _K_SYNC:
+                local_time, offset = _SYNC.unpack(payload)
+                sync_points.append(SyncPoint(local_time, offset))
+            elif kind == _K_RECORDS:
+                defs, recs = read_items(io.BytesIO(payload))
+                definitions.extend(defs)
+                records.extend(recs)
+            else:
+                raise Clog2FormatError(
+                    f"unknown partial chunk kind 0x{kind:02x}")
+    return Partial(rank, sync_points, definitions, records, resolution)
+
+
+def read_partial(path: str) -> Partial:
+    """Parse either partial layout (rewrite or append mode)."""
+    with open(path, "rb") as fh:
+        head = fh.read(_PHDR.size)
+        if len(head) != _PHDR.size:
+            raise Clog2FormatError("truncated partial header")
+        magic, rank, nsync = _PHDR.unpack(head)
+        if magic == APPEND_MAGIC:
+            return _read_append_partial(path)
+        if magic != PARTIAL_MAGIC:
+            raise Clog2FormatError(f"bad partial magic {magic!r}")
+        points = []
+        for _ in range(nsync):
+            local_time, offset = _SYNC.unpack(fh.read(_SYNC.size))
+            points.append(SyncPoint(local_time, offset))
+        rest = fh.read()
+    body = path + ".read"
+    try:
+        with open(body, "wb") as fh:
+            fh.write(rest)
+        clog = read_clog2(body)
+    finally:
+        if os.path.exists(body):
+            os.remove(body)
+    return Partial(rank, points, clog.definitions, clog.records,
+                   clog.clock_resolution)
+
+
+def find_partials(base_path: str) -> list[str]:
+    return sorted(glob.glob(f"{base_path}.rank[0-9][0-9][0-9][0-9].part"))
+
+
+def merge_partials(base_path: str, out_path: str | None = None) -> Clog2File:
+    """Post-mortem merge of per-rank partials into one CLOG2.
+
+    Equivalent to what ``MPE_Finish_log`` would have produced up to the
+    last checkpoint before the abort.  Writes ``out_path`` (default:
+    the base path itself) and returns the merged log.
+    """
+    paths = find_partials(base_path)
+    if not paths:
+        raise FileNotFoundError(
+            f"no partial logs found for {base_path!r} "
+            f"(pattern {base_path}.rankNNNN.part)")
+    partials = [read_partial(p) for p in paths]
+    definitions: list[Definition] = []
+    seen: set[tuple] = set()
+    merged: list[tuple[float, int, LogRecord]] = []
+    num_ranks = 0
+    resolution = partials[0].clock_resolution
+    for part in partials:
+        num_ranks = max(num_ranks, part.rank + 1)
+        for d in part.definitions:
+            key = definition_key(d)
+            if key not in seen:
+                seen.add(key)
+                definitions.append(d)
+        model = CorrectionModel(part.sync_points)
+        for rec in part.records:
+            t = model.correct(rec.timestamp)
+            if isinstance(rec, BareEvent):
+                fixed: LogRecord = BareEvent(t, rec.rank, rec.event_id, rec.text)
+            else:
+                fixed = MsgEvent(t, rec.rank, rec.kind, rec.other_rank,
+                                 rec.tag, rec.size)
+            merged.append((t, part.rank, fixed))
+    merged.sort(key=lambda item: (item[0], item[1]))
+    log = Clog2File(resolution, num_ranks, definitions,
+                    [rec for _, _, rec in merged])
+    write_clog2(out_path or base_path, log)
+    return log
+
+
+def cleanup_partials(base_path: str) -> int:
+    """Remove per-rank partials (after a successful normal finalize)."""
+    removed = 0
+    for path in find_partials(base_path):
+        os.remove(path)
+        removed += 1
+    return removed

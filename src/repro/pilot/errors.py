@@ -1,0 +1,65 @@
+"""Pilot error machinery: check levels, diagnostics, and the exceptions
+that implement Pilot's "elaborate error-detection" (paper Section I).
+
+Pilot prints diagnostics "that pinpoint the problem right to the line of
+source code" and then aborts the whole job.  This module reproduces
+that: a failed check raises :class:`PilotError` carrying a
+:class:`Diagnostic`; the API layer records the diagnostic on the run and
+calls ``PI_Abort`` semantics underneath.
+
+Check levels (command-line selectable, matching Pilot V3.0's levels):
+
+* **0** — no checking.
+* **1** — API abuse: wrong endpoint uses a channel, calls out of phase,
+  bundle misuse, too many processes, bad arguments.  (Default.)
+* **2** — level 1 plus reader/writer format-string match verification.
+* **3** — level 2 plus argument/buffer validity ("pointer arguments
+  seem to be valid" in C; here: strict type/shape/dtype validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.callsite import CallSite
+
+CHECK_NONE = 0
+CHECK_API = 1
+CHECK_FORMATS = 2
+CHECK_POINTERS = 3
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One user-facing error report."""
+
+    code: str  # short stable identifier, e.g. "WRONG_ENDPOINT"
+    message: str
+    callsite: CallSite | None
+    rank: int
+
+    def render(self) -> str:
+        where = f" at {self.callsite}" if self.callsite else ""
+        return f"*** PILOT ERROR [{self.code}] on rank {self.rank}{where}: {self.message}"
+
+
+class PilotError(Exception):
+    """A Pilot API check failed; carries the printed diagnostic."""
+
+    def __init__(self, diagnostic: Diagnostic) -> None:
+        self.diagnostic = diagnostic
+        super().__init__(diagnostic.render())
+
+
+@dataclass
+class DiagnosticLog:
+    """Collected diagnostics for one run (tests read these)."""
+
+    entries: list[Diagnostic] = field(default_factory=list)
+
+    def record(self, diag: Diagnostic) -> None:
+        self.entries.append(diag)
+
+    @property
+    def codes(self) -> list[str]:
+        return [d.code for d in self.entries]

@@ -1,0 +1,117 @@
+"""Pilot's CSP-flavoured configuration objects: processes, channels,
+bundles.
+
+These are created during the configuration phase (between PI_Configure
+and PI_StartAll) and are immutable afterwards apart from their display
+names: the paper notes programmers may call PI_SetName "precisely for
+the purpose of logging and debugging" (Section III.B), and the default
+names — ``P3``, ``C3``, ``B4`` — are what the popups show otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+
+class BundleUsage(enum.Enum):
+    """What collective a bundle may be used with (PI_CreateBundle arg)."""
+
+    BROADCAST = "broadcast"
+    SCATTER = "scatter"
+    GATHER = "gather"
+    REDUCE = "reduce"
+    SELECT = "select"
+
+    @property
+    def common_end_writes(self) -> bool:
+        """True if the common endpoint is the writing side."""
+        return self in (BundleUsage.BROADCAST, BundleUsage.SCATTER)
+
+
+class PI_PROCESS:
+    """A Pilot process: a work function bound to an MPI rank.
+
+    ``PI_MAIN`` is the distinguished rank-0 process; every process a
+    program creates gets the next free rank.  The ``index`` argument is
+    displayed in log popups because master/worker codes distinguish
+    worker instances only by it (paper Section III.B).
+    """
+
+    def __init__(self, rank: int, work: Callable[[int, Any], int] | None,
+                 index: int = 0, arg2: Any = None) -> None:
+        self.rank = rank
+        self.work = work
+        self.index = index
+        self.arg2 = arg2
+        self.name = f"P{rank}"
+
+    @property
+    def is_main(self) -> bool:
+        return self.rank == 0
+
+    def __repr__(self) -> str:
+        return f"<PI_PROCESS {self.name} rank={self.rank}>"
+
+
+# The singleton handle user code passes as a channel endpoint meaning
+# "the main process".  Resolved to the rank-0 PI_PROCESS at create time.
+class _MainHandle:
+    def __repr__(self) -> str:
+        return "PI_MAIN"
+
+
+PI_MAIN = _MainHandle()
+
+
+class PI_CHANNEL:
+    """A one-way point-to-point channel between two Pilot processes.
+
+    The channel id doubles as the MPI tag its messages travel under,
+    which is how the send/receive arrows pair up in the log.
+    """
+
+    def __init__(self, cid: int, writer: PI_PROCESS, reader: PI_PROCESS) -> None:
+        self.cid = cid
+        self.writer = writer
+        self.reader = reader
+        self.name = f"C{cid}"
+
+    @property
+    def tag(self) -> int:
+        return self.cid
+
+    def __repr__(self) -> str:
+        return (f"<PI_CHANNEL {self.name} {self.writer.name}->"
+                f"{self.reader.name}>")
+
+
+class PI_BUNDLE:
+    """A set of channels sharing a common endpoint, for collectives.
+
+    Pilot does not support all-to-all communication (paper footnote 2):
+    every bundle has exactly one common process on one side and the
+    per-channel processes on the other.
+    """
+
+    def __init__(self, bid: int, usage: BundleUsage,
+                 channels: list[PI_CHANNEL], common: PI_PROCESS) -> None:
+        self.bid = bid
+        self.usage = usage
+        self.channels = list(channels)
+        self.common = common
+        self.name = f"B{bid}"
+
+    @property
+    def size(self) -> int:
+        return len(self.channels)
+
+    def leaves(self) -> list[PI_PROCESS]:
+        """The non-common endpoint of each channel, in channel order."""
+        if self.usage.common_end_writes:
+            return [c.reader for c in self.channels]
+        return [c.writer for c in self.channels]
+
+    def __repr__(self) -> str:
+        return (f"<PI_BUNDLE {self.name} {self.usage.value} x{self.size} "
+                f"common={self.common.name}>")

@@ -1,0 +1,129 @@
+"""Launching Pilot programs on the virtual cluster.
+
+``run_pilot(main, nprocs, argv)`` is this repo's ``mpiexec -n nprocs
+./a.out argv...``: every rank executes ``main(argv)``, which uses the
+PI_* API exactly as the paper's C listings do (Fig. 3's lab2 translates
+line for line).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.pilot.errors import Diagnostic
+from repro.pilot.program import (
+    PilotCosts,
+    PilotOptions,
+    PilotRun,
+    _RankDone,
+    parse_argv,
+    set_current_run,
+)
+from repro.pilot.service import ServiceFeedHook
+from repro.vmpi.clock import ClockSkew
+from repro.vmpi.comm import NetworkModel
+from repro.vmpi.engine import RunResult
+from repro.vmpi.world import World
+
+
+@dataclass
+class PilotResult:
+    """Outcome of a Pilot job, with the measurements the paper reports."""
+
+    run: PilotRun
+    vmpi: RunResult
+
+    @property
+    def ok(self) -> bool:
+        return self.vmpi.aborted is None
+
+    @property
+    def aborted(self):
+        return self.vmpi.aborted
+
+    @property
+    def diagnostics(self):
+        return self.run.diagnostics
+
+    @property
+    def total_time(self) -> float:
+        """Virtual seconds from launch to the last event (wrap-up included)."""
+        return self.vmpi.finished_at
+
+    @property
+    def exec_end_time(self) -> float:
+        """When the execution phase ended (last rank's work done)."""
+        if not self.run.exec_ended:
+            return self.vmpi.finished_at
+        return max(self.run.exec_ended.values())
+
+    @property
+    def wrapup_time(self) -> float:
+        """Log collection/merge cost paid at termination (Section III.E:
+        "MPE pays a cost at program termination to collect, merge, and
+        output the log")."""
+        return max(0.0, self.total_time - self.exec_end_time)
+
+    @property
+    def native_log_path(self) -> str | None:
+        path = self.run.options.native_log_path
+        return path if "c" in self.run.options.services and os.path.exists(path) else None
+
+    @property
+    def mpe_log_path(self) -> str | None:
+        path = self.run.options.mpe_log_path
+        return path if os.path.exists(path) else None
+
+
+def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
+              argv: list[str] | tuple[str, ...] = (), *,
+              options: PilotOptions | None = None,
+              costs: PilotCosts | None = None,
+              network: NetworkModel | None = None,
+              seed: int = 0,
+              clock_resolution: float = 1e-8,
+              skews: dict[int, ClockSkew] | None = None,
+              mpe_options: "Any | None" = None,
+              extra_hooks: list | None = None) -> PilotResult:
+    """Run ``main`` on ``nprocs`` virtual ranks under Pilot.
+
+    ``argv`` may carry Pilot's own options (``-pisvc=cdj``,
+    ``-picheck=N``); they are stripped before ``main`` sees the rest,
+    as PI_Configure does in C.
+    """
+    opts, app_argv = parse_argv(argv, options)
+    world = World(nprocs, network=network, seed=seed,
+                  clock_resolution=clock_resolution, skews=skews)
+    run = PilotRun(world.comm, opts, costs)
+    run.app_argv = app_argv
+
+    if opts.needs_service_rank:
+        run.hooks.add(ServiceFeedHook(run))
+    if opts.mpe_requested:
+        if opts.mpe_available:
+            # Imported lazily: pilotlog builds on pilot, not vice versa.
+            from repro.pilotlog.integration import JumpshotLoggerHook
+
+            run.hooks.add(JumpshotLoggerHook(run, mpe_options))
+        else:
+            # Paper Section III.C: requesting -pisvc=j without MPE built
+            # in produces a warning, not an error.
+            print("PILOT WARNING: logging for Jumpshot is not available "
+                  "(Pilot was built without MPE)", file=sys.stderr)
+    for hook in extra_hooks or []:
+        run.hooks.add(hook)
+
+    def rank_body(comm) -> Any:
+        set_current_run(run)
+        try:
+            return main(list(app_argv))
+        except _RankDone as done:
+            return done.status
+        finally:
+            set_current_run(None)
+
+    vres = world.run(rank_body)
+    return PilotResult(run, vres)

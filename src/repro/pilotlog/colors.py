@@ -1,0 +1,64 @@
+"""The colour plan (paper Section III.A).
+
+Colours are "not used in an ad hoc, arbitrary fashion": Pilot functions
+split into four categories — output, input, administrative, other — and
+
+1. functions in the same category get similar colours;
+2. within a category, simple channel I/O uses *light* shades and
+   collective I/O *dark* shades of the same colours.
+
+Red is the input theme ("red" ~ "read"; reading always blocks — red
+means stop) and green the output theme (green means go; a write wakes a
+waiting reader).  PI_Read/PI_Write are red/green; PI_Broadcast and
+PI_Gather are ForestGreen and IndianRed, per the paper's own examples.
+
+In C this lives in a header file users edit and recompile; here it is a
+:class:`ColorScheme` whose defaults can be overridden per run — same
+customisation point, no compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# Colour names resolve to RGB in the viewer; re-exported here so scheme
+# authors can see what names are available.
+from repro.jumpshot.palette import PALETTE, rgb  # noqa: F401  (re-export)
+
+
+@dataclass(frozen=True)
+class ColorScheme:
+    """Default colours per logged Pilot construct; override via ``overrides``.
+
+    Keys are state/event display names (``"PI_Read"``, ``"Compute"``,
+    ``"PI_Configure"``, bubbles use their owning call's ``"<name> msg"``).
+    """
+
+    overrides: dict[str, str] = field(default_factory=dict)
+
+    DEFAULTS = {
+        # input category: red theme; light = channel, dark = collective
+        "PI_Read": "red",
+        "PI_Gather": "IndianRed",
+        "PI_Reduce": "FireBrick",
+        "PI_Select": "OrangeRed",
+        # output category: green theme
+        "PI_Write": "green",
+        "PI_Broadcast": "ForestGreen",
+        "PI_Scatter": "SeaGreen",
+        # administrative states
+        "PI_Configure": "bisque",
+        "Compute": "gray",
+        # bubbles and arrows
+        "bubble": "yellow",
+        "arrow": "white",
+    }
+
+    def color_of(self, name: str) -> str:
+        if name in self.overrides:
+            return self.overrides[name]
+        if name in self.DEFAULTS:
+            return self.DEFAULTS[name]
+        if name.endswith(" msg") or name.startswith("PI_"):
+            return self.overrides.get("bubble", self.DEFAULTS["bubble"])
+        return "gray"

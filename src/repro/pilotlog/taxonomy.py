@@ -1,0 +1,101 @@
+"""The call taxonomy (paper Sections III.A-III.B).
+
+Every Pilot function is classified as **output**, **input**,
+**administrative**, or **other** (not worth displaying: one-time
+configuration work already summarised by the PI_Configure state, or
+utilities with no communication implications).
+
+For each displayed construct the taxonomy says *how* it is drawn:
+
+* a **state** rectangle from call entry to return (all I/O calls, plus
+  the PI_Configure and Compute phase states);
+* milestone **bubbles** inside I/O states marking message arrivals /
+  dispatches (one per wire message — ``"%d %100f"`` shows two);
+* **solo bubbles** for the optional never-blocking utilities
+  (PI_ChannelHasData, PI_TrySelect, PI_Log, PI_StartTime, PI_EndTime)
+  with their return values in the popup;
+* PI_Select is the documented exception: a state (it blocks like
+  PI_Read) but with *no* arrival bubble, since no message is consumed.
+
+PI_Abort is deliberately absent: the paper found no way to log it —
+MPI_Abort destroys the messaging MPE needs to merge the log.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Category(enum.Enum):
+    OUTPUT = "output"
+    INPUT = "input"
+    ADMIN = "administrative"
+    OTHER = "other"
+
+
+class DrawStyle(enum.Enum):
+    STATE = "state"  # rectangle with duration
+    SOLO = "solo"  # lone bubble
+    NONE = "none"  # not displayed
+
+
+@dataclass(frozen=True)
+class CallSpec:
+    name: str
+    category: Category
+    style: DrawStyle
+    collective: bool = False  # dark shade + fan-out arrows
+    arrival_bubbles: bool = True  # PI_Select sets this False
+
+
+# Order matters: event-id allocation walks this list identically on all
+# ranks, which is what keeps MPE ids consistent (see MpeLogger docs).
+CALL_SPECS: tuple[CallSpec, ...] = (
+    # phase states
+    CallSpec("PI_Configure", Category.ADMIN, DrawStyle.STATE),
+    CallSpec("Compute", Category.ADMIN, DrawStyle.STATE),
+    # point-to-point I/O
+    CallSpec("PI_Write", Category.OUTPUT, DrawStyle.STATE),
+    CallSpec("PI_Read", Category.INPUT, DrawStyle.STATE),
+    # collective I/O (dark shades, N arrows per bundle)
+    CallSpec("PI_Broadcast", Category.OUTPUT, DrawStyle.STATE, collective=True),
+    CallSpec("PI_Scatter", Category.OUTPUT, DrawStyle.STATE, collective=True),
+    CallSpec("PI_Gather", Category.INPUT, DrawStyle.STATE, collective=True),
+    CallSpec("PI_Reduce", Category.INPUT, DrawStyle.STATE, collective=True),
+    # the exception: blocks like a read, consumes nothing
+    CallSpec("PI_Select", Category.INPUT, DrawStyle.STATE, collective=True,
+             arrival_bubbles=False),
+    # optional utilities: solo bubbles with return values
+    CallSpec("PI_ChannelHasData", Category.ADMIN, DrawStyle.SOLO),
+    CallSpec("PI_TrySelect", Category.ADMIN, DrawStyle.SOLO),
+    CallSpec("PI_Log", Category.ADMIN, DrawStyle.SOLO),
+    CallSpec("PI_StartTime", Category.ADMIN, DrawStyle.SOLO),
+    CallSpec("PI_EndTime", Category.ADMIN, DrawStyle.SOLO),
+    # not displayed
+    CallSpec("PI_CreateProcess", Category.OTHER, DrawStyle.NONE),
+    CallSpec("PI_CreateChannel", Category.OTHER, DrawStyle.NONE),
+    CallSpec("PI_CreateBundle", Category.OTHER, DrawStyle.NONE),
+    CallSpec("PI_SetName", Category.OTHER, DrawStyle.NONE),
+    CallSpec("PI_GetName", Category.OTHER, DrawStyle.NONE),
+    CallSpec("PI_IsLogging", Category.OTHER, DrawStyle.NONE),
+    CallSpec("PI_StartAll", Category.OTHER, DrawStyle.NONE),
+    CallSpec("PI_StopMain", Category.OTHER, DrawStyle.NONE),
+    CallSpec("PI_Abort", Category.OTHER, DrawStyle.NONE),
+)
+
+SPEC_BY_NAME: dict[str, CallSpec] = {s.name: s for s in CALL_SPECS}
+
+
+def spec_for(name: str) -> CallSpec:
+    """Spec for a call name; unknown names default to not-displayed."""
+    return SPEC_BY_NAME.get(
+        name, CallSpec(name, Category.OTHER, DrawStyle.NONE))
+
+
+def state_specs() -> list[CallSpec]:
+    return [s for s in CALL_SPECS if s.style is DrawStyle.STATE]
+
+
+def solo_specs() -> list[CallSpec]:
+    return [s for s in CALL_SPECS if s.style is DrawStyle.SOLO]

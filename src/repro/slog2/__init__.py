@@ -1,0 +1,59 @@
+"""``repro.slog2`` — the SLOG2 drawable format and the CLOG2 converter.
+
+The paper's preferred workflow (Section II.A) is CLOG2 first, then an
+explicit conversion to SLOG2 — "useful for diagnosing problems with the
+log contents ... and adjusting conversion parameters that affect the
+subsequent display such as the 'frame size'".  This package provides
+exactly that: :func:`convert` with a :class:`ConversionReport` (Equal
+Drawables, causality violations, unmatched halves), the byte-budgeted
+:class:`FrameTree` with zoom previews, legend statistics, and a binary
+``.slog2`` container.
+"""
+
+from repro.slog2.convert import ARROW_CATEGORY_NAME, ConversionReport, convert
+from repro.slog2.critical_path import CriticalPath, PathSegment, critical_path
+from repro.slog2.diff import CategoryDelta, LogDiff, diff_logs
+from repro.slog2.file import Slog2FormatError, read_slog2, write_slog2
+from repro.slog2.frames import DEFAULT_FRAME_SIZE, FrameNode, FrameTree, Preview
+from repro.slog2.model import (
+    Arrow,
+    Drawable,
+    Event,
+    SlogCategory,
+    Slog2Doc,
+    State,
+    drawable_span,
+)
+from repro.slog2.stats import CategoryStats, compute_stats, sorted_stats
+from repro.slog2.tracing import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "ARROW_CATEGORY_NAME",
+    "Arrow",
+    "CategoryStats",
+    "CategoryDelta",
+    "ConversionReport",
+    "CriticalPath",
+    "LogDiff",
+    "DEFAULT_FRAME_SIZE",
+    "Drawable",
+    "PathSegment",
+    "Event",
+    "FrameNode",
+    "FrameTree",
+    "Preview",
+    "SlogCategory",
+    "Slog2Doc",
+    "Slog2FormatError",
+    "State",
+    "compute_stats",
+    "convert",
+    "critical_path",
+    "diff_logs",
+    "drawable_span",
+    "read_slog2",
+    "sorted_stats",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_slog2",
+]

@@ -1,0 +1,193 @@
+"""CLOG2 -> SLOG2 conversion (the ``clog2TOslog2`` step).
+
+The paper deliberately keeps this an explicit, separate step
+(Section II.A): it is where log problems surface and where display-
+affecting parameters (frame size) are chosen.  This converter:
+
+* pairs state start/end events per rank using a nesting stack;
+* pairs send/receive halves into arrows, FIFO per (src, dst, tag);
+* turns remaining bare events into bubbles;
+* detects **"Equal Drawables"** — two or more objects of the same
+  category with identical start and end times, the warning the paper
+  traces to MPI_Wtime's limited resolution (Section III.C);
+* detects causality violations (receive stamped before send), the
+  visible symptom of unsynchronised clocks that
+  ``MPE_Log_sync_clocks`` exists to prevent.
+
+Everything suspicious lands in the returned :class:`ConversionReport`
+rather than raising: a "non well-behaved" program should still convert,
+as Jumpshot's own converter does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict, deque
+from dataclasses import dataclass, field
+
+from repro.mpe.clog2 import Clog2File
+from repro.mpe.records import RECV, SEND, BareEvent, MsgEvent
+from repro.slog2.model import Arrow, Event, SlogCategory, Slog2Doc, State
+
+ARROW_CATEGORY_NAME = "message"
+ARROW_COLOR = "white"
+
+
+@dataclass
+class ConversionReport:
+    """Everything the converter wants a human to know."""
+
+    equal_drawables: list[str] = field(default_factory=list)
+    causality_violations: list[str] = field(default_factory=list)
+    unmatched_sends: int = 0
+    unmatched_receives: int = 0
+    dangling_states: int = 0
+    improper_nesting: int = 0
+    unknown_event_ids: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return (not self.equal_drawables and not self.causality_violations
+                and self.unmatched_sends == 0 and self.unmatched_receives == 0
+                and self.dangling_states == 0 and self.improper_nesting == 0
+                and self.unknown_event_ids == 0)
+
+    def summary(self) -> str:
+        parts = [
+            f"equal-drawables={len(self.equal_drawables)}",
+            f"causality={len(self.causality_violations)}",
+            f"unmatched-sends={self.unmatched_sends}",
+            f"unmatched-recvs={self.unmatched_receives}",
+            f"dangling-states={self.dangling_states}",
+            f"improper-nesting={self.improper_nesting}",
+            f"unknown-ids={self.unknown_event_ids}",
+        ]
+        return "clog2TOslog2: " + " ".join(parts)
+
+
+def convert(clog: Clog2File,
+            rank_names: dict[int, str] | None = None) -> tuple[Slog2Doc, ConversionReport]:
+    """Convert a parsed CLOG2 file into an SLOG2 document."""
+    report = ConversionReport()
+
+    # -- category tables ---------------------------------------------------
+    categories: list[SlogCategory] = []
+    start_of: dict[int, int] = {}  # start event id -> category index
+    end_of: dict[int, int] = {}
+    event_cat: dict[int, int] = {}
+    for d in clog.states:
+        idx = len(categories)
+        categories.append(SlogCategory(idx, d.name, d.color, "state"))
+        start_of[d.start_id] = idx
+        end_of[d.end_id] = idx
+    for d in clog.events:
+        idx = len(categories)
+        categories.append(SlogCategory(idx, d.name, d.color, "event"))
+        event_cat[d.event_id] = idx
+    arrow_idx = len(categories)
+    categories.append(SlogCategory(arrow_idx, ARROW_CATEGORY_NAME,
+                                   ARROW_COLOR, "arrow"))
+
+    # -- walk records --------------------------------------------------------
+    states: list[State] = []
+    events: list[Event] = []
+    arrows: list[Arrow] = []
+    stacks: dict[int, list[tuple[int, float, str]]] = defaultdict(list)
+    pending_sends: dict[tuple[int, int, int], deque[MsgEvent]] = defaultdict(deque)
+    pending_recvs: dict[tuple[int, int, int], deque[MsgEvent]] = defaultdict(deque)
+
+    for rec in clog.records:
+        if isinstance(rec, BareEvent):
+            if rec.event_id in start_of:
+                stacks[rec.rank].append((start_of[rec.event_id], rec.timestamp,
+                                         rec.text))
+            elif rec.event_id in end_of:
+                _close_state(rec, end_of[rec.event_id], stacks[rec.rank],
+                             states, report)
+            elif rec.event_id in event_cat:
+                events.append(Event(event_cat[rec.event_id], rec.rank,
+                                    rec.timestamp, rec.text))
+            else:
+                report.unknown_event_ids += 1
+        elif isinstance(rec, MsgEvent):
+            if rec.kind == SEND:
+                key = (rec.rank, rec.other_rank, rec.tag)
+                waiting = pending_recvs[key]
+                if waiting:
+                    recv = waiting.popleft()
+                    _emit_arrow(rec, recv, arrow_idx, arrows, report)
+                else:
+                    pending_sends[key].append(rec)
+            elif rec.kind == RECV:
+                key = (rec.other_rank, rec.rank, rec.tag)
+                waiting = pending_sends[key]
+                if waiting:
+                    send = waiting.popleft()
+                    _emit_arrow(send, rec, arrow_idx, arrows, report)
+                else:
+                    pending_recvs[key].append(rec)
+
+    for stack in stacks.values():
+        report.dangling_states += len(stack)
+    report.unmatched_sends = sum(len(q) for q in pending_sends.values())
+    report.unmatched_receives = sum(len(q) for q in pending_recvs.values())
+
+    # Names carried inside the log file, overridable by the caller.
+    names = dict(clog.rank_names)
+    names.update(rank_names or {})
+    doc = Slog2Doc(categories=categories, states=states, events=events,
+                   arrows=arrows, num_ranks=clog.num_ranks,
+                   clock_resolution=clog.clock_resolution,
+                   rank_names=names)
+    _detect_equal_drawables(doc, report)
+    return doc, report
+
+
+def _close_state(rec: BareEvent, cat: int,
+                 stack: list[tuple[int, float, str]], states: list[State],
+                 report: ConversionReport) -> None:
+    """Pop the matching start; tolerate (and count) improper nesting."""
+    for i in range(len(stack) - 1, -1, -1):
+        if stack[i][0] == cat:
+            if i != len(stack) - 1:
+                report.improper_nesting += 1
+            _, start_t, start_text = stack.pop(i)
+            states.append(State(cat, rec.rank, start_t, rec.timestamp,
+                                depth=i, start_text=start_text,
+                                end_text=rec.text))
+            return
+    # End without a start: count as improper nesting, drop the record.
+    report.improper_nesting += 1
+
+
+def _emit_arrow(send: MsgEvent, recv: MsgEvent, cat: int,
+                arrows: list[Arrow], report: ConversionReport) -> None:
+    arrow = Arrow(cat, send.rank, recv.rank, send.timestamp, recv.timestamp,
+                  send.tag, send.size)
+    if recv.timestamp < send.timestamp:
+        report.causality_violations.append(
+            f"arrow {send.rank}->{recv.rank} tag={send.tag} received at "
+            f"{recv.timestamp:.9f} before sent at {send.timestamp:.9f}")
+    arrows.append(arrow)
+
+
+def _detect_equal_drawables(doc: Slog2Doc, report: ConversionReport) -> None:
+    """Flag same-category drawables with identical start and end times."""
+    state_keys = Counter((s.category, s.rank, s.start, s.end) for s in doc.states)
+    event_keys = Counter((e.category, e.rank, e.time) for e in doc.events)
+    arrow_keys = Counter((a.src_rank, a.dst_rank, a.start, a.end)
+                         for a in doc.arrows)
+    for (cat, rank, start, end), n in sorted(state_keys.items()):
+        if n > 1:
+            name = doc.categories[cat].name
+            report.equal_drawables.append(
+                f"{n} equal '{name}' states on rank {rank} at "
+                f"[{start:.9f}, {end:.9f}]")
+    for (cat, rank, t), n in sorted(event_keys.items()):
+        if n > 1:
+            name = doc.categories[cat].name
+            report.equal_drawables.append(
+                f"{n} equal '{name}' events on rank {rank} at {t:.9f}")
+    for (src, dst, start, end), n in sorted(arrow_keys.items()):
+        if n > 1:
+            report.equal_drawables.append(
+                f"{n} equal arrows {src}->{dst} at [{start:.9f}, {end:.9f}]")

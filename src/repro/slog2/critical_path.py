@@ -1,0 +1,201 @@
+"""Critical-path analysis over a converted log.
+
+A natural next question once students can *see* their run (Section
+IV.B's debugging workflow): which chain of work and messages actually
+determined the finish time?  The log contains everything needed, so we
+extract the zero-slack dependency chain with the classic backward walk
+(as trace analysers like Scalasca do):
+
+* start at the globally last state end;
+* while the current rank was *working* (deepest covering state is not a
+  blocking input call), step back to the previous breakpoint on the
+  same rank;
+* while it was *blocked* (deepest covering state is PI_Read, PI_Select,
+  PI_Gather or PI_Reduce), jump through the message arrow whose arrival
+  released it, continuing on the sending rank at the send moment.
+
+The result names, per hop, which rank was "holding the ball" — which
+makes answers to "why is instance B slow?" one function call:
+``critical_path(doc)`` pins ~11 s on PI_MAIN's initialisation segment.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro.slog2.model import Arrow, Slog2Doc, State
+
+# Category names that mean "this rank is waiting for someone else".
+BLOCKING_CATEGORIES = frozenset(
+    {"PI_Read", "PI_Select", "PI_Gather", "PI_Reduce"})
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One hop of the critical path."""
+
+    kind: str  # "activity" (on one rank) or "message" (between ranks)
+    rank: int  # owning rank (source rank for messages)
+    start: float
+    end: float
+    label: str  # deepest state covering the segment, or arrow info
+    dst_rank: int | None = None  # for messages
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    segments: list[PathSegment]
+
+    @property
+    def makespan(self) -> float:
+        if not self.segments:
+            return 0.0
+        return self.segments[-1].end - self.segments[0].start
+
+    def time_by_rank(self) -> dict[int, float]:
+        """How much of the path each rank owns (messages excluded)."""
+        out: dict[int, float] = {}
+        for seg in self.segments:
+            if seg.kind == "activity":
+                out[seg.rank] = out.get(seg.rank, 0.0) + seg.duration
+        return out
+
+    def message_time(self) -> float:
+        return sum(s.duration for s in self.segments if s.kind == "message")
+
+    def dominant_rank(self) -> int | None:
+        by_rank = self.time_by_rank()
+        if not by_rank:
+            return None
+        return max(by_rank, key=by_rank.get)
+
+    def summary(self, doc: Slog2Doc, top: int = 8) -> str:
+        lines = [f"critical path: {self.makespan:.6f}s over "
+                 f"{len(self.segments)} segments"]
+        biggest = sorted(self.segments, key=lambda s: -s.duration)[:top]
+        for seg in biggest:
+            name = doc.rank_names.get(seg.rank, f"rank {seg.rank}")
+            if seg.kind == "message":
+                dest = doc.rank_names.get(seg.dst_rank, f"rank {seg.dst_rank}")
+                lines.append(f"  {seg.duration:10.6f}s  message "
+                             f"{name} -> {dest}")
+            else:
+                lines.append(f"  {seg.duration:10.6f}s  {name}: {seg.label}")
+        return "\n".join(lines)
+
+
+def critical_path(doc: Slog2Doc, *, blocking_categories=BLOCKING_CATEGORIES,
+                  max_segments: int = 1_000_000) -> CriticalPath:
+    """Backward zero-slack walk from the last state end (see module doc)."""
+    if not doc.states:
+        return CriticalPath([])
+    blocking = {c.index for c in doc.categories
+                if c.name in blocking_categories}
+    index = _RankIndex(doc)
+    last = max(doc.states, key=lambda s: s.end)
+    rank, t = last.rank, last.end
+    segments: list[PathSegment] = []
+    while len(segments) < max_segments:
+        state = index.deepest_covering(rank, t)
+        if state is None:
+            # Before this rank's first activity: maybe an arrow created
+            # it (e.g. work shipped to an idle worker).
+            arrow = index.latest_arrow_into(rank, t, float("-inf"))
+            if arrow is None or arrow.start >= t:
+                break
+            segments.append(_message_segment(arrow))
+            rank, t = arrow.src_rank, arrow.start
+            continue
+        if state.category in blocking:
+            arrow = index.latest_arrow_into(rank, t, state.start)
+            if arrow is not None and arrow.start < t:
+                if arrow.end < t:
+                    segments.append(PathSegment(
+                        "activity", rank, arrow.end, t,
+                        index.label(rank, arrow.end, t)))
+                segments.append(_message_segment(arrow))
+                rank, t = arrow.src_rank, arrow.start
+                continue
+        prev = index.previous_breakpoint(rank, t)
+        if prev is None or prev >= t:
+            break
+        segments.append(PathSegment("activity", rank, prev, t,
+                                    index.label(rank, prev, t)))
+        t = prev
+    segments.reverse()
+    return CriticalPath(segments)
+
+
+def _message_segment(arrow: Arrow) -> PathSegment:
+    return PathSegment("message", arrow.src_rank, arrow.start, arrow.end,
+                       f"tag {arrow.tag} ({arrow.size} bytes)",
+                       dst_rank=arrow.dst_rank)
+
+
+class _RankIndex:
+    """Per-rank sorted state/arrow lookups for the backward walk."""
+
+    def __init__(self, doc: Slog2Doc) -> None:
+        self.doc = doc
+        self.states: dict[int, list[State]] = {}
+        for s in doc.states:
+            self.states.setdefault(s.rank, []).append(s)
+        for lst in self.states.values():
+            lst.sort(key=lambda s: s.start)
+        self.starts = {r: [s.start for s in lst]
+                       for r, lst in self.states.items()}
+        self.boundaries = {
+            r: sorted({edge for s in lst for edge in (s.start, s.end)})
+            for r, lst in self.states.items()}
+        self.arrows_in: dict[int, list[Arrow]] = {}
+        for a in doc.arrows:
+            if a.end >= a.start:  # causality violations cannot carry it
+                self.arrows_in.setdefault(a.dst_rank, []).append(a)
+        for lst in self.arrows_in.values():
+            lst.sort(key=lambda a: a.end)
+        self.arrow_ends = {r: [a.end for a in lst]
+                           for r, lst in self.arrows_in.items()}
+
+    def deepest_covering(self, rank: int, t: float) -> State | None:
+        """Deepest state with start < t <= end (covering 'just before t')."""
+        lst = self.states.get(rank, [])
+        starts = self.starts.get(rank, [])
+        hi = bisect.bisect_left(starts, t)
+        deepest = None
+        for s in lst[:hi]:
+            if s.end >= t and (deepest is None or s.depth > deepest.depth):
+                deepest = s
+        return deepest
+
+    def previous_breakpoint(self, rank: int, t: float) -> float | None:
+        """The latest state boundary on this rank strictly before t."""
+        edges = self.boundaries.get(rank, [])
+        i = bisect.bisect_left(edges, t) - 1
+        return edges[i] if i >= 0 else None
+
+    def label(self, rank: int, t0: float, t1: float) -> str:
+        """Name of the deepest state covering a segment's midpoint."""
+        state = self.deepest_covering(rank, (t0 + t1) / 2 + 1e-15)
+        if state is None:
+            return "(idle / untracked)"
+        return self.doc.categories[state.category].name
+
+    def latest_arrow_into(self, rank: int, t: float,
+                          not_before: float) -> Arrow | None:
+        """Latest arrow landing on ``rank`` in (not_before, t]."""
+        lst = self.arrows_in.get(rank, [])
+        ends = self.arrow_ends.get(rank, [])
+        i = bisect.bisect_right(ends, t) - 1
+        while i >= 0:
+            a = lst[i]
+            if a.end <= not_before:
+                return None
+            if a.start < t:
+                return a
+            i -= 1
+        return None

@@ -1,0 +1,101 @@
+"""Comparing two runs: "did my fix actually help?".
+
+The paper's debugging loop ends with the student changing code
+(reordering writes and reads, switching allocation schemes) and
+re-running.  This module closes that loop: diff the before/after logs
+and report what moved — makespan, per-category time and call counts,
+per-rank busy time — in one table.  Benchmarks F4 and L2 are exactly
+this comparison done by hand; ``diff_logs`` packages it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.text import format_seconds
+from repro.slog2.model import Slog2Doc
+from repro.slog2.stats import compute_stats
+
+
+@dataclass(frozen=True)
+class CategoryDelta:
+    name: str
+    shape: str
+    count_a: int
+    count_b: int
+    incl_a: float
+    incl_b: float
+
+    @property
+    def count_delta(self) -> int:
+        return self.count_b - self.count_a
+
+    @property
+    def incl_delta(self) -> float:
+        return self.incl_b - self.incl_a
+
+
+@dataclass
+class LogDiff:
+    label_a: str
+    label_b: str
+    makespan_a: float
+    makespan_b: float
+    categories: dict[str, CategoryDelta] = field(default_factory=dict)
+    only_in_a: list[str] = field(default_factory=list)
+    only_in_b: list[str] = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        if self.makespan_b <= 0:
+            return float("inf")
+        return self.makespan_a / self.makespan_b
+
+    def biggest_movers(self, top: int = 5) -> list[CategoryDelta]:
+        return sorted(self.categories.values(),
+                      key=lambda d: -abs(d.incl_delta))[:top]
+
+    def summary(self, top: int = 5) -> str:
+        lines = [
+            f"{self.label_a}: {format_seconds(self.makespan_a)}  ->  "
+            f"{self.label_b}: {format_seconds(self.makespan_b)}  "
+            f"({self.speedup:.2f}x)"
+        ]
+        for d in self.biggest_movers(top):
+            sign = "+" if d.incl_delta >= 0 else "-"
+            lines.append(
+                f"  {d.name:<16} incl {format_seconds(d.incl_a):>12} -> "
+                f"{format_seconds(d.incl_b):>12}  "
+                f"({sign}{format_seconds(abs(d.incl_delta))}), "
+                f"calls {d.count_a} -> {d.count_b}")
+        for name in self.only_in_a:
+            lines.append(f"  {name}: only in {self.label_a}")
+        for name in self.only_in_b:
+            lines.append(f"  {name}: only in {self.label_b}")
+        return "\n".join(lines)
+
+
+def diff_logs(doc_a: Slog2Doc, doc_b: Slog2Doc, *, label_a: str = "before",
+              label_b: str = "after") -> LogDiff:
+    """Compare two converted logs category by category."""
+    stats_a = compute_stats(doc_a)
+    stats_b = compute_stats(doc_b)
+    span_a = doc_a.time_range
+    span_b = doc_b.time_range
+    diff = LogDiff(label_a, label_b,
+                   span_a[1] - span_a[0], span_b[1] - span_b[0])
+    names = sorted(set(stats_a) | set(stats_b))
+    for name in names:
+        a = stats_a.get(name)
+        b = stats_b.get(name)
+        if a is None:
+            diff.only_in_b.append(name)
+            continue
+        if b is None:
+            diff.only_in_a.append(name)
+            continue
+        if a.count == 0 and b.count == 0:
+            continue
+        diff.categories[name] = CategoryDelta(
+            name, a.shape or b.shape, a.count, b.count, a.incl, b.incl)
+    return diff

@@ -1,0 +1,118 @@
+"""SLOG2 binary container: writer and reader.
+
+The converted document is a real on-disk artifact (the paper's workflow
+hands a ``.slog2`` file to Jumpshot).  Layout:
+
+``header`` — magic ``SLOG2PY1``, version u16, clock resolution f64,
+rank count i32, counts of categories/states/events/arrows u32 each,
+then a rank-name table, then the four drawable sections in order.
+
+Strings are u16 length-prefixed UTF-8; integers little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.slog2.model import Arrow, Event, SlogCategory, Slog2Doc, State
+
+MAGIC = b"SLOG2PY1"
+VERSION = 1
+
+_HDR = struct.Struct("<8sHdiIIII")
+_CAT = struct.Struct("<i")
+_STATE = struct.Struct("<iiddi")
+_EVENT = struct.Struct("<iid")
+_ARROW = struct.Struct("<iiiddiq")
+_NAME = struct.Struct("<i")
+
+
+class Slog2FormatError(ValueError):
+    """The bytes do not look like an SLOG2 file we wrote."""
+
+
+def _pack_str(fh, s: str) -> None:
+    raw = s.encode("utf-8")
+    fh.write(struct.pack("<H", len(raw)))
+    fh.write(raw)
+
+
+def _read_exact(fh, n: int) -> bytes:
+    data = fh.read(n)
+    if len(data) != n:
+        raise Slog2FormatError("truncated SLOG2 file")
+    return data
+
+
+def _unpack_str(fh) -> str:
+    (n,) = struct.unpack("<H", _read_exact(fh, 2))
+    return _read_exact(fh, n).decode("utf-8")
+
+
+def write_slog2(path: str, doc: Slog2Doc) -> None:
+    with open(path, "wb") as fh:
+        fh.write(_HDR.pack(MAGIC, VERSION, doc.clock_resolution, doc.num_ranks,
+                           len(doc.categories), len(doc.states),
+                           len(doc.events), len(doc.arrows)))
+        fh.write(struct.pack("<I", len(doc.rank_names)))
+        for rank, name in sorted(doc.rank_names.items()):
+            fh.write(_NAME.pack(rank))
+            _pack_str(fh, name)
+        for c in doc.categories:
+            fh.write(_CAT.pack(c.index))
+            _pack_str(fh, c.name)
+            _pack_str(fh, c.color)
+            _pack_str(fh, c.shape)
+        for s in doc.states:
+            fh.write(_STATE.pack(s.category, s.rank, s.start, s.end, s.depth))
+            _pack_str(fh, s.start_text)
+            _pack_str(fh, s.end_text)
+        for e in doc.events:
+            fh.write(_EVENT.pack(e.category, e.rank, e.time))
+            _pack_str(fh, e.text)
+        for a in doc.arrows:
+            fh.write(_ARROW.pack(a.category, a.src_rank, a.dst_rank,
+                                 a.start, a.end, a.tag, a.size))
+
+
+def read_slog2(path: str) -> Slog2Doc:
+    with open(path, "rb") as fh:
+        (magic, version, resolution, num_ranks, ncat, nstate, nevent,
+         narrow) = _HDR.unpack(_read_exact(fh, _HDR.size))
+        if magic != MAGIC:
+            raise Slog2FormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise Slog2FormatError(f"unsupported SLOG2 version {version}")
+        (nnames,) = struct.unpack("<I", _read_exact(fh, 4))
+        rank_names: dict[int, str] = {}
+        for _ in range(nnames):
+            (rank,) = _NAME.unpack(_read_exact(fh, _NAME.size))
+            rank_names[rank] = _unpack_str(fh)
+        categories = []
+        for _ in range(ncat):
+            (idx,) = _CAT.unpack(_read_exact(fh, _CAT.size))
+            name = _unpack_str(fh)
+            color = _unpack_str(fh)
+            shape = _unpack_str(fh)
+            categories.append(SlogCategory(idx, name, color, shape))
+        states = []
+        for _ in range(nstate):
+            cat, rank, start, end, depth = _STATE.unpack(
+                _read_exact(fh, _STATE.size))
+            start_text = _unpack_str(fh)
+            end_text = _unpack_str(fh)
+            states.append(State(cat, rank, start, end, depth,
+                                start_text, end_text))
+        events = []
+        for _ in range(nevent):
+            cat, rank, t = _EVENT.unpack(_read_exact(fh, _EVENT.size))
+            text = _unpack_str(fh)
+            events.append(Event(cat, rank, t, text))
+        arrows = []
+        for _ in range(narrow):
+            cat, src, dst, start, end, tag, size = _ARROW.unpack(
+                _read_exact(fh, _ARROW.size))
+            arrows.append(Arrow(cat, src, dst, start, end, tag, size))
+    return Slog2Doc(categories=categories, states=states, events=events,
+                    arrows=arrows, num_ranks=num_ranks,
+                    clock_resolution=resolution, rank_names=rank_names)

@@ -1,0 +1,188 @@
+"""SLOG2's frame tree: bounded-size time-interval nodes with previews.
+
+SLOG2 organises drawables into a binary tree over the time axis so a
+viewer can fetch any window at any zoom without reading the whole file.
+Each node has a byte budget (the "frame size", an adjustable conversion
+parameter the paper calls out in Section II.A); a drawable lives in the
+*shallowest* node that (a) fully contains its span and (b) whose child
+would not also contain it — except that when a node overflows its
+budget, its smallest drawables are pushed down / summarised.
+
+Internal nodes carry **preview** summaries: per (rank, category)
+duration totals, which is exactly what Jumpshot draws as the striped
+outline rectangles at zoomed-out scale ("the widths of the stripes
+indicate the relative proportions of each colour", paper Section
+III.D / Fig. 1 discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.slog2.model import Arrow, Drawable, Event, Slog2Doc, State, drawable_span
+
+# Approximate serialised size per drawable, for the byte budget.
+_DRAWABLE_BYTES = {State: 64, Event: 48, Arrow: 56}
+
+DEFAULT_FRAME_SIZE = 64 * 1024
+
+
+@dataclass
+class Preview:
+    """Aggregate of drawables summarised below a node: per (rank,
+    category) total duration and count (events count with zero
+    duration; arrows attribute to the source rank)."""
+
+    duration: dict[tuple[int, int], float] = field(default_factory=dict)
+    count: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def add(self, drawable: Drawable) -> None:
+        if isinstance(drawable, State):
+            key = (drawable.rank, drawable.category)
+            dur = drawable.duration
+        elif isinstance(drawable, Event):
+            key = (drawable.rank, drawable.category)
+            dur = 0.0
+        else:
+            key = (drawable.src_rank, drawable.category)
+            dur = 0.0
+        self.duration[key] = self.duration.get(key, 0.0) + dur
+        self.count[key] = self.count.get(key, 0) + 1
+
+    @property
+    def total_count(self) -> int:
+        return sum(self.count.values())
+
+
+@dataclass
+class FrameNode:
+    t0: float
+    t1: float
+    depth: int
+    drawables: list[Drawable] = field(default_factory=list)
+    children: list["FrameNode"] = field(default_factory=list)
+    preview: Preview = field(default_factory=Preview)
+    _nbytes: int = 0  # maintained incrementally: inserts are hot
+
+    @property
+    def midpoint(self) -> float:
+        return (self.t0 + self.t1) / 2.0
+
+    @property
+    def nbytes(self) -> int:
+        return self._nbytes
+
+    def _add(self, drawable: Drawable) -> None:
+        self.drawables.append(drawable)
+        self._nbytes += _DRAWABLE_BYTES[type(drawable)]
+
+    def contains(self, lo: float, hi: float) -> bool:
+        return self.t0 <= lo and hi <= self.t1
+
+    def overlaps(self, lo: float, hi: float) -> bool:
+        return lo <= self.t1 and self.t0 <= hi
+
+
+class FrameTree:
+    """Build and query the frame tree for one document."""
+
+    def __init__(self, doc: Slog2Doc, frame_size: int = DEFAULT_FRAME_SIZE,
+                 max_depth: int = 16) -> None:
+        if frame_size < 256:
+            raise ValueError(f"frame_size must be >= 256 bytes, got {frame_size}")
+        self.doc = doc
+        self.frame_size = frame_size
+        self.max_depth = max_depth
+        t0, t1 = doc.time_range
+        if t1 <= t0:
+            t1 = t0 + max(doc.clock_resolution, 1e-9)
+        self.root = FrameNode(t0, t1, 0)
+        for d in doc.drawables:
+            self._insert(self.root, d)
+        self._build_previews(self.root)
+
+    # -- construction ------------------------------------------------------
+
+    def _insert(self, node: FrameNode, drawable: Drawable) -> None:
+        lo, hi = drawable_span(drawable)
+        while True:
+            if node.depth >= self.max_depth or node.nbytes < self.frame_size:
+                node._add(drawable)
+                return
+            # Node full: descend if a child can fully contain the span.
+            if not node.children:
+                mid = node.midpoint
+                node.children = [
+                    FrameNode(node.t0, mid, node.depth + 1),
+                    FrameNode(mid, node.t1, node.depth + 1),
+                ]
+            placed = False
+            for child in node.children:
+                if child.contains(lo, hi):
+                    node = child
+                    placed = True
+                    break
+            if not placed:
+                # Straddles the midpoint: must live here even if full.
+                node._add(drawable)
+                return
+
+    def _build_previews(self, node: FrameNode) -> Preview:
+        agg = Preview()
+        for d in node.drawables:
+            agg.add(d)
+        for child in node.children:
+            sub = self._build_previews(child)
+            for key, dur in sub.duration.items():
+                agg.duration[key] = agg.duration.get(key, 0.0) + dur
+            for key, n in sub.count.items():
+                agg.count[key] = agg.count.get(key, 0) + n
+        node.preview = agg
+        return agg
+
+    # -- queries --------------------------------------------------------------
+
+    def query(self, t0: float, t1: float, *,
+              min_duration: float = 0.0) -> tuple[list[Drawable], list[FrameNode]]:
+        """Drawables intersecting [t0, t1].
+
+        Returns ``(drawables, previewed_nodes)``: nodes whose entire
+        subtree spans less than ``min_duration`` are not descended into;
+        their :class:`Preview` stands in for their contents — this is
+        the seamless-zoom mechanism.
+        """
+        out: list[Drawable] = []
+        previewed: list[FrameNode] = []
+        self._query(self.root, t0, t1, min_duration, out, previewed)
+        return out, previewed
+
+    def _query(self, node: FrameNode, t0: float, t1: float,
+               min_duration: float, out: list[Drawable],
+               previewed: list[FrameNode]) -> None:
+        if not node.overlaps(t0, t1):
+            return
+        if (node.t1 - node.t0) < min_duration and node.preview.total_count:
+            previewed.append(node)
+            return
+        for d in node.drawables:
+            lo, hi = drawable_span(d)
+            if lo <= t1 and t0 <= hi:
+                out.append(d)
+        for child in node.children:
+            self._query(child, t0, t1, min_duration, out, previewed)
+
+    # -- introspection -----------------------------------------------------------
+
+    def depth(self) -> int:
+        def walk(node: FrameNode) -> int:
+            if not node.children:
+                return node.depth
+            return max(walk(c) for c in node.children)
+
+        return walk(self.root)
+
+    def node_count(self) -> int:
+        def walk(node: FrameNode) -> int:
+            return 1 + sum(walk(c) for c in node.children)
+
+        return walk(self.root)

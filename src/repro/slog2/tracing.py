@@ -1,0 +1,69 @@
+"""Export a converted log to the Chrome Trace Event format.
+
+Interop escape hatch: ``chrome://tracing`` and `Perfetto
+<https://ui.perfetto.dev>`_ read a simple JSON array of events, so a
+Pilot log exported this way can be explored in tooling students may
+already know from browsers and Android work.  The mapping:
+
+* each rank becomes a Trace Event *thread* (tid = rank, with a thread-
+  name metadata record carrying the PI_SetName name);
+* states become complete events (``ph: "X"``) — nesting renders as the
+  usual flame-graph stacking;
+* bubbles become instant events (``ph: "i"``);
+* arrows become flow events (``ph: "s"``/``"f"``), drawn by Perfetto as
+  arrows between threads — a faithful stand-in for Jumpshot's white
+  message lines.
+
+Timestamps are microseconds, per the format.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.slog2.model import Slog2Doc
+
+PID = 1  # one "process": the Pilot job
+
+
+def to_chrome_trace(doc: Slog2Doc) -> list[dict]:
+    """Build the Trace Event list (JSON-serialisable)."""
+    events: list[dict] = []
+    for rank in range(doc.num_ranks):
+        name = doc.rank_names.get(rank, f"rank {rank}")
+        events.append({"ph": "M", "name": "thread_name", "pid": PID,
+                       "tid": rank, "args": {"name": name}})
+    for s in doc.states:
+        cat = doc.categories[s.category]
+        events.append({
+            "ph": "X", "name": cat.name, "cat": cat.shape, "pid": PID,
+            "tid": s.rank, "ts": s.start * 1e6,
+            "dur": max(s.duration, 0.0) * 1e6,
+            "args": {"begin": s.start_text, "end": s.end_text,
+                     "color": cat.color},
+        })
+    for e in doc.events:
+        cat = doc.categories[e.category]
+        events.append({
+            "ph": "i", "name": cat.name, "cat": cat.shape, "pid": PID,
+            "tid": e.rank, "ts": e.time * 1e6, "s": "t",
+            "args": {"text": e.text},
+        })
+    for i, a in enumerate(doc.arrows):
+        common = {"cat": "message", "name": f"msg tag {a.tag}",
+                  "id": i, "pid": PID}
+        events.append({**common, "ph": "s", "tid": a.src_rank,
+                       "ts": a.start * 1e6,
+                       "args": {"size": a.size}})
+        events.append({**common, "ph": "f", "bp": "e", "tid": a.dst_rank,
+                       "ts": max(a.end, a.start) * 1e6})
+    events.sort(key=lambda ev: (ev.get("ts", -1), ev["tid"]))
+    return events
+
+
+def write_chrome_trace(doc: Slog2Doc, path: str) -> int:
+    """Write the JSON file; returns the number of events emitted."""
+    events = to_chrome_trace(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(events, fh)
+    return len(events)

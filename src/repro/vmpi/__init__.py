@@ -1,0 +1,71 @@
+"""``repro.vmpi`` — deterministic virtual-time MPI substrate.
+
+The paper's system runs over OpenMPI on a teaching cluster; this package
+is the repo's substitution for it (DESIGN.md Section 2): thread-backed
+ranks under a discrete-event scheduler, an alpha–beta network model,
+skewable per-rank clocks, and mpi4py-flavoured point-to-point and
+collective operations.
+
+Quick taste::
+
+    from repro import vmpi
+
+    def main(comm):
+        if comm.rank == 0:
+            comm.send({"hello": "world"}, dest=1, tag=7)
+        elif comm.rank == 1:
+            print(comm.recv(source=0, tag=7))
+
+    vmpi.mpirun(main, nprocs=2)
+"""
+
+from repro.vmpi import collectives
+from repro.vmpi.clock import ClockSkew, LocalClock, RealTimeClock
+from repro.vmpi.comm import (
+    ANY_SOURCE,
+    ANY_TAG,
+    INTERNAL_TAG_BASE,
+    Communicator,
+    Message,
+    NetworkModel,
+    Request,
+)
+from repro.vmpi.engine import Engine, Resource, RunResult, Task
+from repro.vmpi.errors import (
+    AbortedError,
+    EngineError,
+    MessageError,
+    SimulationDeadlock,
+    TaskFailed,
+    VmpiError,
+)
+from repro.vmpi.status import Status
+from repro.vmpi.world import World, compute, mpirun
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "INTERNAL_TAG_BASE",
+    "AbortedError",
+    "ClockSkew",
+    "Communicator",
+    "Engine",
+    "EngineError",
+    "LocalClock",
+    "Message",
+    "MessageError",
+    "NetworkModel",
+    "RealTimeClock",
+    "Request",
+    "Resource",
+    "RunResult",
+    "SimulationDeadlock",
+    "Status",
+    "Task",
+    "TaskFailed",
+    "VmpiError",
+    "World",
+    "collectives",
+    "compute",
+    "mpirun",
+]

@@ -1,0 +1,82 @@
+"""Clock models for the virtual MPI runtime.
+
+Two facts from the paper motivate a non-trivial clock model:
+
+* ``MPE_Log_sync_clocks`` exists to "synchronize or recalibrate all MPI
+  clocks to minimize the effect of time drift" (Section III).  For that
+  operation to be meaningful in a simulation, each rank must own a local
+  clock that can disagree with true time by an *offset* and a linear
+  *drift*.
+* The "Equal Drawables" warning during CLOG2-to-SLOG2 conversion "can
+  result from the limited resolution of MPI_Wtime" (Section III.C).  So
+  clock *reads* are quantised to a configurable resolution, which lets
+  the ablation benchmark reproduce the warning and its fix.
+
+The true simulation time is kept by the engine; ranks only ever see it
+through a :class:`LocalClock`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """Per-rank clock imperfection: ``local = true * (1 + drift) + offset``.
+
+    ``drift`` is dimensionless (seconds of error per second of true
+    time); realistic crystal oscillators are within a few tens of parts
+    per million.  ``offset`` is in seconds.
+    """
+
+    offset: float = 0.0
+    drift: float = 0.0
+
+    def local_from_true(self, true_time: float) -> float:
+        return true_time * (1.0 + self.drift) + self.offset
+
+    def true_from_local(self, local_time: float) -> float:
+        return (local_time - self.offset) / (1.0 + self.drift)
+
+
+class LocalClock:
+    """The clock a single rank reads via ``MPI_Wtime``.
+
+    Reads are quantised to ``resolution`` (wallclock in double-precision
+    seconds has limited granularity; the paper's footnoted mailing-list
+    reference [20] attributes Equal Drawables to exactly this).
+    """
+
+    def __init__(self, skew: ClockSkew = ClockSkew(), resolution: float = 1e-6) -> None:
+        if resolution <= 0:
+            raise ValueError(f"resolution must be > 0, got {resolution}")
+        self.skew = skew
+        self.resolution = resolution
+
+    def read(self, true_time: float) -> float:
+        """Quantised local time corresponding to ``true_time``."""
+        local = self.skew.local_from_true(true_time)
+        # floor() rather than round(): a hardware counter ticks, it does
+        # not round-to-nearest.
+        return math.floor(local / self.resolution) * self.resolution
+
+
+class RealTimeClock:
+    """Wall-clock source, for running the stack against real elapsed time.
+
+    The deterministic benchmarks never use this, but examples can, and it
+    keeps the engine honest about not assuming it owns time.
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def sleep(self, dt: float) -> None:
+        if dt > 0:
+            time.sleep(dt)

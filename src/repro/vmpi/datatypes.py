@@ -1,0 +1,44 @@
+"""Payload size accounting for the virtual network.
+
+The virtual network charges transfer time proportional to message size
+(an alpha–beta model, see :class:`repro.vmpi.comm.NetworkModel`), so
+every payload needs a byte size.  The rules mirror what an MPI binding
+would put on the wire: typed arrays at their buffer size, scalars at
+their C width, and arbitrary Python objects at their pickled size (the
+mpi4py lowercase-method convention).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+
+# C widths used when a bare Python scalar is sent.  Pilot's formats map
+# onto these (``%d`` -> int32, ``%ld`` -> int64, ``%f`` -> float32,
+# ``%lf`` -> float64); a bare Python int/float defaults to 8 bytes.
+SCALAR_BYTES = 8
+
+
+def sizeof(payload: Any) -> int:
+    """Byte size of ``payload`` as the virtual wire sees it."""
+    if payload is None:
+        return 0
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, np.generic):
+        return int(payload.nbytes)
+    if isinstance(payload, (bool, int, float, complex)):
+        return SCALAR_BYTES
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, (tuple, list)):
+        # Envelope overhead per element keeps degenerate many-tiny-item
+        # payloads from looking free.
+        return sum(sizeof(item) for item in payload) + 8 * len(payload)
+    if isinstance(payload, dict):
+        return sum(sizeof(k) + sizeof(v) for k, v in payload.items()) + 16 * len(payload)
+    return len(pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL))

@@ -1,0 +1,433 @@
+"""Deterministic discrete-event engine with thread-backed tasks.
+
+This is the foundation the whole reproduction stands on.  The paper's
+system runs on a real cluster under OpenMPI; this repo substitutes a
+*virtual-time* message-passing runtime (see DESIGN.md Section 2).  The
+requirements that drove this design:
+
+* **API fidelity.**  Pilot/MPI code calls blocking functions
+  (``PI_Read`` blocks until a message arrives).  Generator-style
+  coroutines would force ``yield`` into user code, so instead every rank
+  runs in a real OS thread and blocking calls park the thread.
+
+* **Determinism.**  The engine admits exactly one task at a time and
+  hands control back and forth explicitly, so a given program produces
+  the same event sequence, the same log file, and the same timeline on
+  every run.  That is what makes figure-level regression tests possible.
+
+* **Virtual time.**  Time only moves when a task declares compute
+  (:meth:`Engine.advance`) or a modelled latency elapses.  A "30 second"
+  run from the paper's evaluation executes in milliseconds of wall time,
+  and speedup shapes survive running on a single core.
+
+The scheduler runs in the caller's thread (:meth:`Engine.run`).  Task
+threads interact with it only through the handoff protocol implemented
+by :meth:`Task._switch_to` / :meth:`Engine._yield_current`.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+import random
+import threading
+from collections import deque
+from typing import Any, Callable
+
+from repro.vmpi.clock import ClockSkew, LocalClock
+from repro.vmpi.errors import (
+    AbortedError,
+    EngineError,
+    SimulationDeadlock,
+    TaskFailed,
+)
+
+# How long (wall seconds) the scheduler is willing to wait for a task
+# thread to respond during a handoff before concluding the harness is
+# wedged.  Generous: this only ever fires on an internal bug.
+_HANDOFF_TIMEOUT = 60.0
+
+
+class TaskState(enum.Enum):
+    NEW = "new"
+    READY = "ready"  # wake event scheduled, not yet running
+    RUNNING = "running"
+    BLOCKED = "blocked"  # waiting for wake() with no scheduled event
+    DONE = "done"
+
+
+class Task:
+    """One simulated rank: a thread plus scheduling state.
+
+    User code never constructs these; :meth:`Engine.spawn` does.
+    """
+
+    def __init__(self, engine: "Engine", rank: int, fn: Callable[[], Any], name: str) -> None:
+        self.engine = engine
+        self.rank = rank
+        self.name = name
+        self.fn = fn
+        self.state = TaskState.NEW
+        self.blocked_reason = ""
+        self.wake_payload: Any = None
+        self.result: Any = None
+        self.exc: BaseException | None = None
+        self.aborted = False
+        # Local wall clock (possibly skewed/drifting) + per-rank RNG.
+        self.clock = LocalClock(engine.skew_for(rank), engine.clock_resolution)
+        self.rng = random.Random((engine.seed * 1_000_003 + rank) & 0xFFFFFFFF)
+        # Scratch slot for layers above (comm attaches the mailbox, the
+        # Pilot runtime attaches per-rank program state).
+        self.locals: dict[str, Any] = {}
+        self.thread = threading.Thread(
+            target=self._body, name=f"vmpi-{name}", daemon=True
+        )
+
+    # ------------------------------------------------------------------
+    # Thread body and handoff protocol.  All state transitions happen
+    # under engine._mon; notify_all wakes whichever side is waiting.
+    # ------------------------------------------------------------------
+
+    def _body(self) -> None:
+        mon = self.engine._mon
+        with mon:
+            while self.state is not TaskState.RUNNING:
+                mon.wait(_HANDOFF_TIMEOUT)
+        try:
+            self.engine._check_abort()
+            self.result = self.fn()
+        except AbortedError:
+            self.aborted = True
+        except BaseException as exc:  # noqa: BLE001 - deliberate catch-all
+            self.exc = exc
+            # A crashed rank takes the world down, as mpirun would.
+            self.engine._abort_locked_free(errorcode=1, origin_rank=self.rank,
+                                           reason=f"unhandled exception: {exc!r}")
+        finally:
+            with mon:
+                self.state = TaskState.DONE
+                self.engine._live_tasks -= 1
+                mon.notify_all()
+
+    def _switch_to(self) -> None:
+        """Scheduler-side: run this task until it yields again."""
+        eng = self.engine
+        mon = eng._mon
+        with mon:
+            if self.state is TaskState.DONE:
+                return
+            eng._current = self
+            self.state = TaskState.RUNNING
+            if not self.thread.is_alive():
+                self.thread.start()
+            mon.notify_all()
+            while self.state is TaskState.RUNNING:
+                if not mon.wait(_HANDOFF_TIMEOUT):
+                    raise EngineError(
+                        f"handoff to task {self.name} timed out; "
+                        "a task thread blocked outside the engine"
+                    )
+            eng._current = None
+
+
+class Resource:
+    """A FIFO shared resource with integer capacity (SimPy-style).
+
+    Used to model contended hardware such as the single disk behind the
+    collision-CSV assignment: parallel readers only *partially* overlap
+    (paper Fig. 4 discussion), which falls out of queueing on a
+    capacity-1 resource.
+    """
+
+    def __init__(self, engine: "Engine", capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._available = capacity
+        self._queue: deque[Task] = deque()
+
+    def acquire(self) -> None:
+        task = self.engine._require_task()
+        if self._available > 0:
+            self._available -= 1
+            return
+        self._queue.append(task)
+        self.engine.block(f"acquire {self.name}")
+
+    def release(self) -> None:
+        if self._queue:
+            # Hand the slot straight to the next waiter: _available stays 0.
+            nxt = self._queue.popleft()
+            self.engine.wake(nxt)
+        else:
+            if self._available >= self.capacity:
+                raise EngineError(f"release of {self.name} without acquire")
+            self._available += 1
+
+    def __enter__(self) -> "Resource":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    @property
+    def in_use(self) -> int:
+        return self.capacity - self._available
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+
+class RunResult:
+    """Outcome of :meth:`Engine.run`."""
+
+    def __init__(self, finished_at: float, aborted: AbortedError | None,
+                 results: dict[int, Any]) -> None:
+        self.finished_at = finished_at
+        self.aborted = aborted
+        self.results = results
+
+    @property
+    def ok(self) -> bool:
+        return self.aborted is None
+
+
+class Engine:
+    """Discrete-event scheduler owning virtual time and all tasks.
+
+    Parameters
+    ----------
+    seed:
+        Seeds every per-rank RNG; two engines with equal seeds and equal
+        programs produce identical histories.
+    clock_resolution:
+        Quantum of ``MPI_Wtime`` reads (see :mod:`repro.vmpi.clock`).
+    skews:
+        Optional per-rank :class:`ClockSkew`; ranks not listed get a
+        perfect clock.  The MPE clock-sync benchmarks populate this.
+    """
+
+    def __init__(self, *, seed: int = 0, clock_resolution: float = 1e-8,
+                 skews: dict[int, ClockSkew] | None = None) -> None:
+        self.seed = seed
+        self.clock_resolution = clock_resolution
+        self._skews = dict(skews or {})
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._mon = threading.Condition()
+        self._current: Task | None = None
+        self._tasks: dict[int, Task] = {}
+        self._live_tasks = 0
+        self._running = False
+        self._aborted: AbortedError | None = None
+        self.on_stall: list[Callable[["Engine"], bool]] = []
+        # Context ids for sub-communicators (0 is COMM_WORLD's).
+        self._comm_contexts = itertools.count(1)
+        # Simple counters; cheap, and the overhead benchmarks report them.
+        self.stats = {"events": 0, "switches": 0}
+
+    # -- task management ------------------------------------------------
+
+    def spawn(self, fn: Callable[[], Any], rank: int, name: str | None = None) -> Task:
+        """Register a task for ``rank``; it first runs at time 0."""
+        if self._running:
+            raise EngineError("spawn() after run() started is not supported")
+        if rank in self._tasks:
+            raise EngineError(f"rank {rank} already spawned")
+        task = Task(self, rank, fn, name or f"rank{rank}")
+        self._tasks[rank] = task
+        self._live_tasks += 1
+        return task
+
+    def skew_for(self, rank: int) -> ClockSkew:
+        return self._skews.get(rank, ClockSkew())
+
+    @property
+    def tasks(self) -> dict[int, Task]:
+        return self._tasks
+
+    @property
+    def now(self) -> float:
+        """True (un-skewed) simulation time in seconds."""
+        return self._now
+
+    @property
+    def current_task(self) -> Task | None:
+        return self._current
+
+    def _require_task(self) -> Task:
+        task = self._current
+        if task is None:
+            raise EngineError("this operation is only valid from inside a task")
+        return task
+
+    # -- event scheduling (any thread/callback may call these) ----------
+
+    def call_at(self, t: float, fn: Callable[[], None]) -> None:
+        if t < self._now - 1e-15:
+            raise EngineError(f"cannot schedule in the past ({t} < {self._now})")
+        heapq.heappush(self._heap, (max(t, self._now), next(self._seq), fn))
+
+    def call_later(self, dt: float, fn: Callable[[], None]) -> None:
+        self.call_at(self._now + max(dt, 0.0), fn)
+
+    # -- task-side blocking primitives -----------------------------------
+
+    def advance(self, dt: float, reason: str = "compute") -> None:
+        """Let virtual time pass for the calling task (declared compute)."""
+        if dt < 0:
+            raise EngineError(f"advance() needs dt >= 0, got {dt}")
+        task = self._require_task()
+        if dt == 0.0:
+            # Even zero-length compute is a scheduling point: it lets
+            # same-time events interleave deterministically.
+            pass
+        self.call_later(dt, lambda: self._resume(task, None))
+        task.state = TaskState.READY
+        task.blocked_reason = reason
+        self._yield_current(task)
+
+    def block(self, reason: str) -> Any:
+        """Park the calling task until someone calls :meth:`wake` on it.
+
+        Returns the payload passed to ``wake``.
+        """
+        task = self._require_task()
+        task.state = TaskState.BLOCKED
+        task.blocked_reason = reason
+        self._yield_current(task)
+        return task.wake_payload
+
+    def wake(self, task: Task, payload: Any = None, delay: float = 0.0) -> None:
+        """Schedule ``task`` to resume (now or after ``delay``)."""
+        if task.state is TaskState.DONE:
+            return
+        self.call_later(delay, lambda: self._resume(task, payload))
+        if task.state is TaskState.BLOCKED:
+            task.state = TaskState.READY
+
+    def _resume(self, task: Task, payload: Any) -> None:
+        if task.state is TaskState.DONE:
+            return
+        task.wake_payload = payload
+        self.stats["switches"] += 1
+        task._switch_to()
+
+    def _yield_current(self, task: Task) -> None:
+        """Task-side: give control back to the scheduler and wait."""
+        mon = self._mon
+        with mon:
+            mon.notify_all()
+            while task.state is not TaskState.RUNNING:
+                mon.wait(_HANDOFF_TIMEOUT)
+        self._check_abort()
+
+    # -- abort ------------------------------------------------------------
+
+    def abort(self, errorcode: int, origin_rank: int, reason: str = "") -> None:
+        """Tear the world down, MPI_Abort style.
+
+        When called from inside a task this never returns: the calling
+        task itself unwinds with :class:`AbortedError`.
+        """
+        self._abort_locked_free(errorcode, origin_rank, reason)
+        if self._current is not None:
+            raise AbortedError(errorcode, origin_rank, reason)
+
+    def _abort_locked_free(self, errorcode: int, origin_rank: int, reason: str) -> None:
+        if self._aborted is not None:
+            return
+        self._aborted = AbortedError(errorcode, origin_rank, reason)
+        # Wake every parked task so its thread can unwind.
+        for t in self._tasks.values():
+            if t.state in (TaskState.BLOCKED, TaskState.READY):
+                self.call_later(0.0, lambda t=t: self._resume(t, None))
+
+    def _check_abort(self) -> None:
+        if self._aborted is not None:
+            raise AbortedError(self._aborted.errorcode, self._aborted.origin_rank,
+                               self._aborted.reason)
+
+    @property
+    def aborted(self) -> AbortedError | None:
+        return self._aborted
+
+    # -- the scheduler loop ----------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run to completion.
+
+        Raises
+        ------
+        TaskFailed
+            if any rank body raised an unhandled exception.
+        SimulationDeadlock
+            if the simulation stalls and no ``on_stall`` hook unsticks it.
+        """
+        if self._running:
+            raise EngineError("run() is not reentrant")
+        self._running = True
+        for task in sorted(self._tasks.values(), key=lambda t: t.rank):
+            self.call_at(0.0, lambda t=task: self._resume(t, None))
+        try:
+            while True:
+                while self._heap:
+                    t, _, fn = heapq.heappop(self._heap)
+                    self._now = max(self._now, t)
+                    self.stats["events"] += 1
+                    fn()
+                if self._live_tasks == 0 or self._aborted is not None:
+                    break
+                # Stall: give higher layers (Pilot's deadlock detector)
+                # one chance per stall to inject events.
+                for hook in list(self.on_stall):
+                    hook(self)
+                if not self._heap:
+                    blocked = {
+                        r: t.blocked_reason
+                        for r, t in self._tasks.items()
+                        if t.state is not TaskState.DONE
+                    }
+                    # Unstick and drain the parked threads before raising
+                    # so engines do not leak threads across tests.
+                    self._abort_locked_free(errorcode=2, origin_rank=-1,
+                                            reason="simulation deadlock")
+                    self._drain_threads()
+                    raise SimulationDeadlock(blocked)
+            self._drain_threads()
+        finally:
+            self._running = False
+        failures = [t for t in sorted(self._tasks.values(), key=lambda t: t.rank) if t.exc]
+        if failures:
+            first = failures[0]
+            raise TaskFailed(first.rank, first.exc) from first.exc
+        results = {r: t.result for r, t in self._tasks.items()}
+        return RunResult(self._now, self._aborted, results)
+
+    def _drain_threads(self) -> None:
+        """After abort/finish, make sure every task thread has exited."""
+        while self._heap:
+            t, _, fn = heapq.heappop(self._heap)
+            self._now = max(self._now, t)
+            fn()
+        for task in self._tasks.values():
+            if task.thread.is_alive():
+                task.thread.join(_HANDOFF_TIMEOUT)
+                if task.thread.is_alive():  # pragma: no cover - internal bug
+                    raise EngineError(f"task {task.name} failed to wind down")
+
+    # -- convenience -----------------------------------------------------
+
+    def resource(self, capacity: int = 1, name: str = "resource") -> Resource:
+        return Resource(self, capacity, name)
+
+    def wtime(self) -> float:
+        """``MPI_Wtime`` for the calling task: skewed, quantised local time."""
+        task = self._require_task()
+        return task.clock.read(self._now)

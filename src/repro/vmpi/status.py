@@ -1,0 +1,26 @@
+"""Receive status, mirroring ``MPI_Status``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Status:
+    """What a completed (or probed) receive learned about its message."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+    def Get_source(self) -> int:  # noqa: N802 - MPI naming
+        return self.source
+
+    def Get_tag(self) -> int:  # noqa: N802 - MPI naming
+        return self.tag
+
+    def Get_count(self, itemsize: int = 1) -> int:  # noqa: N802 - MPI naming
+        """Number of ``itemsize``-byte elements in the message."""
+        if itemsize <= 0:
+            raise ValueError(f"itemsize must be > 0, got {itemsize}")
+        return self.nbytes // itemsize

@@ -1,0 +1,142 @@
+"""Synthetic data generators and the shared-disk model."""
+
+import numpy as np
+import pytest
+
+from repro.apps import datagen
+from repro.apps.simio import DiskModel, disk_io
+from repro.pilot import run_pilot
+from repro.pilot.api import PI_Configure, PI_StartAll, PI_StopMain
+from repro.pilot.program import current_run
+
+
+class TestPhotos:
+    def test_photo_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        img = datagen.make_photo(rng, 96, 128)
+        assert img.shape == (96, 128)
+        assert img.dtype == np.uint8
+
+    def test_photos_vary(self):
+        rng = np.random.default_rng(0)
+        a = datagen.make_photo(rng)
+        b = datagen.make_photo(rng)
+        assert not np.array_equal(a, b)
+
+    def test_corpus_deterministic_by_seed(self):
+        c1 = datagen.make_jpeg_corpus(3, seed=5)
+        c2 = datagen.make_jpeg_corpus(3, seed=5)
+        assert c1 == c2
+        c3 = datagen.make_jpeg_corpus(3, seed=6)
+        assert c1 != c3
+
+    def test_corpus_files_decodable(self):
+        from repro.apps import jpeglite
+
+        for data in datagen.make_jpeg_corpus(2, seed=1):
+            img = jpeglite.decode(data)
+            assert img.shape == (96, 128)
+
+
+class TestCollisionCsv:
+    def test_structure(self):
+        ds = datagen.make_collision_csv(100, seed=1)
+        lines = ds.text.strip().splitlines()
+        assert lines[0] == datagen.COLLISION_HEADER
+        assert len(lines) == 101
+        assert ds.nrecords == 100
+
+    def test_parse_roundtrip(self):
+        ds = datagen.make_collision_csv(50, seed=2)
+        parsed = datagen.parse_collision_csv(ds.text)
+        assert parsed.shape == (50, 6)
+        assert ((parsed[:, 2] >= 1) & (parsed[:, 2] <= 3)).all()  # severity
+        assert ((parsed[:, 0] >= 1999) & (parsed[:, 0] <= 2014)).all()
+
+    def test_parse_empty(self):
+        assert datagen.parse_collision_csv("").shape == (0, 6)
+
+    def test_line_offsets_cover_file(self):
+        ds = datagen.make_collision_csv(200, seed=3)
+        ranges = ds.line_offsets(4)
+        assert len(ranges) == 4
+        assert ranges[0][0] == ds.text.index("\n") + 1
+        assert ranges[-1][1] == len(ds.text)
+        for (a, b), (c, _) in zip(ranges, ranges[1:]):
+            assert b == c
+        # Every cut lands on a line boundary.
+        for _, end in ranges[:-1]:
+            assert ds.text[end - 1] == "\n"
+
+    def test_slices_parse_to_whole(self):
+        ds = datagen.make_collision_csv(97, seed=4)
+        ranges = ds.line_offsets(3)
+        total = sum(len(datagen.parse_collision_csv(ds.text[a:b]))
+                    for a, b in ranges)
+        assert total == 97
+
+
+class TestDiskModel:
+    def _timed_io(self, nreaders, nbytes, model):
+        spans = {}
+
+        def main(argv):
+            from repro.pilot.api import PI_CreateProcess
+
+            def work(i, _a):
+                run = current_run()
+                start = run.engine.now
+                disk_io(run, nbytes, model)
+                spans[i] = (start, run.engine.now)
+                return 0
+
+            PI_Configure(argv)
+            for i in range(nreaders):
+                PI_CreateProcess(work, i)
+            PI_StartAll()
+            PI_StopMain(0)
+
+        run_pilot(main, nreaders + 1)
+        return spans
+
+    def test_single_reader_bandwidth(self):
+        model = DiskModel(bandwidth=100e6, per_op_latency=0.0)
+        spans = self._timed_io(1, 100_000_000, model)
+        start, end = spans[0]
+        assert end - start == pytest.approx(1.0, rel=1e-6)
+
+    def test_capacity_one_partial_overlap(self):
+        """Two readers on one disk: each read *state* stretches to ~2x
+        its solo time (interleaved chunks), and the states overlap —
+        Fig. 4's 'partial overlapping of gray bars'."""
+        model = DiskModel(bandwidth=100e6, capacity=1,
+                          chunk_bytes=10_000_000, per_op_latency=0.0)
+        spans = self._timed_io(2, 100_000_000, model)
+        (s0, e0), (s1, e1) = spans[0], spans[1]
+        overlap = min(e0, e1) - max(s0, s1)
+        assert overlap > 0  # they do overlap...
+        assert max(e0, e1) == pytest.approx(2.0, rel=1e-3)  # ...but not freely
+
+    def test_capacity_two_full_overlap(self):
+        model = DiskModel(bandwidth=100e6, capacity=2,
+                          chunk_bytes=10_000_000, per_op_latency=0.0)
+        spans = self._timed_io(2, 100_000_000, model)
+        assert max(e for _, e in spans.values()) == pytest.approx(1.0, rel=1e-3)
+
+    def test_zero_bytes_only_latency(self):
+        model = DiskModel(per_op_latency=0.5)
+        spans = self._timed_io(1, 0, model)
+        start, end = spans[0]
+        assert end - start == pytest.approx(0.5)
+
+    def test_negative_bytes_rejected(self):
+        def main(argv):
+            PI_Configure(argv)
+            PI_StartAll()
+            disk_io(current_run(), -1)
+            PI_StopMain(0)
+
+        from repro.vmpi.errors import TaskFailed
+
+        with pytest.raises(TaskFailed):
+            run_pilot(main, 1)

@@ -1,0 +1,198 @@
+"""The toy JPEG codec: DCT, quantisation, RLE and end-to-end quality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.apps import jpeglite
+from repro.apps.jpeglite import dct, quant, rle
+from repro.apps.jpeglite.codec import JpegLiteError
+
+
+def smooth_image(h=64, w=64, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0, 3 * np.pi, w)
+    y = np.linspace(0, 2 * np.pi, h)
+    img = 128 + 90 * np.outer(np.sin(y), np.cos(x)) + rng.normal(0, 2, (h, w))
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+class TestDct:
+    def test_forward_inverse_identity(self):
+        rng = np.random.default_rng(1)
+        blocks = rng.normal(0, 50, (10, 8, 8))
+        back = dct.inverse(dct.forward(blocks))
+        assert np.allclose(back, blocks, atol=1e-9)
+
+    def test_dc_coefficient_is_block_mean(self):
+        block = np.full((1, 8, 8), 10.0)
+        coeffs = dct.forward(block)
+        assert coeffs[0, 0, 0] == pytest.approx(80.0)  # 10 * 8
+        assert np.allclose(coeffs[0].flatten()[1:], 0.0, atol=1e-9)
+
+    def test_blockify_roundtrip(self):
+        img = np.arange(32 * 16, dtype=np.float64).reshape(32, 16)
+        blocks = dct.blockify(img)
+        assert blocks.shape == (8, 8, 8)
+        assert np.array_equal(dct.unblockify(blocks, 32, 16), img)
+
+    def test_blockify_requires_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            dct.blockify(np.zeros((10, 16)))
+
+    def test_energy_preserved(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.normal(0, 30, (5, 8, 8))
+        coeffs = dct.forward(blocks)
+        # Orthonormal transform: Parseval holds.
+        assert np.sum(coeffs ** 2) == pytest.approx(np.sum(blocks ** 2))
+
+
+class TestQuant:
+    def test_quality_scales_table(self):
+        rough = quant.table_for_quality(10)
+        fine = quant.table_for_quality(95)
+        assert (rough >= fine).all()
+        assert rough.max() <= 255 and fine.min() >= 1
+
+    def test_bad_quality(self):
+        for q in (0, 101, -5):
+            with pytest.raises(ValueError):
+                quant.table_for_quality(q)
+
+    def test_quantize_dequantize_bounded_error(self):
+        table = quant.table_for_quality(75)
+        coeffs = np.random.default_rng(3).normal(0, 100, (4, 8, 8))
+        err = quant.dequantize(quant.quantize(coeffs, table), table) - coeffs
+        assert (np.abs(err) <= table / 2 + 1e-9).all()
+
+
+class TestRle:
+    def test_roundtrip_sparse(self):
+        rng = np.random.default_rng(4)
+        q = np.zeros((6, 8, 8), dtype=np.int32)
+        mask = rng.random((6, 8, 8)) < 0.15
+        q[mask] = rng.integers(-300, 300, mask.sum())
+        data = rle.encode_blocks(q)
+        assert np.array_equal(rle.decode_blocks(data, 6), q)
+
+    def test_roundtrip_dense(self):
+        rng = np.random.default_rng(5)
+        q = rng.integers(-1000, 1000, (3, 8, 8)).astype(np.int32)
+        assert np.array_equal(rle.decode_blocks(rle.encode_blocks(q), 3), q)
+
+    def test_all_zero_block_is_one_byte(self):
+        q = np.zeros((1, 8, 8), dtype=np.int32)
+        assert len(rle.encode_blocks(q)) == 1  # just the EOB marker
+
+    def test_sparse_smaller_than_dense(self):
+        sparse = np.zeros((4, 8, 8), dtype=np.int32)
+        sparse[:, 0, 0] = 5
+        dense = np.full((4, 8, 8), 7, dtype=np.int32)
+        assert len(rle.encode_blocks(sparse)) < len(rle.encode_blocks(dense))
+
+    def test_truncated_stream_detected(self):
+        q = np.ones((2, 8, 8), dtype=np.int32)
+        data = rle.encode_blocks(q)
+        with pytest.raises(ValueError):
+            rle.decode_blocks(data[:-3], 2)
+
+    def test_trailing_bytes_detected(self):
+        q = np.ones((1, 8, 8), dtype=np.int32)
+        with pytest.raises(ValueError):
+            rle.decode_blocks(rle.encode_blocks(q) + b"\x00\x00", 1)
+
+    def test_zigzag_is_permutation(self):
+        assert sorted(rle.ZIGZAG.tolist()) == list(range(64))
+        assert (rle.ZIGZAG[rle.UNZIGZAG] == np.arange(64)).all()
+
+    @settings(deadline=None, max_examples=25)
+    @given(hnp.arrays(np.int32, (2, 8, 8), elements=st.integers(-5000, 5000)))
+    def test_roundtrip_property(self, q):
+        assert np.array_equal(rle.decode_blocks(rle.encode_blocks(q), 2), q)
+
+
+class TestCodec:
+    def test_smooth_image_good_psnr(self):
+        img = smooth_image()
+        back = jpeglite.decode(jpeglite.encode(img, 75))
+        assert back.shape == img.shape
+        assert jpeglite.psnr(img, back) > 32.0
+
+    def test_higher_quality_higher_psnr_bigger_file(self):
+        img = smooth_image()
+        lo = jpeglite.encode(img, 20)
+        hi = jpeglite.encode(img, 95)
+        assert len(hi) > len(lo)
+        assert (jpeglite.psnr(img, jpeglite.decode(hi))
+                > jpeglite.psnr(img, jpeglite.decode(lo)))
+
+    def test_compression_actually_compresses(self):
+        img = smooth_image()
+        assert len(jpeglite.encode(img, 75)) < img.nbytes
+
+    def test_non_multiple_of_8_dims(self):
+        img = smooth_image(50, 70)
+        back = jpeglite.decode(jpeglite.encode(img))
+        assert back.shape == (50, 70)
+
+    def test_single_pixel_extremes(self):
+        img = np.array([[0]], dtype=np.uint8)
+        assert jpeglite.decode(jpeglite.encode(img)).shape == (1, 1)
+        img = np.array([[255]], dtype=np.uint8)
+        out = jpeglite.decode(jpeglite.encode(img))
+        assert out[0, 0] > 240
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(JpegLiteError):
+            jpeglite.encode(np.zeros((4, 4, 3), dtype=np.uint8))  # colour
+        with pytest.raises(JpegLiteError):
+            jpeglite.encode(np.zeros((0, 8), dtype=np.uint8))
+        with pytest.raises(JpegLiteError):
+            jpeglite.decode(b"NOTJPLT-data")
+        with pytest.raises(JpegLiteError):
+            jpeglite.decode(b"\x01")
+
+    def test_crop_center_area_fraction(self):
+        img = np.zeros((100, 200), dtype=np.uint8)
+        cropped = jpeglite.crop_center(img, 0.32)
+        area = cropped.size / img.size
+        assert area == pytest.approx(0.32, abs=0.02)
+
+    def test_crop_takes_the_center(self):
+        img = np.zeros((90, 90), dtype=np.uint8)
+        img[40:50, 40:50] = 255
+        cropped = jpeglite.crop_center(img, 0.25)
+        assert cropped.max() == 255
+
+    def test_crop_validation(self):
+        with pytest.raises(ValueError):
+            jpeglite.crop_center(np.zeros((8, 8)), 0.0)
+
+    def test_downsample_every_third(self):
+        img = np.arange(81).reshape(9, 9)
+        down = jpeglite.downsample(img, 3)
+        assert down.shape == (3, 3)
+        assert down[0, 0] == 0 and down[1, 1] == 30
+
+    def test_downsample_validation(self):
+        with pytest.raises(ValueError):
+            jpeglite.downsample(np.zeros((9, 9)), 0)
+
+    def test_psnr_identical_infinite(self):
+        img = smooth_image()
+        assert jpeglite.psnr(img, img) == float("inf")
+
+    def test_psnr_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            jpeglite.psnr(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(8, 40), st.integers(8, 40), st.integers(30, 95))
+    def test_any_size_roundtrips(self, h, w, q):
+        rng = np.random.default_rng(h * w)
+        img = rng.integers(0, 256, (h, w)).astype(np.uint8)
+        back = jpeglite.decode(jpeglite.encode(img, q))
+        assert back.shape == (h, w)

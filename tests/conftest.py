@@ -1,0 +1,22 @@
+"""Global test hygiene."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolate_cwd(tmp_path_factory):
+    """Run the whole session from a private scratch directory.
+
+    Pilot's defaults write relative paths (``pilot_native.log``,
+    ``pilot_mpe.clog2``) exactly as C Pilot drops files in the working
+    directory; isolation keeps test runs from littering the repo.
+    Tests that care about the working directory chdir themselves (the
+    CLI tests already do).
+    """
+    scratch = tmp_path_factory.mktemp("cwd")
+    old = os.getcwd()
+    os.chdir(scratch)
+    yield
+    os.chdir(old)

@@ -1,0 +1,103 @@
+"""Execute the interactive viewer's JavaScript under node with DOM
+stubs — a real smoke test of the draw and interaction paths.
+
+Skipped when no node interpreter is installed.
+"""
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.jumpshot import View
+from repro.jumpshot.html import render_html
+from repro.slog2.model import Arrow, Event, SlogCategory, Slog2Doc, State
+
+NODE = shutil.which("node")
+
+pytestmark = pytest.mark.skipif(NODE is None, reason="node not installed")
+
+_HARNESS = r"""
+const script = process.argv[2];
+const fs = require('fs');
+const js = fs.readFileSync(script, 'utf8');
+const calls = [];
+function makeCtx() {
+  return new Proxy({}, { get: (t, p) => {
+    if (typeof p !== 'string') return () => {};
+    return (...a) => { calls.push(p); };
+  }, set: () => true });
+}
+const listeners = {};
+const canvas = {
+  clientWidth: 800, clientHeight: 400, width: 0, height: 0,
+  getContext: () => makeCtx(),
+  addEventListener: (ev, fn) => { listeners[ev] = fn; },
+  style: {},
+};
+const tip = { style: {}, textContent: '' };
+global.document = {
+  getElementById: id => id === 'tl' ? canvas : tip,
+  querySelectorAll: () => [],
+};
+global.window = { addEventListener: () => {} };
+global.devicePixelRatio = 1;
+eval(js);
+listeners['wheel']({ preventDefault: () => {}, offsetX: 400, deltaY: -100 });
+listeners['mousedown']({ offsetX: 300 });
+listeners['mousemove']({ offsetX: 200, offsetY: 60, pageX: 0, pageY: 0 });
+listeners['mousemove']({ offsetX: 500, offsetY: 60, pageX: 0, pageY: 0 });
+listeners['dblclick']();
+console.log('OPS=' + calls.length + ' TIP=' + (tip.textContent ? 1 : 0));
+"""
+
+
+def make_doc():
+    cats = [SlogCategory(0, "Compute", "gray", "state"),
+            SlogCategory(1, "PI_Read", "red", "state"),
+            SlogCategory(2, "Bubble", "yellow", "event"),
+            SlogCategory(3, "message", "white", "arrow")]
+    states = [State(0, r, 0.0, 5.0, 0, "Line: 1") for r in range(3)]
+    states.append(State(1, 1, 1.0, 4.0, 1, "Line: 2"))
+    events = [Event(2, 0, 2.0, "Sent: x")]
+    arrows = [Arrow(3, 0, 1, 1.9, 2.0, 1, 8)]
+    return Slog2Doc(categories=cats, states=states, events=events,
+                    arrows=arrows, num_ranks=3, clock_resolution=1e-6)
+
+
+def run_viewer_js(html: str, tmp_path) -> str:
+    script = html.split("<script>")[1].split("</script>")[0]
+    js_path = tmp_path / "viewer.js"
+    js_path.write_text(script)
+    harness = tmp_path / "harness.js"
+    harness.write_text(_HARNESS)
+    proc = subprocess.run([NODE, str(harness), str(js_path)],
+                          capture_output=True, text=True, timeout=30)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+class TestViewerJs:
+    def test_syntax_valid(self, tmp_path):
+        html = render_html(View(make_doc()))
+        script = html.split("<script>")[1].split("</script>")[0]
+        js_path = tmp_path / "v.js"
+        js_path.write_text(script)
+        proc = subprocess.run([NODE, "--check", str(js_path)],
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_draw_and_interactions_execute(self, tmp_path):
+        html = render_html(View(make_doc()))
+        out = run_viewer_js(html, tmp_path)
+        ops = int(out.split("OPS=")[1].split()[0])
+        assert ops > 50  # the draw loop really painted things
+
+    def test_larger_log_still_executes(self, tmp_path):
+        doc = make_doc()
+        many = [State(0, i % 3, i * 0.01, i * 0.01 + 0.005, 0)
+                for i in range(2000)]
+        doc.states.extend(many)
+        html = render_html(View(doc))
+        out = run_viewer_js(html, tmp_path)
+        assert "OPS=" in out

@@ -1,0 +1,71 @@
+"""Zoom-out preview behaviour: bucketing in the viewer and striping in
+the renderers (the Fig. 1 outline rectangles)."""
+
+import pytest
+
+from repro.jumpshot import View, render_ascii, render_svg
+from repro.slog2.model import SlogCategory, Slog2Doc, State
+
+CATS = [SlogCategory(0, "Compute", "gray", "state"),
+        SlogCategory(1, "PI_Read", "red", "state")]
+
+
+def dense_doc(n=3000, read_share=0.25):
+    """Alternating tiny compute/read states over [0, n*1e-3]."""
+    states = []
+    t = 0.0
+    cell = 1e-3
+    for _ in range(n):
+        states.append(State(0, 0, t, t + cell * (1 - read_share), 0))
+        states.append(State(1, 0, t + cell * (1 - read_share), t + cell, 0))
+        t += cell
+    return Slog2Doc(categories=list(CATS), states=states, events=[],
+                    arrows=[], num_ranks=1, clock_resolution=1e-9)
+
+
+class TestViewerBuckets:
+    def test_zoomed_out_uses_previews(self):
+        view = View(dense_doc())
+        drawables, previews = view.visible()
+        assert previews, "tiny states must fold into previews"
+        total = sum(p.preview.total_count for p in previews)
+        assert total + len(drawables) == len(view.doc.states)
+
+    def test_zoomed_in_draws_individually(self):
+        view = View(dense_doc())
+        view.zoom_to(1.0, 1.01)  # ~10 states in window
+        drawables, previews = view.visible()
+        assert len(drawables) >= 5
+        assert sum(p.preview.total_count for p in previews) == 0
+
+    def test_preview_proportions_match_workload(self):
+        view = View(dense_doc(read_share=0.25))
+        _, previews = view.visible()
+        gray = sum(p.preview.duration.get((0, 0), 0.0) for p in previews)
+        red = sum(p.preview.duration.get((0, 1), 0.0) for p in previews)
+        assert gray / red == pytest.approx(3.0, rel=0.05)
+
+    def test_hidden_rows_no_previews(self):
+        view = View(dense_doc())
+        view.cut_timeline(0)
+        drawables, previews = view.visible()
+        assert drawables == []
+        assert all(not p.preview.duration for p in previews) or not previews
+
+
+class TestRenderedPreviews:
+    def test_svg_outline_rectangles_with_stripes(self):
+        svg = render_svg(View(dense_doc()), legend=False)
+        # The outline rectangle Jumpshot draws for zoomed-out intervals:
+        assert 'fill="none" stroke="#888"' in svg
+        # ...with coloured stripes inside (both categories appear).
+        assert 'opacity="0.85"' in svg
+        assert "#808080" in svg and "#ff0000" in svg
+
+    def test_ascii_shows_dominant_category_from_previews(self):
+        text = render_ascii(View(dense_doc()), width=80, show_legend=False)
+        row = next(l for l in text.splitlines() if l.lstrip().startswith("0|"))
+        cells = row.split("|", 1)[1]
+        # 75% compute: the dominant glyph per cell is '#'.
+        assert cells.count("#") > cells.count("R")
+        assert cells.count("#") > 40

@@ -1,0 +1,185 @@
+"""Legend model, canvas layout, and the SVG/ASCII renderers."""
+
+import pytest
+
+from repro.jumpshot import Legend, View, render_ascii, render_svg, rgb
+from repro.jumpshot.canvas import Canvas
+from repro.slog2.model import Arrow, Event, SlogCategory, Slog2Doc, State
+
+CATS = [SlogCategory(0, "Compute", "gray", "state"),
+        SlogCategory(1, "PI_Read", "red", "state"),
+        SlogCategory(2, "Bubble", "yellow", "event"),
+        SlogCategory(3, "message", "white", "arrow")]
+
+
+def make_doc():
+    states = [State(0, 0, 0.0, 8.0, 0), State(1, 1, 1.0, 6.0, 0),
+              State(1, 0, 2.0, 3.0, 1)]
+    events = [Event(2, 0, 2.5, "Sent: val=1")]
+    arrows = [Arrow(3, 0, 1, 2.5, 2.6, 4, 8)]
+    return Slog2Doc(categories=list(CATS), states=states, events=events,
+                    arrows=arrows, num_ranks=2, clock_resolution=1e-6,
+                    rank_names={0: "PI_MAIN"})
+
+
+class TestPalette:
+    def test_known_names(self):
+        assert rgb("red") == "#ff0000"
+        assert rgb("ForestGreen") == "#228b22"
+        assert rgb("bisque") == "#ffe4c4"
+
+    def test_unknown_falls_back(self):
+        assert rgb("no-such-colour") == "#999999"
+
+    def test_hex_passthrough(self):
+        assert rgb("#123456") == "#123456"
+
+
+class TestLegend:
+    def test_entries_built_from_stats(self):
+        legend = Legend(make_doc())
+        read = legend.entry("PI_Read")
+        assert read.count == 2
+        assert read.incl == pytest.approx(6.0)
+        assert read.shape == "state"
+
+    def test_unknown_entry(self):
+        with pytest.raises(KeyError):
+            Legend(make_doc()).entry("PI_Nothing")
+
+    def test_visibility_and_searchability_toggles(self):
+        legend = Legend(make_doc())
+        legend.set_visible("Compute", False)
+        legend.set_searchable("Bubble", False)
+        assert 0 in legend.hidden_category_indices()
+        assert 2 in legend.unsearchable_category_indices()
+
+    def test_session_color_override(self):
+        # "this setting only persists for the current Jumpshot session"
+        doc = make_doc()
+        legend = Legend(doc)
+        legend.set_color("PI_Read", "purple")
+        assert legend.entry("PI_Read").color == "purple"
+        assert doc.categories[1].color == "red"  # the log is untouched
+
+    def test_rows_sorted(self):
+        legend = Legend(make_doc())
+        rows = legend.rows(sort_by="count")
+        counts = [r.count for r in rows]
+        assert counts == sorted(counts, reverse=True)
+        with pytest.raises(ValueError):
+            legend.rows(sort_by="shape")
+
+
+class TestCanvas:
+    def test_x_mapping_linear(self):
+        canvas = Canvas(0.0, 10.0, [0], {}, width=500, margin_left=100)
+        x0 = canvas.x(0.0)
+        x10 = canvas.x(10.0)
+        assert x0 == 100
+        assert canvas.x(5.0) == pytest.approx((x0 + x10) / 2)
+
+    def test_row_geometry_with_weights(self):
+        canvas = Canvas(0.0, 1.0, [0, 1], {1: 2.0}, width=500)
+        r0, r1 = canvas.rows
+        assert r1.height == pytest.approx(2 * r0.height)
+
+    def test_state_box_inset_by_depth(self):
+        canvas = Canvas(0.0, 1.0, [0], {}, width=500)
+        outer = canvas.state_box(0, 0.0, 1.0, depth=0)
+        inner = canvas.state_box(0, 0.2, 0.8, depth=1)
+        assert inner[1] > outer[1]  # pushed down
+        assert inner[3] < outer[3]  # shorter
+
+    def test_missing_rank_returns_none(self):
+        canvas = Canvas(0.0, 1.0, [0], {}, width=500)
+        assert canvas.state_box(5, 0.0, 1.0, 0) is None
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            Canvas(1.0, 1.0, [0], {}, width=500)
+
+    def test_ticks_cover_window(self):
+        canvas = Canvas(2.0, 4.0, [0], {}, width=500)
+        times = [t for t, _ in canvas.ticks(4)]
+        assert times[0] == 2.0 and times[-1] == 4.0
+
+
+class TestSvg:
+    def test_svg_structure(self, tmp_path):
+        view = View(make_doc())
+        path = str(tmp_path / "out.svg")
+        svg = render_svg(view, path)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert open(path).read() == svg
+
+    def test_svg_contains_all_drawable_kinds(self):
+        svg = render_svg(View(make_doc()))
+        assert svg.count("<rect") >= 3  # states (+background)
+        assert "<circle" in svg  # bubble
+        assert 'marker-end="url(#arrowhead)"' in svg  # arrow
+
+    def test_svg_popups_as_titles(self):
+        svg = render_svg(View(make_doc()))
+        assert "<title>" in svg
+        assert "tag: 4" in svg
+
+    def test_svg_uses_category_colors(self):
+        svg = render_svg(View(make_doc()))
+        assert rgb("red") in svg
+        assert rgb("gray") in svg
+
+    def test_svg_legend_panel(self):
+        svg = render_svg(View(make_doc()), legend=True)
+        assert "Legend" in svg
+        no_legend = render_svg(View(make_doc()), legend=False)
+        assert "Legend" not in no_legend
+
+    def test_hidden_category_not_rendered(self):
+        view = View(make_doc())
+        view.legend.set_visible("PI_Read", False)
+        svg = render_svg(view, legend=False)
+        assert rgb("red") not in svg
+
+    def test_rank_names_on_axis(self):
+        svg = render_svg(View(make_doc()))
+        assert "0 PI_MAIN" in svg
+
+
+class TestAscii:
+    def test_basic_rendering(self):
+        text = render_ascii(View(make_doc()), width=60)
+        lines = text.splitlines()
+        assert any(line.startswith(" 0 PI_MAIN|") for line in lines)
+        assert "#" in text  # Compute glyph
+        assert "R" in text  # PI_Read glyph
+
+    def test_bubble_marker(self):
+        text = render_ascii(View(make_doc()), width=60)
+        assert "o" in text.split("|", 1)[1]
+
+    def test_arrow_count_line(self):
+        text = render_ascii(View(make_doc()), width=60)
+        assert "arrows in window: 1" in text
+
+    def test_legend_lines(self):
+        text = render_ascii(View(make_doc()), width=60, show_legend=True)
+        assert "PI_Read: count=2" in text
+        bare = render_ascii(View(make_doc()), width=60, show_legend=False)
+        assert "count=" not in bare
+
+    def test_nested_state_visible(self):
+        # The PI_Read nested inside Compute on rank 0 must win its cells.
+        text = render_ascii(View(make_doc()), width=80, show_legend=False)
+        row0 = next(l for l in text.splitlines() if "PI_MAIN" in l)
+        assert "R" in row0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_ascii(View(make_doc()), width=5)
+
+    def test_custom_glyphs(self):
+        text = render_ascii(View(make_doc()), width=60,
+                            glyphs={"Compute": "*"})
+        assert "*" in text

@@ -1,0 +1,96 @@
+"""The statistics window: per-category histogram and load-balance view."""
+
+import pytest
+
+from repro.jumpshot import View, imbalance_ratio, per_rank_load, render_stats_svg
+from repro.slog2.model import SlogCategory, Slog2Doc, State
+
+CATS = [SlogCategory(0, "Compute", "gray", "state"),
+        SlogCategory(1, "PI_Read", "red", "state")]
+
+
+def make_doc(loads=(8.0, 4.0, 2.0)):
+    """Ranks with Compute states of the given durations; rank 1 also has
+    a 1-second nested read."""
+    states = [State(0, r, 0.0, d, 0) for r, d in enumerate(loads)]
+    states.append(State(1, 1, 1.0, 2.0, 1))  # nested read on rank 1
+    return Slog2Doc(categories=list(CATS), states=states, events=[],
+                    arrows=[], num_ranks=len(loads), clock_resolution=1e-6,
+                    rank_names={0: "PI_MAIN"})
+
+
+class TestPerRankLoad:
+    def test_exclusive_busy_time(self):
+        view = View(make_doc())
+        loads = per_rank_load(view)
+        assert loads[0] == pytest.approx(8.0)
+        assert loads[1] == pytest.approx(4.0 - 1.0)  # nested read removed
+        assert loads[2] == pytest.approx(2.0)
+
+    def test_window_clips(self):
+        view = View(make_doc())
+        view.zoom_to(0.0, 2.0)
+        loads = per_rank_load(view)
+        assert loads[0] == pytest.approx(2.0)
+        assert loads[2] == pytest.approx(2.0)
+
+    def test_cut_timeline_excluded(self):
+        view = View(make_doc())
+        view.cut_timeline(2)
+        assert 2 not in per_rank_load(view)
+
+    def test_missing_category(self):
+        view = View(make_doc())
+        with pytest.raises(KeyError):
+            per_rank_load(view, "NoSuchState")
+
+
+class TestImbalance:
+    def test_balanced(self):
+        assert imbalance_ratio({1: 2.0, 2: 2.0, 3: 2.0}) == pytest.approx(1.0)
+
+    def test_detects_imbalance(self):
+        # "Log visualization could also expose load imbalances among
+        # the worker processes" (paper Section IV.B).
+        ratio = imbalance_ratio({0: 100.0, 1: 6.0, 2: 2.0})
+        assert ratio == pytest.approx(3.0)  # rank 0 skipped by default
+
+    def test_includes_rank0_when_asked(self):
+        ratio = imbalance_ratio({0: 10.0, 1: 5.0}, skip_rank0=False)
+        assert ratio == pytest.approx(2.0)
+
+    def test_degenerate_cases(self):
+        assert imbalance_ratio({}) == 1.0
+        assert imbalance_ratio({1: 5.0}) == 1.0
+        assert imbalance_ratio({1: 0.0, 2: 0.0}) == 1.0
+
+
+class TestRenderStats:
+    def test_category_histogram(self, tmp_path):
+        view = View(make_doc())
+        path = str(tmp_path / "stats.svg")
+        svg = render_stats_svg(view, path)
+        assert svg.startswith("<svg")
+        assert "Compute" in svg and "PI_Read" in svg
+        assert "inclusive time per category" in svg
+        assert open(path).read() == svg
+
+    def test_by_rank_histogram(self):
+        svg = render_stats_svg(View(make_doc()), by_rank=True)
+        assert "load balance" in svg
+        assert "0 PI_MAIN" in svg
+
+    def test_bars_scale_with_values(self):
+        svg = render_stats_svg(View(make_doc()), by_rank=True)
+        import re
+
+        widths = [float(w) for w in
+                  re.findall(r'x="150" y="\d+" width="([0-9.]+)"', svg)]
+        assert len(widths) == 3
+        assert widths[0] > widths[1] > widths[2]
+
+    def test_window_shown(self):
+        view = View(make_doc())
+        view.zoom_to(1.0, 3.0)
+        svg = render_stats_svg(view)
+        assert "1.000s" in svg and "3.000s" in svg

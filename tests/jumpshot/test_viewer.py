@@ -1,0 +1,177 @@
+"""The View model: zoom, scroll, timeline cut/paste, visibility,
+window statistics, search, popups."""
+
+import pytest
+
+from repro.jumpshot import View
+from repro.slog2.model import Arrow, Event, SlogCategory, Slog2Doc, State
+
+CATS = [SlogCategory(0, "Compute", "gray", "state"),
+        SlogCategory(1, "PI_Read", "red", "state"),
+        SlogCategory(2, "Bubble", "yellow", "event"),
+        SlogCategory(3, "message", "white", "arrow")]
+
+
+def make_doc():
+    states = [State(0, r, 0.0, 10.0, 0) for r in range(3)]
+    states += [State(1, 1, 2.0, 4.0, 1, "Line: 12 Proc: P1 Idx: 0")]
+    events = [Event(2, 1, 3.0, "Arrived: len=4 on C2")]
+    arrows = [Arrow(3, 0, 1, 2.9, 3.0, 2, 32)]
+    return Slog2Doc(categories=list(CATS), states=states, events=events,
+                    arrows=arrows, num_ranks=3, clock_resolution=1e-6,
+                    rank_names={0: "PI_MAIN", 1: "P1", 2: "P2"})
+
+
+@pytest.fixture
+def view():
+    return View(make_doc())
+
+
+class TestWindow:
+    def test_initial_window_is_full_range(self, view):
+        assert view.window == (0.0, 10.0)
+
+    def test_zoom_in_halves_span(self, view):
+        view.zoom_in()
+        assert view.span == pytest.approx(5.0)
+        assert view.window == (pytest.approx(2.5), pytest.approx(7.5))
+
+    def test_zoom_in_around_center(self, view):
+        view.zoom_in(factor=4, center=2.0)
+        t0, t1 = view.window
+        assert (t0 + t1) / 2 == pytest.approx(2.0)
+
+    def test_zoom_out_then_fit(self, view):
+        view.zoom_in(8)
+        view.zoom_out(2)
+        assert view.span == pytest.approx(2.5)
+        view.zoom_fit()
+        assert view.window == (0.0, 10.0)
+
+    def test_dragged_zoom(self, view):
+        view.zoom_to(2.0, 4.0)
+        assert view.window == (2.0, 4.0)
+
+    def test_scroll_moves_window(self, view):
+        view.zoom_to(2.0, 4.0)
+        view.scroll(0.5)
+        assert view.window == (pytest.approx(3.0), pytest.approx(5.0))
+        view.scroll(-1.0)
+        assert view.window == (pytest.approx(1.0), pytest.approx(3.0))
+
+    def test_bad_windows_rejected(self, view):
+        with pytest.raises(ValueError):
+            view.set_window(5.0, 5.0)
+        with pytest.raises(ValueError):
+            view.zoom_in(factor=1.0)
+        with pytest.raises(ValueError):
+            view.zoom_out(factor=0.5)
+
+
+class TestTimelines:
+    def test_cut_removes_row(self, view):
+        view.cut_timeline(1)
+        assert view.rows == [0, 2]
+        drawables, _ = view.visible()
+        assert all(getattr(d, "rank", None) != 1 or isinstance(d, Arrow)
+                   for d in drawables)
+
+    def test_paste_reinserts_at_position(self, view):
+        view.cut_timeline(0)
+        view.paste_timeline(0, position=2)
+        assert view.rows == [1, 2, 0]
+
+    def test_cut_unknown_rank(self, view):
+        with pytest.raises(ValueError):
+            view.cut_timeline(9)
+
+    def test_paste_duplicate(self, view):
+        with pytest.raises(ValueError):
+            view.paste_timeline(1)
+
+    def test_expand_timeline_weight(self, view):
+        view.expand_timeline(1, 3.0)
+        assert view.row_weights[1] == 3.0
+        with pytest.raises(ValueError):
+            view.expand_timeline(1, 0.0)
+
+    def test_rank_labels_use_names(self, view):
+        assert view.rank_label(0) == "0 PI_MAIN"
+        assert view.rank_label(2) == "2 P2"
+
+
+class TestVisibility:
+    def test_hidden_category_filtered(self, view):
+        view.legend.set_visible("PI_Read", False)
+        drawables, _ = view.visible()
+        names = {view.doc.categories[d.category].name for d in drawables}
+        assert "PI_Read" not in names
+
+    def test_all_drawables_visible_by_default(self, view):
+        drawables, _ = view.visible()
+        assert len(drawables) == len(view.doc.drawables)
+
+    def test_window_culls(self, view):
+        view.zoom_to(6.0, 9.0)
+        drawables, _ = view.visible()
+        assert not any(isinstance(d, Event) for d in drawables)
+
+
+class TestStatsAndSearch:
+    def test_window_stats_clip(self, view):
+        stats = view.window_stats()
+        assert stats["Compute"].incl == pytest.approx(30.0)
+        view.zoom_to(0.0, 5.0)
+        assert view.window_stats()["Compute"].incl == pytest.approx(15.0)
+
+    def test_search_by_category_name(self, view):
+        hit = view.search("PI_Read", from_time=0.0)
+        assert isinstance(hit, State)
+        assert hit.start == 2.0
+
+    def test_search_recenters_window(self, view):
+        view.zoom_to(8.0, 10.0)
+        view.search("Bubble", from_time=0.0)
+        t0, t1 = view.window
+        assert t0 < 3.0 < t1
+
+    def test_search_by_popup_text(self, view):
+        hit = view.search("len=4", from_time=0.0, scroll_to_match=False)
+        assert isinstance(hit, Event)
+
+    def test_search_respects_searchability(self, view):
+        view.legend.set_searchable("PI_Read", False)
+        hit = view.search("PI_Read", from_time=0.0, scroll_to_match=False)
+        assert hit is None
+
+    def test_search_backward(self, view):
+        hit = view.search("Compute", from_time=100.0, backward=True,
+                          scroll_to_match=False)
+        assert isinstance(hit, State)
+
+    def test_search_no_match(self, view):
+        assert view.search("NoSuchThing", scroll_to_match=False) is None
+
+
+class TestPopups:
+    def test_state_popup_carries_line_info(self, view):
+        s = next(s for s in view.doc.states if s.category == 1)
+        popup = view.popup(s)
+        assert "PI_Read" in popup
+        assert "Line: 12 Proc: P1 Idx: 0" in popup
+        assert "duration" in popup
+
+    def test_arrow_popup_exactly_paper_fields(self, view):
+        # "start and end times of the transmission, its duration, the
+        # MPI tag, and message size. No way was found to attach
+        # additional data." (Section III.B)
+        popup = view.popup(view.doc.arrows[0])
+        assert "start" in popup and "duration" in popup
+        assert "tag: 2" in popup
+        assert "size: 32 bytes" in popup
+        assert "Line:" not in popup  # no additional data
+
+    def test_event_popup(self, view):
+        popup = view.popup(view.doc.events[0])
+        assert "Arrived: len=4 on C2" in popup
+        assert "time" in popup

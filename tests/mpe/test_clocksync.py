@@ -1,0 +1,82 @@
+"""Clock synchronisation: offset estimation and timestamp correction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import vmpi
+from repro.mpe.clocksync import CorrectionModel, SyncPoint, sync_clocks
+from repro.vmpi.clock import ClockSkew
+
+
+class TestCorrectionModel:
+    def test_no_points_identity(self):
+        assert CorrectionModel([]).correct(5.0) == 5.0
+
+    def test_single_point_constant_offset(self):
+        model = CorrectionModel([SyncPoint(10.0, 2.0)])
+        assert model.correct(10.0) == pytest.approx(8.0)
+        assert model.correct(0.0) == pytest.approx(-2.0)
+
+    def test_two_points_interpolates_drift(self):
+        # Offset grows 1.0 over 10 local seconds -> midpoint offset 1.5.
+        model = CorrectionModel([SyncPoint(0.0, 1.0), SyncPoint(10.0, 2.0)])
+        assert model.correct(5.0) == pytest.approx(5.0 - 1.5)
+
+    def test_extrapolates_past_last_point(self):
+        model = CorrectionModel([SyncPoint(0.0, 0.0), SyncPoint(10.0, 1.0)])
+        assert model.correct(20.0) == pytest.approx(20.0 - 2.0)
+
+    def test_points_sorted_internally(self):
+        model = CorrectionModel([SyncPoint(10.0, 2.0), SyncPoint(0.0, 1.0)])
+        assert model.correct(0.0) == pytest.approx(-1.0)
+
+    @settings(deadline=None, max_examples=30)
+    @given(offset=st.floats(-5, 5), drift=st.floats(-1e-4, 1e-4),
+           t=st.floats(0, 100))
+    def test_perfect_points_invert_linear_skew(self, offset, drift, t):
+        """With exact sync points, correction recovers true time for
+        any linear skew model."""
+        skew = ClockSkew(offset=offset, drift=drift)
+        pts = [SyncPoint(skew.local_from_true(tt),
+                         skew.local_from_true(tt) - tt) for tt in (0.0, 50.0)]
+        model = CorrectionModel(pts)
+        local = skew.local_from_true(t)
+        assert model.correct(local) == pytest.approx(t, abs=1e-6)
+
+
+class TestSyncClocks:
+    def _run(self, skews, resolution=1e-9, rounds=1):
+        points = {}
+
+        def main(comm):
+            points[comm.rank] = sync_clocks(comm, rounds)
+
+        vmpi.mpirun(main, len(skews) + 1,
+                    skews={r + 1: s for r, s in enumerate(skews)},
+                    clock_resolution=resolution)
+        return points
+
+    def test_rank0_offset_zero(self):
+        points = self._run([ClockSkew(offset=1.0)])
+        assert points[0].offset == 0.0
+
+    def test_offset_estimated_within_latency(self):
+        points = self._run([ClockSkew(offset=0.5), ClockSkew(offset=-0.25)])
+        assert points[1].offset == pytest.approx(0.5, abs=1e-3)
+        assert points[2].offset == pytest.approx(-0.25, abs=1e-3)
+
+    def test_no_skew_estimates_near_zero(self):
+        points = self._run([ClockSkew(), ClockSkew()])
+        for rank in (1, 2):
+            assert abs(points[rank].offset) < 1e-3
+
+    def test_multiple_rounds_average(self):
+        one = self._run([ClockSkew(offset=0.1)], rounds=1)
+        many = self._run([ClockSkew(offset=0.1)], rounds=4)
+        assert many[1].offset == pytest.approx(0.1, abs=1e-3)
+        assert one[1].offset == pytest.approx(0.1, abs=1e-3)
+
+    def test_collective_returns_on_all_ranks(self):
+        points = self._run([ClockSkew()] * 4)
+        assert set(points) == {0, 1, 2, 3, 4}

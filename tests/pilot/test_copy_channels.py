@@ -1,0 +1,115 @@
+"""PI_CopyChannels: fresh channels for a second bundle."""
+
+import pytest
+
+from repro.pilot import run_pilot
+from repro.pilot.api import (
+    PI_MAIN,
+    BundleUsage,
+    PI_Configure,
+    PI_CopyChannels,
+    PI_CreateBundle,
+    PI_CreateChannel,
+    PI_CreateProcess,
+    PI_Gather,
+    PI_Read,
+    PI_Select,
+    PI_StartAll,
+    PI_StopMain,
+    PI_Write,
+)
+
+from tests.pilot.helpers import expect_abort_with
+
+
+class TestCopyChannels:
+    def test_copies_have_same_endpoints_new_ids(self):
+        seen = {}
+
+        def main(argv):
+            PI_Configure(argv)
+            procs = [PI_CreateProcess(lambda i, a: 0, i) for i in range(2)]
+            originals = [PI_CreateChannel(p, PI_MAIN) for p in procs]
+            copies = PI_CopyChannels(originals)
+            seen["pairs"] = [(o.cid, c.cid, o.writer.rank == c.writer.rank,
+                              o.reader.rank == c.reader.rank)
+                             for o, c in zip(originals, copies)]
+            PI_StartAll()
+            PI_StopMain(0)
+
+        assert run_pilot(main, 3).ok
+        for ocid, ccid, same_writer, same_reader in seen["pairs"]:
+            assert ocid != ccid
+            assert same_writer and same_reader
+
+    def test_enables_selector_plus_gather(self):
+        """The motivating pattern: PI_Select over one set, PI_Gather
+        over a copy — impossible with a single set (one bundle per
+        channel)."""
+        result = {}
+
+        def main(argv):
+            chans = []
+
+            def work(i, _a):
+                PI_Write(chans[i], "%d", i + 1)  # wakes the selector
+                PI_Write(copies[i], "%d", (i + 1) * 100)  # gather data
+                return 0
+
+            PI_Configure(argv)
+            procs = [PI_CreateProcess(work, i) for i in range(3)]
+            chans.extend(PI_CreateChannel(p, PI_MAIN) for p in procs)
+            copies = PI_CopyChannels(chans)
+            selector = PI_CreateBundle(BundleUsage.SELECT, chans)
+            gatherer = PI_CreateBundle(BundleUsage.GATHER, copies)
+            PI_StartAll()
+            PI_Select(selector)
+            result["gathered"] = list(PI_Gather(gatherer, "%d"))
+            for i in range(3):
+                PI_Read(chans[i], "%d")  # drain the wake-up messages
+            PI_StopMain(0)
+
+        res = run_pilot(main, 4)
+        assert res.ok
+        assert result["gathered"] == [100, 200, 300]
+
+    def test_config_phase_only(self):
+        def main(argv):
+            chans = []
+
+            def work(i, _a):
+                PI_Read(chans[0], "%d")
+                return 0
+
+            PI_Configure(argv)
+            p = PI_CreateProcess(work, 0)
+            chans.append(PI_CreateChannel(PI_MAIN, p))
+            PI_StartAll()
+            PI_CopyChannels(chans)  # too late
+            PI_Write(chans[0], "%d", 1)
+            PI_StopMain(0)
+
+        expect_abort_with(run_pilot(main, 2), "WRONG_PHASE")
+
+    def test_validates_arguments(self):
+        def main(argv):
+            PI_Configure(argv)
+            PI_CopyChannels([])
+
+        expect_abort_with(run_pilot(main, 2), "BAD_ARGUMENTS")
+
+    def test_consistent_across_ranks(self):
+        # All ranks re-execute the copy; slots must line up.
+        def main(argv):
+            PI_Configure(argv)
+            p = PI_CreateProcess(lambda i, a: 0, 0)
+            c = PI_CreateChannel(p, PI_MAIN)
+            (copy,) = PI_CopyChannels([c])
+            PI_StartAll()
+            PI_StopMain(0)
+            return copy.cid
+
+        res = run_pilot(main, 4)
+        assert res.ok
+        # Only rank 0 returns from main normally; its cid is the shared one.
+        assert res.vmpi.results[0] == 1

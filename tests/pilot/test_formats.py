@@ -1,0 +1,239 @@
+"""Unit + property tests for Pilot's format-string machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pilot.formats import (
+    FormatError,
+    FormatItem,
+    apply_reduce,
+    decode_read,
+    encode_write,
+    parse_format,
+    signature,
+)
+
+
+class TestParse:
+    def test_scalar_types(self):
+        items = parse_format("%c %d %u %hd %hu %ld %lu %f %lf %s %b")
+        assert [i.type_code for i in items] == [
+            "c", "d", "u", "hd", "hu", "ld", "lu", "f", "lf", "s", "b"]
+        assert all(i.count is None for i in items)
+
+    def test_fixed_count(self):
+        (item,) = parse_format("%100f")
+        assert item.count == 100
+        assert item.type_code == "f"
+
+    def test_runtime_count(self):
+        (item,) = parse_format("%*d")
+        assert item.count == "*"
+
+    def test_autoalloc(self):
+        (item,) = parse_format("%^d")
+        assert item.count == "^"
+
+    def test_paper_example_two_items(self):
+        # "%d %100f" sends two MPI messages (paper Section III.B)
+        items = parse_format("%d %100f")
+        assert len(items) == 2
+        assert sum(len(_parts(i)) for i in items) == 2
+
+    def test_reduce_ops_require_flag(self):
+        with pytest.raises(FormatError):
+            parse_format("%+d")
+        (item,) = parse_format("%+d", allow_ops=True)
+        assert item.op == "+"
+
+    def test_all_reduce_ops(self):
+        # %*d and %^d are claimed by runtime-count / auto-alloc (see the
+        # module docstring); product and xor need an explicit count.
+        for op in "+<>&|":
+            (item,) = parse_format(f"%{op}d", allow_ops=True)
+            assert item.op == op
+        (prod,) = parse_format("%*4d", allow_ops=True)
+        assert prod.op == "*" and prod.count == 4
+
+    def test_star_is_runtime_count_not_product(self):
+        (item,) = parse_format("%*d", allow_ops=True)
+        assert item.count == "*" and item.op is None
+
+    def test_caret_is_autoalloc_not_xor(self):
+        (item,) = parse_format("%^d", allow_ops=True)
+        assert item.count == "^" and item.op is None
+
+    def test_xor_with_explicit_count(self):
+        (item,) = parse_format("%^8d", allow_ops=True)
+        assert item.op == "^" and item.count == 8
+
+    def test_op_with_runtime_count(self):
+        (item,) = parse_format("%+*lf", allow_ops=True)
+        assert item.op == "+" and item.count == "*" and item.type_code == "lf"
+
+    @pytest.mark.parametrize("bad", ["%q", "%0d", "%-3d", "", "   ", "%dd",
+                                     "d", "%^^d", "100f"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(FormatError):
+            parse_format(bad)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(FormatError):
+            parse_format(42)
+
+    def test_autoalloc_with_op_rejected(self):
+        with pytest.raises(FormatError):
+            parse_format("%+^d", allow_ops=True)
+
+
+class TestSignature:
+    def test_signature_excludes_op(self):
+        with_op = parse_format("%+d", allow_ops=True)
+        without = parse_format("%d")
+        assert signature(with_op) == signature(without)
+
+    def test_signature_keeps_counts(self):
+        assert signature(parse_format("%25f")) == "%25f"
+        assert signature(parse_format("%*d %^lf")) == "%*d %^lf"
+
+    def test_different_types_different_signatures(self):
+        assert signature(parse_format("%d")) != signature(parse_format("%ld"))
+
+
+def _parts(item: FormatItem):
+    return [None, None] if item.count == "^" else [None]
+
+
+class TestEncodeDecode:
+    def roundtrip(self, fmt, write_args, read_args=()):
+        items = parse_format(fmt)
+        parts = encode_write(items, write_args, strict=True)
+        payloads = [[p.payload for p in plist] for plist in parts]
+        return decode_read(items, read_args, payloads)
+
+    def test_scalar_int(self):
+        (v,) = self.roundtrip("%d", (42,))
+        assert v == 42
+        assert isinstance(v, np.int32)
+
+    def test_scalar_double(self):
+        (v,) = self.roundtrip("%lf", (3.25,))
+        assert v == 3.25 and isinstance(v, np.float64)
+
+    def test_float32_narrowing(self):
+        (v,) = self.roundtrip("%f", (1.0 / 3.0,))
+        assert isinstance(v, np.float32)
+
+    def test_string_and_bytes(self):
+        s, b = self.roundtrip("%s %b", ("hello", b"\x01\x02"))
+        assert s == "hello" and b == b"\x01\x02"
+
+    def test_char(self):
+        (c,) = self.roundtrip("%c", ("x",))
+        assert c == "x"
+
+    def test_fixed_array(self):
+        (arr,) = self.roundtrip("%5d", ([1, 2, 3, 4, 5],))
+        assert arr.dtype == np.int32
+        assert list(arr) == [1, 2, 3, 4, 5]
+
+    def test_runtime_array(self):
+        (arr,) = self.roundtrip("%*lf", (3, [0.5, 1.5, 2.5]), read_args=(3,))
+        assert list(arr) == [0.5, 1.5, 2.5]
+
+    def test_runtime_count_mismatch_detected(self):
+        with pytest.raises(FormatError):
+            self.roundtrip("%*d", (3, [1, 2, 3]), read_args=(4,))
+
+    def test_autoalloc_returns_count_and_array(self):
+        n, arr = self.roundtrip("%^d", (4, [9, 8, 7, 6]))
+        assert n == 4
+        assert list(arr) == [9, 8, 7, 6]
+
+    def test_autoalloc_sends_two_messages(self):
+        items = parse_format("%^d")
+        parts = encode_write(items, (2, [1, 2]), strict=True)
+        assert len(parts[0]) == 2  # length message, then data message
+
+    def test_multi_item(self):
+        a, b, c = self.roundtrip("%d %3f %s", (7, [1.0, 2.0, 3.0], "done"))
+        assert a == 7 and len(b) == 3 and c == "done"
+
+    def test_wrong_arg_count(self):
+        with pytest.raises(FormatError):
+            encode_write(parse_format("%d %d"), (1,), strict=False)
+
+    def test_array_too_short(self):
+        with pytest.raises(FormatError):
+            encode_write(parse_format("%5d"), ([1, 2],), strict=False)
+
+    def test_strict_rejects_oversized_fixed_array(self):
+        encode_write(parse_format("%2d"), ([1, 2, 3],), strict=False)  # lax: ok
+        with pytest.raises(FormatError):
+            encode_write(parse_format("%2d"), ([1, 2, 3],), strict=True)
+
+    def test_negative_runtime_count(self):
+        with pytest.raises(FormatError):
+            encode_write(parse_format("%*d"), (-1, [1]), strict=False)
+
+    def test_string_type_mismatch(self):
+        with pytest.raises(FormatError):
+            encode_write(parse_format("%s"), (123,), strict=False)
+
+    def test_array_count_on_string_rejected(self):
+        with pytest.raises(FormatError):
+            encode_write(parse_format("%3s"), (["a", "b", "c"],), strict=False)
+
+    @given(st.lists(st.integers(-2**31, 2**31 - 1), min_size=1, max_size=64))
+    def test_runtime_array_roundtrip_property(self, xs):
+        (arr,) = self.roundtrip("%*d", (len(xs), xs), read_args=(len(xs),))
+        assert list(arr) == xs
+
+    @given(st.integers(-2**31, 2**31 - 1))
+    def test_scalar_int_roundtrip_property(self, x):
+        (v,) = self.roundtrip("%d", (x,))
+        assert v == x
+
+
+class TestReduce:
+    def _item(self, fmt):
+        (item,) = parse_format(fmt, allow_ops=True)
+        return item
+
+    def test_sum_scalars(self):
+        assert apply_reduce(self._item("%+d"), [1, 2, 3]) == 6
+
+    def test_product(self):
+        assert apply_reduce(self._item("%*3d"), [np.array([1, 2, 2])] * 2).tolist() == [1, 4, 4]
+
+    def test_min_max(self):
+        assert apply_reduce(self._item("%<d"), [5, 2, 9]) == 2
+        assert apply_reduce(self._item("%>d"), [5, 2, 9]) == 9
+
+    def test_bitwise(self):
+        assert apply_reduce(self._item("%&d"), [0b110, 0b011]) == 0b010
+        assert apply_reduce(self._item("%|d"), [0b110, 0b011]) == 0b111
+
+    def test_xor_arrays(self):
+        out = apply_reduce(self._item("%^2d"),
+                           [np.array([1, 3]), np.array([3, 1])])
+        assert out.tolist() == [2, 2]
+
+    def test_array_sum(self):
+        out = apply_reduce(self._item("%+4lf"),
+                           [np.ones(4), np.ones(4) * 2])
+        assert out.tolist() == [3.0] * 4
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(FormatError):
+            apply_reduce(parse_format("%d")[0], [1, 2])
+
+    def test_empty_contribution_list(self):
+        with pytest.raises(FormatError):
+            apply_reduce(self._item("%+d"), [])
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=16))
+    def test_sum_matches_python(self, xs):
+        assert apply_reduce(self._item("%+ld"), xs) == sum(xs)

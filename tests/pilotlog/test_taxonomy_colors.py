@@ -1,0 +1,99 @@
+"""The call taxonomy and colour plan (paper Section III.A-III.B)."""
+
+import pytest
+
+from repro.pilotlog.colors import ColorScheme
+from repro.pilotlog.taxonomy import (
+    CALL_SPECS,
+    Category,
+    DrawStyle,
+    solo_specs,
+    spec_for,
+    state_specs,
+)
+
+
+class TestTaxonomy:
+    def test_four_categories_cover_all_calls(self):
+        cats = {s.category for s in CALL_SPECS}
+        assert cats == {Category.OUTPUT, Category.INPUT, Category.ADMIN,
+                        Category.OTHER}
+
+    def test_io_calls_are_states(self):
+        for name in ("PI_Write", "PI_Read", "PI_Broadcast", "PI_Scatter",
+                     "PI_Gather", "PI_Reduce", "PI_Select"):
+            assert spec_for(name).style is DrawStyle.STATE
+
+    def test_collectives_flagged(self):
+        for name in ("PI_Broadcast", "PI_Scatter", "PI_Gather", "PI_Reduce"):
+            assert spec_for(name).collective
+        assert not spec_for("PI_Write").collective
+
+    def test_select_is_the_exception(self):
+        # Blocks like a read (state) but consumes nothing (no bubble).
+        spec = spec_for("PI_Select")
+        assert spec.style is DrawStyle.STATE
+        assert spec.arrival_bubbles is False
+        assert spec_for("PI_Read").arrival_bubbles is True
+
+    def test_optional_utilities_are_solo_bubbles(self):
+        for name in ("PI_ChannelHasData", "PI_TrySelect", "PI_Log",
+                     "PI_StartTime", "PI_EndTime"):
+            assert spec_for(name).style is DrawStyle.SOLO
+
+    def test_other_category_not_displayed(self):
+        for name in ("PI_CreateProcess", "PI_CreateChannel", "PI_SetName",
+                     "PI_Abort"):
+            spec = spec_for(name)
+            assert spec.category is Category.OTHER
+            assert spec.style is DrawStyle.NONE
+
+    def test_unknown_call_defaults_to_hidden(self):
+        assert spec_for("PI_Imaginary").style is DrawStyle.NONE
+
+    def test_io_split_by_direction(self):
+        assert spec_for("PI_Read").category is Category.INPUT
+        assert spec_for("PI_Gather").category is Category.INPUT
+        assert spec_for("PI_Reduce").category is Category.INPUT
+        assert spec_for("PI_Write").category is Category.OUTPUT
+        assert spec_for("PI_Broadcast").category is Category.OUTPUT
+        assert spec_for("PI_Scatter").category is Category.OUTPUT
+
+    def test_spec_lists(self):
+        assert {s.name for s in state_specs()} >= {"PI_Read", "Compute"}
+        assert {s.name for s in solo_specs()} >= {"PI_Log"}
+
+
+class TestColorScheme:
+    def test_paper_examples(self):
+        colors = ColorScheme()
+        # Red/green themes; ForestGreen and IndianRed per Section III.A.
+        assert colors.color_of("PI_Read") == "red"
+        assert colors.color_of("PI_Write") == "green"
+        assert colors.color_of("PI_Broadcast") == "ForestGreen"
+        assert colors.color_of("PI_Gather") == "IndianRed"
+
+    def test_phase_states(self):
+        colors = ColorScheme()
+        assert colors.color_of("PI_Configure") == "bisque"
+        assert colors.color_of("Compute") == "gray"
+
+    def test_collectives_use_dark_shades_of_theme(self):
+        # Within a category, collective = dark shade of the same theme.
+        colors = ColorScheme()
+        greens = {"ForestGreen", "SeaGreen"}
+        reds = {"IndianRed", "FireBrick", "OrangeRed"}
+        assert colors.color_of("PI_Scatter") in greens
+        assert colors.color_of("PI_Reduce") in reds
+        assert colors.color_of("PI_Select") in reds
+
+    def test_bubbles_and_arrows(self):
+        colors = ColorScheme()
+        assert colors.color_of("bubble") == "yellow"
+        assert colors.color_of("arrow") == "white"
+
+    def test_override_mechanism(self):
+        # The "header file" customisation point, minus the recompile.
+        colors = ColorScheme(overrides={"PI_Read": "purple"})
+        assert colors.color_of("PI_Read") == "purple"
+        assert colors.color_of("PI_Write") == "green"

@@ -1,0 +1,206 @@
+"""CLOG2 -> SLOG2 conversion: pairing, nesting, arrows, warnings."""
+
+import pytest
+
+from repro.mpe.clog2 import Clog2File
+from repro.mpe.records import RECV, SEND, BareEvent, EventDef, MsgEvent, StateDef
+from repro.slog2.convert import convert
+from repro.slog2.model import Arrow, Event, State
+
+S1, E1 = 1, 2  # outer state ids
+S2, E2 = 3, 4  # inner state ids
+SOLO = 5
+
+
+def make_clog(records, num_ranks=2):
+    return Clog2File(
+        clock_resolution=1e-6, num_ranks=num_ranks,
+        definitions=[StateDef(S1, E1, "Outer", "gray"),
+                     StateDef(S2, E2, "Inner", "red"),
+                     EventDef(SOLO, "Bubble", "yellow")],
+        records=records)
+
+
+class TestStates:
+    def test_simple_pairing(self):
+        doc, rep = convert(make_clog([
+            BareEvent(1.0, 0, S1, "begin"),
+            BareEvent(2.0, 0, E1, "end"),
+        ]))
+        assert rep.clean
+        (s,) = doc.states
+        assert (s.start, s.end, s.rank, s.depth) == (1.0, 2.0, 0, 0)
+        assert s.start_text == "begin" and s.end_text == "end"
+
+    def test_nesting_depth(self):
+        # Paper Section III: state B from 5 to 8 fully nested in A (3-20).
+        doc, rep = convert(make_clog([
+            BareEvent(3.0, 0, S1, ""),
+            BareEvent(5.0, 0, S2, ""),
+            BareEvent(8.0, 0, E2, ""),
+            BareEvent(20.0, 0, E1, ""),
+        ]))
+        assert rep.clean
+        by_name = {doc.categories[s.category].name: s for s in doc.states}
+        assert by_name["Outer"].depth == 0
+        assert by_name["Inner"].depth == 1
+
+    def test_sequential_states_same_depth(self):
+        doc, rep = convert(make_clog([
+            BareEvent(1.0, 0, S2, ""), BareEvent(2.0, 0, E2, ""),
+            BareEvent(3.0, 0, S2, ""), BareEvent(4.0, 0, E2, ""),
+        ]))
+        assert rep.clean
+        assert [s.depth for s in doc.states] == [0, 0]
+
+    def test_per_rank_stacks_independent(self):
+        doc, rep = convert(make_clog([
+            BareEvent(1.0, 0, S1, ""),
+            BareEvent(1.5, 1, S2, ""),
+            BareEvent(2.0, 1, E2, ""),
+            BareEvent(3.0, 0, E1, ""),
+        ]))
+        assert rep.clean
+        inner = next(s for s in doc.states if s.rank == 1)
+        assert inner.depth == 0  # not nested: different rank
+
+    def test_dangling_start_reported(self):
+        _, rep = convert(make_clog([BareEvent(1.0, 0, S1, "")]))
+        assert rep.dangling_states == 1
+        assert not rep.clean
+
+    def test_end_without_start_reported(self):
+        doc, rep = convert(make_clog([BareEvent(1.0, 0, E1, "")]))
+        assert rep.improper_nesting == 1
+        assert doc.states == []
+
+    def test_interleaved_close_order_tolerated(self):
+        # Outer closes before inner: counted, both states still built.
+        doc, rep = convert(make_clog([
+            BareEvent(1.0, 0, S1, ""),
+            BareEvent(2.0, 0, S2, ""),
+            BareEvent(3.0, 0, E1, ""),
+            BareEvent(4.0, 0, E2, ""),
+        ]))
+        assert rep.improper_nesting == 1
+        assert len(doc.states) == 2
+
+
+class TestEventsAndUnknowns:
+    def test_solo_events_become_bubbles(self):
+        doc, rep = convert(make_clog([BareEvent(1.0, 1, SOLO, "pop")]))
+        assert rep.clean
+        (e,) = doc.events
+        assert (e.rank, e.time, e.text) == (1, 1.0, "pop")
+
+    def test_unknown_event_id_counted(self):
+        _, rep = convert(make_clog([BareEvent(1.0, 0, 999, "")]))
+        assert rep.unknown_event_ids == 1
+
+
+class TestArrows:
+    def test_send_recv_pair(self):
+        doc, rep = convert(make_clog([
+            MsgEvent(1.0, 0, SEND, 1, 7, 64),
+            MsgEvent(1.2, 1, RECV, 0, 7, 64),
+        ]))
+        assert rep.clean
+        (a,) = doc.arrows
+        assert (a.src_rank, a.dst_rank, a.start, a.end) == (0, 1, 1.0, 1.2)
+        assert a.tag == 7 and a.size == 64
+        assert a.duration == pytest.approx(0.2)
+
+    def test_fifo_matching_per_src_dst_tag(self):
+        doc, rep = convert(make_clog([
+            MsgEvent(1.0, 0, SEND, 1, 7, 1),
+            MsgEvent(2.0, 0, SEND, 1, 7, 2),
+            MsgEvent(3.0, 1, RECV, 0, 7, 1),
+            MsgEvent(4.0, 1, RECV, 0, 7, 2),
+        ]))
+        assert rep.clean
+        assert [(a.start, a.end) for a in doc.arrows] == [(1.0, 3.0), (2.0, 4.0)]
+
+    def test_recv_before_send_in_stream_matches(self):
+        # Skewed clocks can reorder the merged stream; matching still
+        # works and the causality violation is flagged.
+        doc, rep = convert(make_clog([
+            MsgEvent(0.9, 1, RECV, 0, 7, 8),
+            MsgEvent(1.0, 0, SEND, 1, 7, 8),
+        ]))
+        assert len(doc.arrows) == 1
+        assert len(rep.causality_violations) == 1
+
+    def test_unmatched_halves_counted(self):
+        _, rep = convert(make_clog([
+            MsgEvent(1.0, 0, SEND, 1, 7, 8),
+            MsgEvent(2.0, 1, RECV, 0, 8, 8),  # tag mismatch
+        ]))
+        assert rep.unmatched_sends == 1
+        assert rep.unmatched_receives == 1
+
+    def test_different_tags_do_not_cross(self):
+        doc, rep = convert(make_clog([
+            MsgEvent(1.0, 0, SEND, 1, 1, 8),
+            MsgEvent(1.1, 0, SEND, 1, 2, 8),
+            MsgEvent(2.0, 1, RECV, 0, 2, 8),
+            MsgEvent(2.1, 1, RECV, 0, 1, 8),
+        ]))
+        assert rep.clean
+        by_tag = {a.tag: a for a in doc.arrows}
+        assert by_tag[1].end == 2.1 and by_tag[2].end == 2.0
+
+
+class TestEqualDrawables:
+    def test_identical_states_warn(self):
+        # "two or more graphical objects having the same event ID also
+        # have identical start and end times" (paper Section III.C)
+        _, rep = convert(make_clog([
+            BareEvent(1.0, 0, S2, ""), BareEvent(2.0, 0, E2, ""),
+            BareEvent(1.0, 0, S2, ""), BareEvent(2.0, 0, E2, ""),
+        ]))
+        assert len(rep.equal_drawables) == 1
+        assert "Inner" in rep.equal_drawables[0]
+
+    def test_identical_arrows_warn(self):
+        _, rep = convert(make_clog([
+            MsgEvent(1.0, 0, SEND, 1, 7, 8),
+            MsgEvent(1.0, 0, SEND, 1, 7, 8),
+            MsgEvent(1.5, 1, RECV, 0, 7, 8),
+            MsgEvent(1.5, 1, RECV, 0, 7, 8),
+        ]))
+        assert any("arrows" in w for w in rep.equal_drawables)
+
+    def test_distinct_times_no_warning(self):
+        _, rep = convert(make_clog([
+            BareEvent(1.0, 0, S2, ""), BareEvent(2.0, 0, E2, ""),
+            BareEvent(2.5, 0, S2, ""), BareEvent(3.0, 0, E2, ""),
+        ]))
+        assert rep.equal_drawables == []
+
+    def test_summary_mentions_counts(self):
+        _, rep = convert(make_clog([
+            BareEvent(1.0, 0, S2, ""), BareEvent(2.0, 0, E2, ""),
+        ]))
+        assert "equal-drawables=0" in rep.summary()
+
+
+class TestDocAccessors:
+    def test_categories_include_arrow(self):
+        doc, _ = convert(make_clog([]))
+        names = [c.name for c in doc.categories]
+        assert names == ["Outer", "Inner", "Bubble", "message"]
+        assert doc.categories[-1].shape == "arrow"
+        assert doc.categories[-1].color == "white"
+
+    def test_states_of_and_time_range(self):
+        doc, _ = convert(make_clog([
+            BareEvent(1.0, 0, S1, ""), BareEvent(4.0, 0, E1, ""),
+            BareEvent(2.0, 1, SOLO, ""),
+        ]))
+        assert len(doc.states_of("Outer")) == 1
+        assert doc.events_of("Bubble")[0].time == 2.0
+        assert doc.time_range == (1.0, 4.0)
+
+    def test_rank_names_carried(self):
+        doc, _ = convert(make_clog([]), rank_names={0: "PI_MAIN", 1: "P1"})
+        assert doc.rank_names[0] == "PI_MAIN"

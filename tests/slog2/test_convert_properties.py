@@ -1,0 +1,118 @@
+"""Property-based tests: conversion invariants over generated logs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpe.clog2 import Clog2File
+from repro.mpe.records import RECV, SEND, BareEvent, EventDef, MsgEvent, StateDef
+from repro.slog2.convert import convert
+from repro.slog2.frames import FrameTree
+from repro.slog2.stats import compute_stats
+
+S1, E1, SOLO = 1, 2, 3
+DEFS = [StateDef(S1, E1, "S", "red"), EventDef(SOLO, "B", "yellow")]
+
+
+@st.composite
+def well_formed_logs(draw):
+    """Random logs with properly paired states and matched messages."""
+    nranks = draw(st.integers(1, 4))
+    records = []
+    for rank in range(nranks):
+        t = draw(st.floats(0.0, 0.1))
+        for _ in range(draw(st.integers(0, 6))):
+            kind = draw(st.sampled_from(["state", "solo"]))
+            if kind == "state":
+                dur = draw(st.floats(0.001, 1.0))
+                records.append(BareEvent(t, rank, S1, "b"))
+                records.append(BareEvent(t + dur, rank, E1, "e"))
+                t += dur + draw(st.floats(0.001, 0.5))
+            else:
+                records.append(BareEvent(t, rank, SOLO, "pop"))
+                t += draw(st.floats(0.001, 0.2))
+    if nranks >= 2:
+        for _ in range(draw(st.integers(0, 6))):
+            src = draw(st.integers(0, nranks - 1))
+            dst = draw(st.integers(0, nranks - 1))
+            if src == dst:
+                continue
+            tag = draw(st.integers(0, 3))
+            t_send = draw(st.floats(0.0, 5.0))
+            flight = draw(st.floats(0.0001, 0.5))
+            records.append(MsgEvent(t_send, src, SEND, dst, tag, 8))
+            records.append(MsgEvent(t_send + flight, dst, RECV, src, tag, 8))
+    records.sort(key=lambda r: r.timestamp)
+    return Clog2File(1e-9, nranks, list(DEFS), records)
+
+
+class TestConversionInvariants:
+    @settings(deadline=None, max_examples=60)
+    @given(well_formed_logs())
+    def test_record_conservation(self, clog):
+        """Every start/end pair becomes one state; every send/recv pair
+        one arrow; every solo event one bubble.  Nothing lost, nothing
+        invented."""
+        doc, report = convert(clog)
+        n_starts = sum(1 for r in clog.records
+                       if isinstance(r, BareEvent) and r.event_id == S1)
+        n_solos = sum(1 for r in clog.records
+                      if isinstance(r, BareEvent) and r.event_id == SOLO)
+        n_sends = sum(1 for r in clog.records
+                      if isinstance(r, MsgEvent) and r.kind == SEND)
+        assert len(doc.states) == n_starts
+        assert len(doc.events) == n_solos
+        assert len(doc.arrows) == n_sends
+        assert report.unmatched_sends == 0
+        assert report.unmatched_receives == 0
+        assert report.dangling_states == 0
+
+    @settings(deadline=None, max_examples=60)
+    @given(well_formed_logs())
+    def test_states_positive_and_inside_range(self, clog):
+        doc, _ = convert(clog)
+        if not doc.drawables:
+            return
+        t0, t1 = doc.time_range
+        for s in doc.states:
+            assert s.duration >= 0
+            assert t0 <= s.start <= s.end <= t1
+
+    @settings(deadline=None, max_examples=60)
+    @given(well_formed_logs())
+    def test_arrows_causal(self, clog):
+        doc, report = convert(clog)
+        assert report.causality_violations == []
+        for a in doc.arrows:
+            assert a.end >= a.start
+
+    @settings(deadline=None, max_examples=40)
+    @given(well_formed_logs())
+    def test_stats_incl_equals_sum_of_durations(self, clog):
+        doc, _ = convert(clog)
+        stats = compute_stats(doc)
+        total = sum(s.duration for s in doc.states)
+        assert abs(stats["S"].incl - total) < 1e-9
+        assert stats["S"].count == len(doc.states)
+        assert stats["B"].count == len(doc.events)
+
+    @settings(deadline=None, max_examples=40)
+    @given(well_formed_logs(), st.sampled_from([512, 4096, 65536]))
+    def test_frame_tree_lossless(self, clog, frame_size):
+        doc, _ = convert(clog)
+        tree = FrameTree(doc, frame_size=frame_size)
+        t0, t1 = doc.time_range
+        found, _ = tree.query(t0 - 1, t1 + 1)
+        assert len(found) == len(doc.drawables)
+
+    @settings(deadline=None, max_examples=40)
+    @given(clog=well_formed_logs())
+    def test_slog2_file_roundtrip(self, clog, tmp_path_factory):
+        from repro.slog2.file import read_slog2, write_slog2
+
+        doc, _ = convert(clog)
+        path = str(tmp_path_factory.mktemp("prop") / "x.slog2")
+        write_slog2(path, doc)
+        back = read_slog2(path)
+        assert back.states == doc.states
+        assert back.events == doc.events
+        assert back.arrows == doc.arrows

@@ -1,0 +1,60 @@
+"""Smoke-run every example script: the documentation must not rot.
+
+Each example runs in a subprocess with a private working directory so
+artifact files land in tmp, not the repo.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, tmp_path, *args, timeout=240):
+    env = dict(os.environ)
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout, env=env,
+        cwd=str(tmp_path))
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example("quickstart.py", tmp_path)
+        assert "sum of squares" in out
+        assert "clog2TOslog2" in out
+        assert "SVG timeline written" in out
+
+    def test_lab2_visual(self, tmp_path):
+        out = run_example("lab2_visual.py", tmp_path)
+        assert "grand total" in out
+        assert "under 3 ms" in out
+        assert "white arrows (messages): 15" in out
+        assert "%^d auto-alloc" in out or "autoalloc" in out
+
+    def test_thumbnail_pipeline_small(self, tmp_path):
+        out = run_example("thumbnail_pipeline.py", tmp_path, "10")
+        assert "10 thumbnails produced" in out
+        assert "well-designed" in out
+
+    def test_debug_parallelism(self, tmp_path):
+        out = run_example("debug_parallelism.py", tmp_path)
+        assert "instance_a" in out and "instance_b" in out
+        assert "unfavourable ratio" in out
+        assert "answers correct: True" in out
+
+    def test_deadlock_detector(self, tmp_path):
+        out = run_example("deadlock_detector.py", tmp_path)
+        assert "run aborted: True" in out
+        assert "DEADLOCK_CYCLE" in out
+
+    def test_classroom_walkthrough(self, tmp_path):
+        out = run_example("classroom_walkthrough.py", tmp_path)
+        assert "static allocation" in out
+        assert "dynamic allocation" in out
+        assert "imbalance" in out

@@ -1,0 +1,75 @@
+"""Tests for the shared utility helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import CallSite, IdAllocator, capture_callsite, clamp_text, format_seconds
+
+
+class TestCallsite:
+    def test_captures_this_file(self):
+        cs = capture_callsite(skip=1)
+        assert cs.basename == "test_util.py"
+        assert cs.function == "test_captures_this_file"
+        assert cs.lineno > 0
+
+    def test_internal_prefix_skipping(self):
+        import repro._util.callsite as mod
+
+        def inner():
+            # Pretend this file is library-internal: skip to the caller.
+            return capture_callsite(
+                skip=1, internal_prefixes=(__file__,))
+
+        cs = inner()
+        assert cs.function != "inner" or cs.filename != __file__
+
+    def test_str_format(self):
+        cs = CallSite("/a/b/lab2.c", 17, "main")
+        assert str(cs) == "lab2.c:17 in main"
+
+
+class TestIdAllocator:
+    def test_sequential(self):
+        ids = IdAllocator(1)
+        assert ids.allocate() == 1
+        assert ids.allocate(2) == 2
+        assert ids.peek == 4
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            IdAllocator().allocate(0)
+
+
+class TestClampText:
+    def test_short_untouched(self):
+        assert clamp_text("abc", 40) == "abc"
+
+    def test_truncates_to_byte_limit(self):
+        out = clamp_text("x" * 100, 40)
+        assert len(out.encode()) == 40
+
+    def test_multibyte_not_split(self):
+        out = clamp_text("é" * 30, 39)  # 60 bytes of 2-byte chars
+        assert len(out.encode()) <= 39
+        out.encode("utf-8").decode("utf-8")
+
+    def test_negative_limit(self):
+        with pytest.raises(ValueError):
+            clamp_text("x", -1)
+
+    @given(st.text(max_size=200), st.integers(0, 80))
+    def test_always_within_limit(self, text, limit):
+        assert len(clamp_text(text, limit).encode("utf-8")) <= limit
+
+
+class TestFormatSeconds:
+    def test_units(self):
+        assert format_seconds(2.5) == "2.500s"
+        assert format_seconds(0.0035) == "3.500ms"
+        assert format_seconds(12e-6) == "12.000us"
+        assert format_seconds(5e-9) == "5ns"
+
+    def test_negative(self):
+        assert format_seconds(-0.5).startswith("-")

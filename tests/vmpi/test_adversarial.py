@@ -1,0 +1,154 @@
+"""Adversarial engine scenarios: aborts and failures at the worst
+moments must never hang or leak."""
+
+import threading
+
+import pytest
+
+from repro import vmpi
+from repro.vmpi import collectives as coll
+from repro.vmpi.errors import AbortedError, SimulationDeadlock, TaskFailed
+
+
+class TestAbortDuringCollectives:
+    def test_abort_mid_barrier(self):
+        def main(comm):
+            if comm.rank == 2:
+                vmpi.compute(comm, 0.5)
+                comm.abort(4, reason="mid-barrier abort")
+            coll.barrier(comm)
+
+        res = vmpi.mpirun(main, 4)
+        assert res.aborted is not None
+        assert res.aborted.errorcode == 4
+
+    def test_abort_mid_reduce(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.abort(5)
+            coll.reduce(comm, comm.rank, root=0)
+
+        res = vmpi.mpirun(main, 5)
+        assert res.aborted is not None
+
+    def test_crash_mid_gather_takes_world_down(self):
+        def main(comm):
+            if comm.rank == 3:
+                raise RuntimeError("dead before contributing")
+            coll.gather(comm, comm.rank, root=0)
+
+        with pytest.raises(TaskFailed) as ei:
+            vmpi.mpirun(main, 4)
+        assert ei.value.rank == 3
+
+    def test_no_thread_leak_across_many_aborts(self):
+        before = threading.active_count()
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.abort(1)
+            comm.recv(source=0, tag=0)
+
+        for _ in range(10):
+            vmpi.mpirun(main, 4)
+        assert threading.active_count() <= before + 1
+
+
+class TestResourceEdgeCases:
+    def test_abort_while_queued_on_resource(self):
+        def main(comm):
+            disk = getattr(comm, "_disk", None)
+            if disk is None:
+                comm._disk = disk = comm.engine.resource(1, "disk")
+            if comm.rank == 0:
+                with disk:
+                    vmpi.compute(comm, 1.0)
+            elif comm.rank == 1:
+                vmpi.compute(comm, 0.1)
+                with disk:  # queued behind rank 0
+                    vmpi.compute(comm, 1.0)
+            else:
+                vmpi.compute(comm, 0.2)
+                comm.abort(7, reason="kill while rank1 queued")
+
+        res = vmpi.mpirun(main, 3)
+        assert res.aborted is not None
+
+    def test_resource_after_holder_aborts_world(self):
+        # The holder aborting releases everything via unwinding.
+        def main(comm):
+            res_obj = getattr(comm.engine, "_r", None)
+            if res_obj is None:
+                comm.engine._r = res_obj = comm.engine.resource(1)
+            if comm.rank == 0:
+                res_obj.acquire()
+                comm.abort(8)
+            else:
+                vmpi.compute(comm, 0.5)
+
+        out = vmpi.mpirun(main, 2)
+        assert out.aborted is not None
+
+
+class TestLateEvents:
+    def test_wake_scheduled_for_finished_task(self):
+        def main(comm):
+            if comm.rank == 0:
+                target = comm.engine.tasks[1]
+                comm.engine.wake(target, delay=5.0)  # long after 1 ends
+                vmpi.compute(comm, 10.0)
+            # rank 1 finishes immediately
+
+        res = vmpi.mpirun(main, 2)
+        assert res.ok
+
+    def test_message_to_task_that_already_finished(self):
+        # Delivery to a done rank's mailbox is harmless (the message
+        # just sits unread) — like an MPI buffer nobody receives.
+        def main(comm):
+            if comm.rank == 0:
+                vmpi.compute(comm, 1.0)
+                comm.send("too late", 1, 0)
+            # rank 1 exits at t=0
+
+        res = vmpi.mpirun(main, 2)
+        assert res.ok
+
+    def test_deadlock_detection_still_exact_after_traffic(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("warmup", 1, 0)
+                comm.recv(source=1, tag=1)  # never sent
+            else:
+                comm.recv(source=0, tag=0)
+                comm.recv(source=0, tag=2)  # never sent
+
+        with pytest.raises(SimulationDeadlock) as ei:
+            vmpi.mpirun(main, 2)
+        assert set(ei.value.blocked) == {0, 1}
+
+
+class TestSplitUnderFire:
+    def test_abort_during_split(self):
+        def main(comm):
+            if comm.rank == 1:
+                comm.abort(9)
+            comm.split(color=comm.rank % 2)
+
+        res = vmpi.mpirun(main, 4)
+        assert res.aborted is not None
+
+    def test_subcomm_usable_after_parent_traffic(self):
+        def main(comm):
+            sub = comm.split(color=0)
+            # Interleave world and sub traffic aggressively.
+            for i in range(5):
+                if comm.rank == 0:
+                    comm.send(("w", i), 1, i)
+                    sub.send(("s", i), 1, i)
+                elif comm.rank == 1:
+                    assert comm.recv(source=0, tag=i) == ("w", i)
+                    assert sub.recv(source=0, tag=i) == ("s", i)
+                coll.barrier(sub)
+
+        assert vmpi.mpirun(main, 3).ok

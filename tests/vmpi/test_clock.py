@@ -1,0 +1,77 @@
+"""Unit tests for the clock models (skew, drift, quantisation)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vmpi.clock import ClockSkew, LocalClock, RealTimeClock
+
+
+class TestClockSkew:
+    def test_identity_by_default(self):
+        skew = ClockSkew()
+        assert skew.local_from_true(12.5) == 12.5
+        assert skew.true_from_local(12.5) == 12.5
+
+    def test_offset_shifts_local_time(self):
+        skew = ClockSkew(offset=2.0)
+        assert skew.local_from_true(10.0) == 12.0
+
+    def test_drift_scales_local_time(self):
+        skew = ClockSkew(drift=0.01)  # 1% fast
+        assert skew.local_from_true(100.0) == pytest.approx(101.0)
+
+    def test_offset_and_drift_compose(self):
+        skew = ClockSkew(offset=-1.0, drift=0.001)
+        assert skew.local_from_true(1000.0) == pytest.approx(1000.0)
+
+    @given(st.floats(-10, 10), st.floats(-1e-3, 1e-3),
+           st.floats(0, 1e6))
+    def test_roundtrip_is_inverse(self, offset, drift, t):
+        skew = ClockSkew(offset=offset, drift=drift)
+        assert skew.true_from_local(skew.local_from_true(t)) == pytest.approx(t, abs=1e-6)
+
+
+class TestLocalClock:
+    def test_quantisation_floors_to_resolution(self):
+        clock = LocalClock(resolution=1e-3)
+        assert clock.read(0.0123456) == pytest.approx(0.012)
+
+    def test_reads_are_monotone(self):
+        clock = LocalClock(ClockSkew(offset=0.5, drift=1e-5), resolution=1e-6)
+        times = [clock.read(t / 997.0) for t in range(1000)]
+        assert times == sorted(times)
+
+    def test_coarse_resolution_collapses_nearby_reads(self):
+        # This is the mechanism behind the paper's "Equal Drawables"
+        # warning: two events inside one clock tick get equal stamps.
+        clock = LocalClock(resolution=1e-2)
+        assert clock.read(0.0501) == clock.read(0.0599)
+
+    def test_rejects_nonpositive_resolution(self):
+        with pytest.raises(ValueError):
+            LocalClock(resolution=0.0)
+
+    def test_skew_applied_before_quantisation(self):
+        clock = LocalClock(ClockSkew(offset=1.0), resolution=1.0)
+        assert clock.read(0.25) == 1.0
+
+    @given(st.floats(0, 1e4), st.sampled_from([1e-6, 1e-4, 1e-2]))
+    def test_quantised_read_never_exceeds_true_local(self, t, res):
+        clock = LocalClock(resolution=res)
+        assert clock.read(t) <= t + 1e-12
+        assert clock.read(t) >= t - res - 1e-12
+
+
+class TestRealTimeClock:
+    def test_monotone_nonnegative(self):
+        clock = RealTimeClock()
+        a = clock.now()
+        clock.sleep(0.001)
+        b = clock.now()
+        assert 0 <= a <= b
+
+    def test_sleep_accepts_nonpositive(self):
+        RealTimeClock().sleep(-1.0)  # must not raise

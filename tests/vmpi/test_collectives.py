@@ -1,0 +1,180 @@
+"""Unit + property tests for the vmpi collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import vmpi
+from repro.vmpi import collectives as coll
+from repro.vmpi.errors import MessageError, TaskFailed
+
+SIZES = [1, 2, 3, 4, 5, 8]
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestBcast:
+    def test_everyone_gets_root_value(self, n):
+        def main(comm):
+            val = {"payload": 123} if comm.rank == 0 else None
+            got = coll.bcast(comm, val, root=0)
+            assert got == {"payload": 123}
+
+        vmpi.mpirun(main, n)
+
+    def test_nonzero_root(self, n):
+        root = n - 1
+
+        def main(comm):
+            val = "gold" if comm.rank == root else None
+            assert coll.bcast(comm, val, root=root) == "gold"
+
+        vmpi.mpirun(main, n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestGatherScatter:
+    def test_gather_collects_in_rank_order(self, n):
+        def main(comm):
+            out = coll.gather(comm, comm.rank * 2, root=0)
+            if comm.rank == 0:
+                assert out == [2 * i for i in range(n)]
+            else:
+                assert out is None
+
+        vmpi.mpirun(main, n)
+
+    def test_scatter_distributes_by_rank(self, n):
+        def main(comm):
+            items = [f"item{i}" for i in range(n)] if comm.rank == 0 else None
+            assert coll.scatter(comm, items, root=0) == f"item{comm.rank}"
+
+        vmpi.mpirun(main, n)
+
+    def test_scatter_then_gather_roundtrip(self, n):
+        def main(comm):
+            items = list(range(100, 100 + n)) if comm.rank == 0 else None
+            mine = coll.scatter(comm, items, root=0)
+            back = coll.gather(comm, mine, root=0)
+            if comm.rank == 0:
+                assert back == list(range(100, 100 + n))
+
+        vmpi.mpirun(main, n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestReduce:
+    def test_sum(self, n):
+        def main(comm):
+            out = coll.reduce(comm, comm.rank + 1, coll.SUM, root=0)
+            if comm.rank == 0:
+                assert out == n * (n + 1) // 2
+
+        vmpi.mpirun(main, n)
+
+    def test_max_at_nonzero_root(self, n):
+        root = n // 2
+
+        def main(comm):
+            out = coll.reduce(comm, comm.rank, coll.MAX, root=root)
+            if comm.rank == root:
+                assert out == n - 1
+            else:
+                assert out is None
+
+        vmpi.mpirun(main, n)
+
+    def test_numpy_elementwise_sum(self, n):
+        def main(comm):
+            vec = np.full(8, comm.rank, dtype=np.int64)
+            out = coll.reduce(comm, vec, coll.SUM, root=0)
+            if comm.rank == 0:
+                assert (out == sum(range(n))).all()
+
+        vmpi.mpirun(main, n)
+
+    def test_allreduce_everyone_agrees(self, n):
+        def main(comm):
+            assert coll.allreduce(comm, comm.rank, coll.MIN) == 0
+            assert coll.allreduce(comm, comm.rank, coll.MAX) == n - 1
+
+        vmpi.mpirun(main, n)
+
+
+@pytest.mark.parametrize("n", SIZES)
+class TestBarrierAllgatherAlltoall:
+    def test_barrier_synchronises_time(self, n):
+        after = {}
+
+        def main(comm):
+            vmpi.compute(comm, 1.0 * comm.rank)
+            coll.barrier(comm)
+            after[comm.rank] = comm.engine.now
+
+        vmpi.mpirun(main, n)
+        # Nobody leaves the barrier before the slowest rank arrived.
+        assert min(after.values()) >= (n - 1) * 1.0
+
+    def test_allgather(self, n):
+        def main(comm):
+            assert coll.allgather(comm, comm.rank ** 2) == [i ** 2 for i in range(n)]
+
+        vmpi.mpirun(main, n)
+
+    def test_alltoall_transposes(self, n):
+        def main(comm):
+            items = [(comm.rank, dest) for dest in range(n)]
+            got = coll.alltoall(comm, items)
+            assert got == [(src, comm.rank) for src in range(n)]
+
+        vmpi.mpirun(main, n)
+
+
+class TestValidation:
+    def test_bad_root_rejected(self):
+        def main(comm):
+            coll.bcast(comm, 1, root=9)
+
+        with pytest.raises(TaskFailed) as ei:
+            vmpi.mpirun(main, 2)
+        assert isinstance(ei.value.original, MessageError)
+
+    def test_scatter_wrong_item_count(self):
+        def main(comm):
+            items = [1] if comm.rank == 0 else None
+            coll.scatter(comm, items, root=0)
+
+        with pytest.raises(TaskFailed):
+            vmpi.mpirun(main, 3)
+
+    def test_alltoall_wrong_item_count(self):
+        def main(comm):
+            coll.alltoall(comm, [0])
+
+        with pytest.raises(TaskFailed):
+            vmpi.mpirun(main, 2)
+
+
+class TestProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(n=st.integers(1, 7), values=st.lists(st.integers(-1000, 1000),
+                                                min_size=7, max_size=7),
+           seed=st.integers(0, 3))
+    def test_reduce_matches_python_sum(self, n, values, seed):
+        def main(comm):
+            out = coll.reduce(comm, values[comm.rank], coll.SUM, root=0)
+            if comm.rank == 0:
+                assert out == sum(values[:n])
+
+        vmpi.mpirun(main, n, seed=seed)
+
+    @settings(deadline=None, max_examples=25)
+    @given(n=st.integers(1, 7), root=st.integers(0, 6))
+    def test_bcast_from_any_root(self, n, root):
+        root = root % n
+
+        def main(comm):
+            val = ("data", root) if comm.rank == root else None
+            assert coll.bcast(comm, val, root=root) == ("data", root)
+
+        vmpi.mpirun(main, n)

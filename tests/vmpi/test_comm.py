@@ -1,0 +1,295 @@
+"""Unit tests for point-to-point messaging: matching, wildcards,
+ordering, timing, probes and non-blocking requests."""
+
+import numpy as np
+import pytest
+
+from repro import vmpi
+from repro.vmpi.comm import ANY_SOURCE, ANY_TAG, NetworkModel
+from repro.vmpi.errors import MessageError, TaskFailed
+
+
+def launch(main, n, *args, **kw):
+    return vmpi.mpirun(main, n, *args, **kw)
+
+
+class TestSendRecv:
+    def test_roundtrip_object(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send([1, "two", 3.0], dest=1, tag=9)
+            else:
+                assert comm.recv(source=0, tag=9) == [1, "two", 3.0]
+
+        launch(main, 2)
+
+    def test_numpy_payload(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(100, dtype=np.int32), 1, 0)
+            else:
+                arr = comm.recv(0, 0)
+                assert arr.dtype == np.int32
+                assert arr.sum() == 4950
+
+        launch(main, 2)
+
+    def test_send_to_self(self):
+        def main(comm):
+            comm.send("me", dest=0, tag=1)
+            assert comm.recv(source=0, tag=1) == "me"
+
+        launch(main, 1)
+
+    def test_status_reports_source_tag_bytes(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"x" * 64, 1, 42)
+            else:
+                st = []
+                comm.recv(ANY_SOURCE, ANY_TAG, status=st)
+                assert st[0].source == 0
+                assert st[0].tag == 42
+                assert st[0].nbytes == 64
+                assert st[0].Get_count(8) == 8
+
+        launch(main, 2)
+
+    def test_bad_dest_raises(self):
+        def main(comm):
+            comm.send(1, dest=5, tag=0)
+
+        with pytest.raises(TaskFailed) as ei:
+            launch(main, 2)
+        assert isinstance(ei.value.original, MessageError)
+
+    def test_negative_tag_rejected_on_send(self):
+        def main(comm):
+            comm.send(1, dest=0, tag=-3)
+
+        with pytest.raises(TaskFailed):
+            launch(main, 1)
+
+
+class TestMatching:
+    def test_tag_selectivity(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, tag=1)
+                comm.send("b", 1, tag=2)
+            else:
+                assert comm.recv(0, tag=2) == "b"
+                assert comm.recv(0, tag=1) == "a"
+
+        launch(main, 2)
+
+    def test_source_selectivity(self):
+        def main(comm):
+            if comm.rank in (0, 1):
+                comm.send(f"from{comm.rank}", 2, tag=0)
+            elif comm.rank == 2:
+                assert comm.recv(source=1) == "from1"
+                assert comm.recv(source=0) == "from0"
+
+        launch(main, 3)
+
+    def test_fifo_per_source_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, 1, tag=5)
+            else:
+                got = [comm.recv(0, 5) for _ in range(10)]
+                assert got == list(range(10))
+
+        launch(main, 2)
+
+    def test_any_source_any_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                received = {comm.recv(ANY_SOURCE, ANY_TAG) for _ in range(3)}
+                assert received == {"r1", "r2", "r3"}
+            else:
+                comm.send(f"r{comm.rank}", 0, tag=comm.rank)
+
+        launch(main, 4)
+
+    def test_blocking_recv_waits_for_late_sender(self):
+        times = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                vmpi.compute(comm, 5.0)
+                comm.send("late", 1, 0)
+            else:
+                assert comm.recv(0, 0) == "late"
+                times["recv_done"] = comm.engine.now
+
+        launch(main, 2)
+        assert times["recv_done"] >= 5.0
+
+
+class TestTiming:
+    def test_transfer_time_scales_with_size(self):
+        net = NetworkModel(latency=1e-3, bandwidth=1e6,
+                           send_overhead=0.0, recv_overhead=0.0)
+        arrive = {}
+
+        def main(comm, nbytes):
+            if comm.rank == 0:
+                comm.send(b"z" * nbytes, 1, 0)
+            else:
+                comm.recv(0, 0)
+                arrive[nbytes] = comm.engine.now
+
+        launch(main, 2, 1000, network=net)
+        t_small = arrive[1000]
+        launch(main, 2, 1_000_000, network=net)
+        t_big = arrive[1_000_000]
+        # 1 MB over 1 MB/s dominates: about one second difference.
+        assert t_big - t_small == pytest.approx(0.999, rel=1e-3)
+
+    def test_sender_occupancy_is_charged(self):
+        net = NetworkModel(latency=0.0, bandwidth=1e6,
+                           send_overhead=0.5, recv_overhead=0.0)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"1" * 500_000, 1, 0)  # 0.5s copy + 0.5s overhead
+                assert comm.engine.now == pytest.approx(1.0)
+            else:
+                comm.recv(0, 0)
+
+        launch(main, 2, network=net)
+
+    def test_message_stats_accumulate(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send(b"ab", 1, 0)
+                comm.send(b"cd", 1, 0)
+            else:
+                comm.recv(0, 0)
+                comm.recv(0, 0)
+
+        res = launch(main, 2)
+        assert res.comm.stats["messages"] == 2
+        assert res.comm.stats["bytes"] == 4
+
+
+class TestNonBlocking:
+    def test_irecv_wait(self):
+        def main(comm):
+            if comm.rank == 0:
+                vmpi.compute(comm, 1.0)
+                comm.send("x", 1, 3)
+            else:
+                req = comm.irecv(source=0, tag=3)
+                done, _ = req.test()
+                assert not done
+                assert req.wait() == "x"
+
+        launch(main, 2)
+
+    def test_irecv_test_polls_without_blocking(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("y", 1, 0)
+            else:
+                vmpi.compute(comm, 1.0)  # let it arrive
+                req = comm.irecv(source=0, tag=0)
+                done, payload = req.test()
+                assert done and payload == "y"
+
+        launch(main, 2)
+
+    def test_isend_completes_immediately(self):
+        def main(comm):
+            if comm.rank == 0:
+                req = comm.isend("z", 1, 0)
+                done, _ = req.test()
+                assert done
+            else:
+                assert comm.recv(0, 0) == "z"
+
+        launch(main, 2)
+
+    def test_two_posted_irecvs_fill_in_order(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, 0)
+                comm.send("second", 1, 0)
+            else:
+                r1 = comm.irecv(source=0, tag=0)
+                r2 = comm.irecv(source=0, tag=0)
+                assert r1.wait() == "first"
+                assert r2.wait() == "second"
+
+        launch(main, 2)
+
+
+class TestProbe:
+    def test_iprobe_none_when_empty(self):
+        def main(comm):
+            assert comm.iprobe() is None
+
+        launch(main, 1)
+
+    def test_iprobe_does_not_consume(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("keep", 1, 2)
+            else:
+                vmpi.compute(comm, 0.1)
+                st = comm.iprobe(source=0, tag=2)
+                assert st is not None and st.tag == 2
+                assert comm.iprobe(source=0, tag=2) is not None  # still there
+                assert comm.recv(0, 2) == "keep"
+
+        launch(main, 2)
+
+    def test_probe_blocks_until_match(self):
+        t = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                vmpi.compute(comm, 2.0)
+                comm.send("late", 1, 7)
+            else:
+                st = comm.probe(source=0, tag=7)
+                t["probe"] = comm.engine.now
+                assert st.source == 0
+                assert comm.recv(0, 7) == "late"
+
+        launch(main, 2)
+        assert t["probe"] >= 2.0
+
+    def test_probe_ignores_nonmatching_traffic(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("noise", 1, 1)
+                vmpi.compute(comm, 1.0)
+                comm.send("signal", 1, 2)
+            else:
+                st = comm.probe(source=0, tag=2)
+                assert st.tag == 2
+                assert comm.recv(0, 1) == "noise"
+                assert comm.recv(0, 2) == "signal"
+
+        launch(main, 2)
+
+
+class TestObservers:
+    def test_delivery_observer_sees_arrivals(self):
+        seen = []
+
+        def main(comm):
+            if comm.rank == 1:
+                task = comm.engine.current_task
+                comm._mailbox(task).observers.append(
+                    lambda msg: seen.append((msg.src, msg.tag)))
+                comm.recv(0, 4)
+            else:
+                comm.send("hi", 1, 4)
+
+        launch(main, 2)
+        assert seen == [(0, 4)]

@@ -1,0 +1,48 @@
+"""Unit tests for payload size accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vmpi.datatypes import SCALAR_BYTES, sizeof
+
+
+class TestSizeof:
+    def test_none_is_free(self):
+        assert sizeof(None) == 0
+
+    def test_scalars_have_c_width(self):
+        assert sizeof(7) == SCALAR_BYTES
+        assert sizeof(3.14) == SCALAR_BYTES
+        assert sizeof(True) == SCALAR_BYTES
+
+    def test_bytes_at_face_value(self):
+        assert sizeof(b"abcd") == 4
+        assert sizeof(bytearray(10)) == 10
+
+    def test_str_utf8(self):
+        assert sizeof("abc") == 3
+        assert sizeof("é") == 2  # two UTF-8 bytes
+
+    def test_numpy_nbytes(self):
+        assert sizeof(np.zeros(10, dtype=np.float64)) == 80
+        assert sizeof(np.zeros((4, 4), dtype=np.int32)) == 64
+        assert sizeof(np.float32(1.0)) == 4
+
+    def test_list_includes_envelope(self):
+        assert sizeof([1, 2]) == 2 * SCALAR_BYTES + 16
+
+    def test_dict_includes_envelope(self):
+        assert sizeof({"k": 1}) == 1 + SCALAR_BYTES + 16
+
+    def test_arbitrary_object_uses_pickle(self):
+        assert sizeof({1, 2, 3}) > 0  # sets fall through to pickle
+
+    @given(st.integers(0, 10_000))
+    def test_bytes_size_is_exact(self, n):
+        assert sizeof(b"\0" * n) == n
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_list_size_monotone_in_length(self, xs):
+        assert sizeof(xs) >= sizeof(xs[:-1]) if xs else sizeof(xs) == 8 * 0

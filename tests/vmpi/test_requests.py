@@ -1,0 +1,94 @@
+"""sendrecv, waitall and waitany."""
+
+import pytest
+
+from repro import vmpi
+from repro.vmpi.errors import MessageError, TaskFailed
+
+
+class TestSendrecv:
+    def test_symmetric_exchange_no_deadlock(self):
+        def main(comm):
+            peer = 1 - comm.rank
+            got = comm.sendrecv(f"from{comm.rank}", dest=peer, sendtag=1,
+                                source=peer, recvtag=1)
+            assert got == f"from{peer}"
+
+        vmpi.mpirun(main, 2)
+
+    def test_ring_shift(self):
+        def main(comm):
+            n = comm.size
+            right = (comm.rank + 1) % n
+            left = (comm.rank - 1) % n
+            got = comm.sendrecv(comm.rank, dest=right, sendtag=5,
+                                source=left, recvtag=5)
+            assert got == left
+
+        vmpi.mpirun(main, 5)
+
+
+class TestWaitall:
+    def test_collects_in_request_order(self):
+        def main(comm):
+            if comm.rank == 0:
+                for i in range(4):
+                    comm.send(i * 10, 1, tag=i)
+            else:
+                reqs = [comm.irecv(source=0, tag=i) for i in range(4)]
+                got = comm.waitall(reqs)
+                assert got == [0, 10, 20, 30]
+
+        vmpi.mpirun(main, 2)
+
+    def test_mixed_send_and_recv_requests(self):
+        def main(comm):
+            if comm.rank == 0:
+                reqs = [comm.isend("x", 1, 0), comm.irecv(source=1, tag=1)]
+                out = comm.waitall(reqs)
+                assert out[1] == "reply"
+            else:
+                assert comm.recv(0, 0) == "x"
+                comm.send("reply", 0, 1)
+
+        vmpi.mpirun(main, 2)
+
+
+class TestWaitany:
+    def test_returns_first_completed(self):
+        def main(comm):
+            if comm.rank == 0:
+                vmpi.compute(comm, 0.5)
+                comm.send("slow", 2, 0)
+            elif comm.rank == 1:
+                comm.send("fast", 2, 0)
+            else:
+                reqs = [comm.irecv(source=0, tag=0),
+                        comm.irecv(source=1, tag=0)]
+                idx, payload = comm.waitany(reqs)
+                assert (idx, payload) == (1, "fast")
+                assert reqs[0].wait() == "slow"
+
+        vmpi.mpirun(main, 3)
+
+    def test_prefers_lowest_index_on_tie(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("a", 1, 1)
+                comm.send("b", 1, 2)
+            else:
+                vmpi.compute(comm, 0.1)  # both already pending
+                reqs = [comm.irecv(source=0, tag=1),
+                        comm.irecv(source=0, tag=2)]
+                idx, payload = comm.waitany(reqs)
+                assert (idx, payload) == (0, "a")
+
+        vmpi.mpirun(main, 2)
+
+    def test_empty_list_rejected(self):
+        def main(comm):
+            comm.waitany([])
+
+        with pytest.raises(TaskFailed) as ei:
+            vmpi.mpirun(main, 1)
+        assert isinstance(ei.value.original, MessageError)

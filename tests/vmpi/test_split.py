@@ -1,0 +1,142 @@
+"""Sub-communicators: MPI_Comm_split semantics and traffic isolation."""
+
+import pytest
+
+from repro import vmpi
+from repro.vmpi import collectives as coll
+from repro.vmpi.errors import MessageError, TaskFailed
+
+
+class TestSplit:
+    def test_partition_by_parity(self):
+        seen = {}
+
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            seen[comm.rank] = (sub.rank, sub.size, list(sub.group))
+
+        vmpi.mpirun(main, 6)
+        evens = [0, 2, 4]
+        odds = [1, 3, 5]
+        for world in range(6):
+            sub_rank, sub_size, group = seen[world]
+            expected_group = evens if world % 2 == 0 else odds
+            assert group == expected_group
+            assert sub_size == 3
+            assert group[sub_rank] == world
+
+    def test_key_reorders_ranks(self):
+        seen = {}
+
+        def main(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reversed order
+            seen[comm.rank] = sub.rank
+
+        vmpi.mpirun(main, 4)
+        assert seen == {0: 3, 1: 2, 2: 1, 3: 0}
+
+    def test_undefined_color_gets_none(self):
+        seen = {}
+
+        def main(comm):
+            sub = comm.split(color=0 if comm.rank < 2 else None)
+            seen[comm.rank] = sub is None
+
+        vmpi.mpirun(main, 4)
+        assert seen == {0: False, 1: False, 2: True, 3: True}
+
+    def test_p2p_uses_group_ranks(self):
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            # Within each subgroup: rank 0 -> rank 1 (world 0->2, 1->3).
+            if sub.rank == 0:
+                sub.send(("hello", comm.rank), dest=1, tag=0)
+            elif sub.rank == 1:
+                payload, sender_world = sub.recv(source=0, tag=0)
+                assert payload == "hello"
+                assert sender_world == comm.rank - 2
+
+        vmpi.mpirun(main, 4)
+
+    def test_collectives_on_subgroup(self):
+        sums = {}
+
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            total = coll.allreduce(sub, comm.rank)
+            sums[comm.rank] = total
+
+        vmpi.mpirun(main, 6)
+        assert sums[0] == sums[2] == sums[4] == 0 + 2 + 4
+        assert sums[1] == sums[3] == sums[5] == 1 + 3 + 5
+
+    def test_context_isolation_with_wildcards(self):
+        """A wildcard receive on the subgroup must NOT swallow world
+        traffic, even when both are in flight."""
+
+        def main(comm):
+            sub = comm.split(color=0)  # everyone, but a fresh context
+            if comm.rank == 0:
+                comm.send("world-msg", 1, tag=7)
+                sub.send("sub-msg", 1, tag=7)
+            elif comm.rank == 1:
+                vmpi.compute(comm, 0.01)  # let both arrive
+                got_sub = sub.recv(source=vmpi.ANY_SOURCE, tag=vmpi.ANY_TAG)
+                got_world = comm.recv(source=vmpi.ANY_SOURCE,
+                                      tag=vmpi.ANY_TAG)
+                assert got_sub == "sub-msg"
+                assert got_world == "world-msg"
+
+        vmpi.mpirun(main, 2)
+
+    def test_interleaved_collectives_do_not_desync(self):
+        """Sub-communicator collectives must not disturb the parent's
+        collective matching, even when only some ranks do extra ones."""
+
+        def main(comm):
+            sub = comm.split(color=0 if comm.rank < 2 else 1)
+            if comm.rank < 2:
+                for _ in range(3):  # extra subgroup traffic
+                    coll.barrier(sub)
+            total = coll.allreduce(comm, 1)
+            assert total == comm.size
+
+        vmpi.mpirun(main, 4)
+
+    def test_non_member_access_rejected(self):
+        from repro.vmpi.comm import Communicator
+
+        def main(comm):
+            if comm.rank == 1:
+                # A communicator we are not a member of.
+                other = Communicator(comm.engine, 1, comm.network,
+                                     group=[0], context=99)
+                other.rank
+
+        with pytest.raises(TaskFailed) as ei:
+            vmpi.mpirun(main, 2)
+        assert isinstance(ei.value.original, MessageError)
+
+    def test_split_of_split(self):
+        seen = {}
+
+        def main(comm):
+            half = comm.split(color=comm.rank // 2)  # {0,1} {2,3}
+            quarter = half.split(color=half.rank)  # singletons
+            seen[comm.rank] = (half.size, quarter.size, quarter.rank)
+
+        vmpi.mpirun(main, 4)
+        assert all(v == (2, 1, 0) for v in seen.values())
+
+    def test_deterministic_contexts(self):
+        ctxs = {}
+
+        def main(comm):
+            sub = comm.split(color=comm.rank % 2)
+            ctxs.setdefault(comm.rank % 2, set()).add(sub.context)
+
+        vmpi.mpirun(main, 4)
+        # One context per color, distinct between colors, never 0.
+        assert len(ctxs[0]) == 1 and len(ctxs[1]) == 1
+        assert ctxs[0] != ctxs[1]
+        assert 0 not in (ctxs[0] | ctxs[1])

@@ -1,0 +1,115 @@
+"""World/launch plumbing, Status accessors, and error-message quality."""
+
+import pytest
+
+from repro import vmpi
+from repro.vmpi.engine import RunResult
+from repro.vmpi.errors import AbortedError, MessageError, TaskFailed
+from repro.vmpi.status import Status
+from repro.vmpi.world import World
+
+
+class TestWorld:
+    def test_args_passed_to_every_rank(self):
+        seen = {}
+
+        def main(comm, a, b):
+            seen[comm.rank] = (a, b)
+
+        vmpi.mpirun(main, 3, "alpha", 42)
+        assert seen == {r: ("alpha", 42) for r in range(3)}
+
+    def test_world_exposes_engine_and_comm(self):
+        world = World(2)
+        assert world.comm.size == 2
+        assert world.engine is world.comm.engine
+
+    def test_run_result_attachments(self):
+        res = vmpi.mpirun(lambda comm: comm.rank, 2)
+        assert res.comm.size == 2
+        assert res.engine.now == res.finished_at
+
+    def test_nprocs_validation(self):
+        with pytest.raises(ValueError):
+            World(0)
+
+    def test_compute_helper_advances_only_caller(self):
+        ends = {}
+
+        def main(comm):
+            if comm.rank == 0:
+                vmpi.compute(comm, 3.0)
+            ends[comm.rank] = comm.engine.now
+
+        vmpi.mpirun(main, 2)
+        assert ends[0] == pytest.approx(3.0)
+        assert ends[1] == pytest.approx(0.0)
+
+    def test_ok_property(self):
+        assert RunResult(1.0, None, {}).ok
+        assert not RunResult(1.0, AbortedError(1, 0), {}).ok
+
+
+class TestStatus:
+    def test_accessors(self):
+        st = Status(source=3, tag=7, nbytes=64)
+        assert st.Get_source() == 3
+        assert st.Get_tag() == 7
+        assert st.Get_count(8) == 8
+        assert st.Get_count() == 64
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            Status(0, 0, 8).Get_count(0)
+
+
+class TestErrorMessages:
+    """Diagnostics must say enough to act on."""
+
+    def test_bad_rank_names_the_rank_and_size(self):
+        def main(comm):
+            comm.send(1, dest=9)
+
+        with pytest.raises(TaskFailed) as ei:
+            vmpi.mpirun(main, 2)
+        msg = str(ei.value.original)
+        assert "9" in msg and "2" in msg
+
+    def test_deadlock_lists_each_blocked_reason(self):
+        def main(comm):
+            comm.recv(source=(comm.rank + 1) % comm.size, tag=5)
+
+        with pytest.raises(vmpi.SimulationDeadlock) as ei:
+            vmpi.mpirun(main, 2)
+        msg = str(ei.value)
+        assert "rank 0" in msg and "rank 1" in msg
+        assert "tag=5" in msg
+
+    def test_taskfailed_carries_original(self):
+        def main(comm):
+            raise KeyError("the-missing-key")
+
+        with pytest.raises(TaskFailed) as ei:
+            vmpi.mpirun(main, 1)
+        assert isinstance(ei.value.original, KeyError)
+        assert "the-missing-key" in str(ei.value)
+
+    def test_abort_message_names_origin(self):
+        def main(comm):
+            if comm.rank == 1:
+                comm.abort(3, reason="why not")
+            else:
+                comm.recv(source=1)
+
+        res = vmpi.mpirun(main, 2)
+        msg = str(res.aborted)
+        assert "rank 1" in msg and "why not" in msg and "3" in msg
+
+
+class TestNetworkModelMath:
+    def test_occupancy_formula(self):
+        net = vmpi.NetworkModel(bandwidth=1e6, send_overhead=1e-3)
+        assert net.occupancy(500_000) == pytest.approx(0.501)
+
+    def test_flight_time_is_latency(self):
+        assert vmpi.NetworkModel(latency=7e-6).flight_time() == 7e-6
