@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench examples figures clean
+.PHONY: install test bench chaos examples figures clean
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+# Seeded fault-injection scenarios through the whole log pipeline
+# (crash -> salvage -> merge -> convert -> render); see docs/robustness.md.
+chaos:
+	$(PY) -m pytest tests/chaos -q
 
 # The five example scripts, end to end (artifacts under examples/out/).
 examples:

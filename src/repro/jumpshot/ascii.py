@@ -49,6 +49,9 @@ def render_ascii(view: View, width: int = 100, *, show_legend: bool = True,
     label_w = max((len(view.rank_label(r)) for r in view.rows), default=1) + 1
     lines = [f"{'':>{label_w}}|{format_seconds(view.t0)} .. "
              f"{format_seconds(view.t1)} (span {format_seconds(span)})"]
+    banner = view.salvage_banner
+    if banner is not None:
+        lines.insert(0, f"{'':>{label_w}}|!! {banner}")
     for rank in view.rows:
         weights: list[dict[str, float]] = [{} for _ in range(width)]
         bubbles = [False] * width
@@ -80,9 +83,18 @@ def render_ascii(view: View, width: int = 100, *, show_legend: bool = True,
                 name = view.doc.categories[cat].name
                 for c in range(c0, c1 + 1):
                     weights[c][name] = weights[c].get(name, 0.0) + dur / ncells
+        crash_cell = None
+        if rank in view.doc.crashed_ranks:
+            at = view.doc.crashed_ranks[rank]
+            if at is not None and view.t0 <= at <= view.t1:
+                crash_cell = min(int((at - view.t0) / cell), width - 1)
+            else:
+                crash_cell = width - 1
         row = []
         for c in range(width):
-            if bubbles[c]:
+            if c == crash_cell:
+                row.append("X")
+            elif bubbles[c]:
                 row.append("o")
             elif weights[c]:
                 best = max(weights[c].items(), key=lambda kv: kv[1])[0]

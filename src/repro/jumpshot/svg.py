@@ -25,6 +25,8 @@ BACKGROUND = "#0d0d0d"
 PLOT_BG = "#000000"
 AXIS = "#c0c0c0"
 GRID = "#2a2a2a"
+SALVAGE = "#ffb300"  # amber warning banner for salvaged logs
+CRASH = "#ff5252"  # crashed-rank markers
 
 
 def render_svg(view: View, path: str | None = None, *, width: int = 1100,
@@ -60,6 +62,7 @@ def render_svg(view: View, path: str | None = None, *, width: int = 1100,
         parts.append(_event(view, canvas, e))
     if highlight_path is not None:
         parts.append(_critical_overlay(view, canvas, highlight_path))
+    parts.append(_salvage_overlay(view, canvas))
     if legend:
         parts.append(_legend_panel(view, width - legend_width + 10, total_h))
     parts.append("</svg>")
@@ -206,6 +209,46 @@ def _critical_overlay(view: View, canvas: Canvas, cpath) -> str:
                 f'stroke-width="2.2" stroke-dasharray="5,3">'
                 f'<title>critical path: {escape(seg.label)}</title></line>')
     parts.append("</g>")
+    return "\n".join(parts)
+
+
+def _salvage_overlay(view: View, canvas: Canvas) -> str:
+    """The degraded-log warnings: an amber banner across the top when
+    the document was salvaged, red ✕ markers with a dashed tick on each
+    crashed rank's timeline (at the crash time when known, at the right
+    edge otherwise)."""
+    parts: list[str] = []
+    banner = view.salvage_banner
+    if banner is not None:
+        bx = canvas.margin_left
+        parts.append(f'<rect x="{bx:.1f}" y="2" '
+                     f'width="{canvas.plot_width:.1f}" height="16" '
+                     f'fill="{SALVAGE}" opacity="0.18"/>')
+        title = ""
+        report = view.doc.salvaged
+        if report is not None:
+            title = f"<title>{escape(report.summary())}</title>"
+        parts.append(f'<text x="{bx + 6:.1f}" y="14" fill="{SALVAGE}" '
+                     f'font-weight="bold">⚠ {escape(banner)}{title}</text>')
+    for rank in sorted(view.doc.crashed_ranks):
+        row = canvas.row(rank)
+        if row is None:
+            continue
+        at = view.doc.crashed_ranks[rank]
+        if at is not None and view.t0 <= at <= view.t1:
+            x = canvas.x(at)
+        else:
+            x = canvas.margin_left + canvas.plot_width
+        label = f"rank {rank} crashed"
+        if at is not None:
+            label += f" at {at:.9f}"
+        parts.append(f'<line x1="{x:.2f}" y1="{row.y_top:.2f}" '
+                     f'x2="{x:.2f}" y2="{row.y_bottom:.2f}" '
+                     f'stroke="{CRASH}" stroke-width="1.4" '
+                     'stroke-dasharray="3,2"/>')
+        parts.append(f'<text x="{x + 3:.2f}" y="{row.y_center + 4:.2f}" '
+                     f'fill="{CRASH}" font-weight="bold">✕'
+                     f'<title>{escape(label)}</title></text>')
     return "\n".join(parts)
 
 

@@ -107,7 +107,22 @@ class View:
 
     def rank_label(self, rank: int) -> str:
         name = self.doc.rank_names.get(rank)
-        return f"{rank} {name}" if name else str(rank)
+        label = f"{rank} {name}" if name else str(rank)
+        if rank in self.doc.crashed_ranks:
+            label += " ✕"
+        return label
+
+    @property
+    def salvage_banner(self) -> str | None:
+        """The warning line stamped on salvaged timelines, or ``None``
+        for a log that was finalized normally."""
+        report = self.doc.salvaged
+        if report is not None and not report.empty:
+            return report.banner()
+        if self.doc.crashed_ranks:
+            ranks = ",".join(str(r) for r in sorted(self.doc.crashed_ranks))
+            return f"rank(s) {ranks} crashed"
+        return None
 
     # -- content queries -----------------------------------------------------------
 

@@ -10,7 +10,21 @@ exactly as the paper laments.
 
 from repro.mpe.api import MergeReport, MpeLogger, MpeOptions, RankLog
 from repro.mpe.clocksync import CorrectionModel, SyncPoint, sync_clocks
-from repro.mpe.clog2 import Clog2File, Clog2FormatError, read_clog2, write_clog2
+from repro.mpe.clog2 import (
+    Clog2File,
+    Clog2FormatError,
+    read_clog2,
+    read_clog2_tolerant,
+    read_one_item,
+    write_clog2,
+)
+from repro.mpe.recovery import DroppedRange, RecoveryReport
+from repro.mpe.salvage import (
+    merge_partials,
+    merge_partials_tolerant,
+    read_partial,
+    read_partial_tolerant,
+)
 from repro.mpe.records import (
     RECV,
     SEND,
@@ -31,6 +45,7 @@ __all__ = [
     "Clog2File",
     "Clog2FormatError",
     "CorrectionModel",
+    "DroppedRange",
     "EventDef",
     "MergeReport",
     "MpeLogger",
@@ -38,10 +53,17 @@ __all__ = [
     "MsgEvent",
     "RankLog",
     "RankName",
+    "RecoveryReport",
     "StateDef",
     "SyncPoint",
     "definition_key",
+    "merge_partials",
+    "merge_partials_tolerant",
     "read_clog2",
+    "read_clog2_tolerant",
+    "read_one_item",
+    "read_partial",
+    "read_partial_tolerant",
     "sync_clocks",
     "write_clog2",
 ]

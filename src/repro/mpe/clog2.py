@@ -158,37 +158,169 @@ def read_clog2(path: str) -> Clog2File:
     return Clog2File(resolution, num_ranks, definitions, records)
 
 
+_VALID_TYPE_BYTES = frozenset(
+    (_T_STATEDEF, _T_EVENTDEF, _T_BARE, _T_MSG, _T_RANKNAME))
+
+
+def read_one_item(fh) -> Definition | LogRecord | None:
+    """Parse one definition or record; ``None`` on clean EOF.
+
+    Raises :class:`Clog2FormatError` on an unknown type byte or a
+    record torn mid-field — the tolerant reader catches exactly these.
+    """
+    tbyte = fh.read(1)
+    if not tbyte:
+        return None
+    t = tbyte[0]
+    if t == _T_STATEDEF:
+        start, end = _STATEDEF.unpack(_read_exact(fh, _STATEDEF.size))
+        name = _unpack_str(fh)
+        color = _unpack_str(fh)
+        return StateDef(start, end, name, color)
+    if t == _T_EVENTDEF:
+        (eid,) = _EVENTDEF.unpack(_read_exact(fh, _EVENTDEF.size))
+        name = _unpack_str(fh)
+        color = _unpack_str(fh)
+        return EventDef(eid, name, color)
+    if t == _T_BARE:
+        ts, rank, eid = _BARE.unpack(_read_exact(fh, _BARE.size))
+        text = _unpack_str(fh)
+        return BareEvent(ts, rank, eid, text)
+    if t == _T_RANKNAME:
+        (rank,) = _EVENTDEF.unpack(_read_exact(fh, _EVENTDEF.size))
+        name = _unpack_str(fh)
+        return RankName(rank, name)
+    if t == _T_MSG:
+        ts, rank, kind, other, tag, size = _MSG.unpack(
+            _read_exact(fh, _MSG.size))
+        return MsgEvent(ts, rank, kind, other, tag, size)
+    raise Clog2FormatError(f"unknown record type byte 0x{t:02x}")
+
+
 def read_items(fh) -> tuple[list[Definition], list[LogRecord]]:
     """Parse a headerless definition+record stream until EOF."""
     definitions: list[Definition] = []
     records: list[LogRecord] = []
     while True:
-        tbyte = fh.read(1)
-        if not tbyte:
+        item = read_one_item(fh)
+        if item is None:
             break
-        t = tbyte[0]
-        if t == _T_STATEDEF:
-            start, end = _STATEDEF.unpack(_read_exact(fh, _STATEDEF.size))
-            name = _unpack_str(fh)
-            color = _unpack_str(fh)
-            definitions.append(StateDef(start, end, name, color))
-        elif t == _T_EVENTDEF:
-            (eid,) = _EVENTDEF.unpack(_read_exact(fh, _EVENTDEF.size))
-            name = _unpack_str(fh)
-            color = _unpack_str(fh)
-            definitions.append(EventDef(eid, name, color))
-        elif t == _T_BARE:
-            ts, rank, eid = _BARE.unpack(_read_exact(fh, _BARE.size))
-            text = _unpack_str(fh)
-            records.append(BareEvent(ts, rank, eid, text))
-        elif t == _T_RANKNAME:
-            (rank,) = _EVENTDEF.unpack(_read_exact(fh, _EVENTDEF.size))
-            name = _unpack_str(fh)
-            definitions.append(RankName(rank, name))
-        elif t == _T_MSG:
-            ts, rank, kind, other, tag, size = _MSG.unpack(
-                _read_exact(fh, _MSG.size))
-            records.append(MsgEvent(ts, rank, kind, other, tag, size))
+        if isinstance(item, (BareEvent, MsgEvent)):
+            records.append(item)
         else:
-            raise Clog2FormatError(f"unknown record type byte 0x{t:02x}")
+            definitions.append(item)
     return definitions, records
+
+
+# -- tolerant reading (the crash-tolerant pipeline) -------------------------
+
+_PARSE_ERRORS = (Clog2FormatError, struct.error, UnicodeDecodeError)
+
+
+def _resync_offset(data: bytes, start: int) -> int:
+    """First offset >= ``start`` where a whole item parses and is
+    followed by EOF or another plausible item start; ``len(data)`` when
+    no such point exists (the rest of the file is unrecoverable)."""
+    for off in range(start, len(data)):
+        if data[off] not in _VALID_TYPE_BYTES:
+            continue
+        probe = io.BytesIO(data)
+        probe.seek(off)
+        try:
+            read_one_item(probe)
+        except _PARSE_ERRORS:
+            continue
+        pos = probe.tell()
+        if pos >= len(data) or data[pos] in _VALID_TYPE_BYTES:
+            return off
+    return len(data)
+
+
+def read_items_tolerant(data: bytes, report, source: str,
+                        base_offset: int = 0
+                        ) -> tuple[list[Definition], list[LogRecord]]:
+    """Parse a headerless item stream, skipping torn/corrupt spans.
+
+    ``data`` is the stream body only; offsets recorded in ``report``
+    (a :class:`repro.mpe.recovery.RecoveryReport`) are shifted by
+    ``base_offset`` so they refer to positions in the enclosing file.
+    """
+    definitions: list[Definition] = []
+    records: list[LogRecord] = []
+    buf = io.BytesIO(data)
+    while True:
+        pos = buf.tell()
+        try:
+            item = read_one_item(buf)
+        except _PARSE_ERRORS as exc:
+            skip_to = _resync_offset(data, pos + 1)
+            report.drop(source, base_offset + pos, base_offset + skip_to,
+                        f"unparseable record ({exc})")
+            if skip_to >= len(data):
+                break
+            buf.seek(skip_to)
+            continue
+        if item is None:
+            break
+        if isinstance(item, (BareEvent, MsgEvent)):
+            records.append(item)
+        else:
+            definitions.append(item)
+    return definitions, records
+
+
+def parse_clog2_bytes_tolerant(data: bytes, report, source: str,
+                               base_offset: int = 0) -> Clog2File:
+    """Tolerantly parse a complete CLOG2 image (header + items) held in
+    memory, accounting losses into ``report``.  Shared by
+    :func:`read_clog2_tolerant` and the salvage partial reader (whose
+    rewrite-mode partials embed a whole CLOG2 body)."""
+    empty = Clog2File(1e-6, 0, [], [])
+    if len(data) < _HDR.size:
+        report.drop(source, base_offset, base_offset + len(data),
+                    f"too short for a CLOG2 header ({len(data)} bytes)")
+        return empty
+    magic, version, resolution, num_ranks, nrecords = _HDR.unpack(
+        data[:_HDR.size])
+    if magic != MAGIC:
+        report.drop(source, base_offset, base_offset + len(data),
+                    f"bad magic {magic!r}")
+        return empty
+    if version != VERSION:
+        report.drop(source, base_offset, base_offset + len(data),
+                    f"unsupported CLOG2 version {version}")
+        return empty
+    definitions, records = read_items_tolerant(
+        data[_HDR.size:], report, source,
+        base_offset=base_offset + _HDR.size)
+    report.records_kept += len(records)
+    if len(records) < nrecords:
+        missing = nrecords - len(records)
+        # The header knows how many records the writer meant to store;
+        # anything the torn spans swallowed is exactly the difference.
+        report.records_dropped = max(report.records_dropped, missing)
+        report.note(f"{source}: header promised {nrecords} records, "
+                    f"salvaged {len(records)}")
+    return Clog2File(resolution, num_ranks, definitions, records)
+
+
+def read_clog2_tolerant(path: str):
+    """Parse a CLOG2 file, salvaging what the strict reader would
+    reject.
+
+    Returns ``(Clog2File, RecoveryReport)``.  Torn and corrupt spans
+    are skipped with a byte-accurate account in the report; a file too
+    damaged to carry even a header yields an empty log rather than an
+    exception.  The strict :func:`read_clog2` remains the right tool
+    for logs that are supposed to be intact — silent tolerance of a
+    writer bug would be a regression, not robustness.
+    """
+    import os
+
+    from repro.mpe.recovery import RecoveryReport
+
+    report = RecoveryReport(source=os.path.basename(path))
+    with open(path, "rb") as fh:
+        data = fh.read()
+    log = parse_clog2_bytes_tolerant(data, report, report.source)
+    return log, report

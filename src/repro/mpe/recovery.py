@@ -1,0 +1,136 @@
+"""Structured accounting of what log recovery kept and lost.
+
+Faults leave torn and corrupt artifacts behind: a partial file
+truncated mid-chunk by an abort, a CLOG2 with garbage bytes in the
+middle, a rank whose partial never made it to disk at all.  The
+tolerant readers (:func:`repro.mpe.clog2.read_clog2_tolerant`,
+:func:`repro.mpe.salvage.read_partial_tolerant`,
+:func:`repro.mpe.salvage.merge_partials_tolerant`) degrade gracefully
+instead of raising — but "gracefully" must never mean "silently".
+Every one of them returns a :class:`RecoveryReport` stating exactly
+which records were kept, which byte ranges were dropped and why, and
+which ranks are missing or crashed, so the conversion report and the
+Jumpshot banner downstream can show the user what they are *not*
+seeing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DroppedRange:
+    """One contiguous span of bytes the tolerant reader had to skip."""
+
+    source: str  # which file the range belongs to
+    start: int  # byte offset, inclusive
+    end: int  # byte offset, exclusive
+    reason: str
+
+    @property
+    def nbytes(self) -> int:
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        return (f"{self.source}[{self.start}:{self.end}] "
+                f"({self.nbytes} bytes): {self.reason}")
+
+
+@dataclass
+class RecoveryReport:
+    """What a tolerant read/merge salvaged and what it had to give up.
+
+    ``records_kept``/``records_dropped`` count log records;
+    ``dropped_ranges`` lists the skipped byte spans with reasons;
+    ``missing_ranks`` are ranks expected but with no readable partial;
+    ``crashed_ranks`` maps rank -> crash virtual time (or ``None`` when
+    the time is unknown), seeded from a fault plan or an
+    :class:`~repro.vmpi.errors.AbortedError`; ``notes`` carries
+    anything else a human should know.
+    """
+
+    source: str = ""
+    records_kept: int = 0
+    records_dropped: int = 0
+    dropped_ranges: list[DroppedRange] = field(default_factory=list)
+    missing_ranks: list[int] = field(default_factory=list)
+    crashed_ranks: dict[int, float | None] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    # -- building ---------------------------------------------------------
+
+    def drop(self, source: str, start: int, end: int, reason: str,
+             records: int = 0) -> None:
+        """Record one skipped byte range (and optionally lost records)."""
+        self.dropped_ranges.append(DroppedRange(source, start, end, reason))
+        self.records_dropped += records
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def absorb(self, other: "RecoveryReport") -> None:
+        """Merge a child report (one partial's) into this aggregate."""
+        self.records_kept += other.records_kept
+        self.records_dropped += other.records_dropped
+        self.dropped_ranges.extend(other.dropped_ranges)
+        for r in other.missing_ranks:
+            if r not in self.missing_ranks:
+                self.missing_ranks.append(r)
+        for r, t in other.crashed_ranks.items():
+            self.crashed_ranks.setdefault(r, t)
+        self.notes.extend(other.notes)
+
+    def mark_crashed(self, rank: int, at: float | None = None) -> None:
+        self.crashed_ranks.setdefault(rank, at)
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def bytes_dropped(self) -> int:
+        return sum(r.nbytes for r in self.dropped_ranges)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was lost — no drops, no missing ranks.
+
+        Crash annotations alone do not make a recovery unclean: a
+        crashed run whose every buffered record reached its partial
+        salvages without loss.
+        """
+        return (self.records_dropped == 0 and not self.dropped_ranges
+                and not self.missing_ranks)
+
+    @property
+    def empty(self) -> bool:
+        """True when the report says nothing at all."""
+        return (self.clean and not self.crashed_ranks and not self.notes
+                and self.records_kept == 0)
+
+    def summary(self) -> str:
+        parts = [f"kept {self.records_kept} records",
+                 f"dropped {self.records_dropped} records"]
+        if self.dropped_ranges:
+            parts.append(f"{len(self.dropped_ranges)} torn/corrupt ranges "
+                         f"({self.bytes_dropped} bytes)")
+        if self.missing_ranks:
+            parts.append("missing ranks " +
+                         ",".join(str(r) for r in sorted(self.missing_ranks)))
+        if self.crashed_ranks:
+            parts.append("crashed ranks " +
+                         ",".join(str(r) for r in sorted(self.crashed_ranks)))
+        label = f"recovery[{self.source}]" if self.source else "recovery"
+        return f"{label}: " + ", ".join(parts)
+
+    def banner(self) -> str:
+        """The one-line warning the viewers stamp on salvaged timelines."""
+        bits = [f"salvaged: {self.records_dropped} records dropped"]
+        if self.records_dropped == 0 and self.dropped_ranges:
+            bits[0] = (f"salvaged: {self.bytes_dropped} bytes in "
+                       f"{len(self.dropped_ranges)} range(s) dropped")
+        if self.missing_ranks:
+            bits.append(f"{len(self.missing_ranks)} rank(s) missing")
+        if self.crashed_ranks:
+            ranks = ",".join(str(r) for r in sorted(self.crashed_ranks))
+            bits.append(f"rank(s) {ranks} crashed")
+        return " · ".join(bits)

@@ -218,24 +218,14 @@ def find_partials(base_path: str) -> list[str]:
     return sorted(glob.glob(f"{base_path}.rank[0-9][0-9][0-9][0-9].part"))
 
 
-def merge_partials(base_path: str, out_path: str | None = None) -> Clog2File:
-    """Post-mortem merge of per-rank partials into one CLOG2.
-
-    Equivalent to what ``MPE_Finish_log`` would have produced up to the
-    last checkpoint before the abort.  Writes ``out_path`` (default:
-    the base path itself) and returns the merged log.
-    """
-    paths = find_partials(base_path)
-    if not paths:
-        raise FileNotFoundError(
-            f"no partial logs found for {base_path!r} "
-            f"(pattern {base_path}.rankNNNN.part)")
-    partials = [read_partial(p) for p in paths]
+def _merge_partial_objects(partials: list[Partial]) -> Clog2File:
+    """Dedup definitions, correct timestamps, and merge-sort records
+    from already-parsed partials (shared strict/tolerant merge core)."""
     definitions: list[Definition] = []
     seen: set[tuple] = set()
     merged: list[tuple[float, int, LogRecord]] = []
     num_ranks = 0
-    resolution = partials[0].clock_resolution
+    resolution = partials[0].clock_resolution if partials else 1e-6
     for part in partials:
         num_ranks = max(num_ranks, part.rank + 1)
         for d in part.definitions:
@@ -253,10 +243,183 @@ def merge_partials(base_path: str, out_path: str | None = None) -> Clog2File:
                                  rec.tag, rec.size)
             merged.append((t, part.rank, fixed))
     merged.sort(key=lambda item: (item[0], item[1]))
-    log = Clog2File(resolution, num_ranks, definitions,
-                    [rec for _, _, rec in merged])
+    return Clog2File(resolution, num_ranks, definitions,
+                     [rec for _, _, rec in merged])
+
+
+def merge_partials(base_path: str, out_path: str | None = None) -> Clog2File:
+    """Post-mortem merge of per-rank partials into one CLOG2.
+
+    Equivalent to what ``MPE_Finish_log`` would have produced up to the
+    last checkpoint before the abort.  Writes ``out_path`` (default:
+    the base path itself) and returns the merged log.
+
+    This is the *strict* merge: a corrupt partial raises.  Use
+    :func:`merge_partials_tolerant` to salvage whatever survives a
+    messy crash.
+    """
+    paths = find_partials(base_path)
+    if not paths:
+        raise FileNotFoundError(
+            f"no partial logs found for {base_path!r} "
+            f"(pattern {base_path}.rankNNNN.part)")
+    partials = [read_partial(p) for p in paths]
+    log = _merge_partial_objects(partials)
     write_clog2(out_path or base_path, log)
     return log
+
+
+# -- tolerant salvage (the crash-tolerant pipeline) -------------------------
+
+
+def read_partial_tolerant(path: str) -> "tuple[Partial, object]":
+    """Parse either partial layout, skipping torn/corrupt spans.
+
+    Returns ``(Partial, RecoveryReport)``.  A file too damaged to
+    identify (no readable header) yields a ``Partial`` with
+    ``rank == -1`` and everything accounted as dropped.
+    """
+    from repro.mpe.clog2 import parse_clog2_bytes_tolerant
+    from repro.mpe.recovery import RecoveryReport
+
+    source = os.path.basename(path)
+    report = RecoveryReport(source=source)
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if len(data) < _PHDR.size:
+        report.drop(source, 0, len(data),
+                    f"too short for a partial header ({len(data)} bytes)")
+        return Partial(-1, [], [], [], 1e-6), report
+    magic = data[:8]
+    if magic == APPEND_MAGIC:
+        return _read_append_partial_tolerant(data, report, source)
+    if magic != PARTIAL_MAGIC:
+        report.drop(source, 0, len(data), f"bad partial magic {magic!r}")
+        return Partial(-1, [], [], [], 1e-6), report
+    _, rank, nsync = _PHDR.unpack(data[:_PHDR.size])
+    points: list[SyncPoint] = []
+    pos = _PHDR.size
+    for i in range(nsync):
+        if pos + _SYNC.size > len(data):
+            report.drop(source, pos, len(data),
+                        f"torn sync section ({nsync - i} points lost)")
+            return Partial(rank, points, [], [], 1e-6), report
+        local_time, offset = _SYNC.unpack(data[pos:pos + _SYNC.size])
+        points.append(SyncPoint(local_time, offset))
+        pos += _SYNC.size
+    clog = parse_clog2_bytes_tolerant(data[pos:], report, source,
+                                      base_offset=pos)
+    return (Partial(rank, points, clog.definitions, clog.records,
+                    clog.clock_resolution), report)
+
+
+def _read_append_partial_tolerant(data: bytes, report, source: str) -> "tuple[Partial, object]":
+    from repro.mpe.clog2 import read_items_tolerant
+
+    if len(data) < _AHDR.size:
+        report.drop(source, 0, len(data),
+                    f"too short for an append header ({len(data)} bytes)")
+        return Partial(-1, [], [], [], 1e-6), report
+    _, rank, resolution, _ = _AHDR.unpack(data[:_AHDR.size])
+    sync_points: list[SyncPoint] = []
+    definitions = []
+    records = []
+    pos = _AHDR.size
+    while pos < len(data):
+        if pos + _CHUNK.size > len(data):
+            report.drop(source, pos, len(data), "torn chunk frame header")
+            break
+        kind, length = _CHUNK.unpack(data[pos:pos + _CHUNK.size])
+        payload_start = pos + _CHUNK.size
+        payload_end = payload_start + length
+        payload = data[payload_start:min(payload_end, len(data))]
+        torn = payload_end > len(data)
+        if kind == _K_SYNC:
+            if len(payload) < _SYNC.size:
+                report.drop(source, pos, len(data), "torn sync chunk")
+                break
+            local_time, offset = _SYNC.unpack(payload[:_SYNC.size])
+            sync_points.append(SyncPoint(local_time, offset))
+        elif kind == _K_RECORDS:
+            # Even a torn record chunk holds complete records before the
+            # tear; salvage those and account the tail.
+            defs, recs = read_items_tolerant(payload, report, source,
+                                             base_offset=payload_start)
+            definitions.extend(defs)
+            records.extend(recs)
+            if torn:
+                report.note(f"{source}: final record chunk torn at byte "
+                            f"{len(data)} (frame promised {length} bytes)")
+        else:
+            if torn:
+                report.drop(source, pos, len(data),
+                            f"torn chunk with unknown kind 0x{kind:02x}")
+                break
+            report.drop(source, pos, payload_end,
+                        f"unknown chunk kind 0x{kind:02x}, skipped")
+        if torn:
+            if kind == _K_RECORDS:
+                # The missing tail held at least one record we cannot
+                # recover (possibly cut mid-write by the abort).
+                report.drop(source, len(data), payload_end,
+                            "torn final chunk (abort mid-write)", records=1)
+            break
+        pos = payload_end
+    report.records_kept += len(records)
+    return Partial(rank, sync_points, definitions, records, resolution), report
+
+
+def merge_partials_tolerant(base_path: str, out_path: str | None = None, *,
+                            expected_ranks: int | None = None,
+                            crashed_ranks: "dict[int, float | None] | None" = None
+                            ) -> "tuple[Clog2File, object]":
+    """Best-effort post-mortem merge: salvage every readable partial,
+    skip the unreadable, and say exactly what happened.
+
+    Returns ``(Clog2File, RecoveryReport)`` and writes the merged log
+    to ``out_path`` (default: the base path).  ``expected_ranks``
+    widens the missing-rank check beyond the highest rank seen (an
+    all-ranks-crashed run may have no partial for the top ranks at
+    all); ``crashed_ranks`` annotates the report with crash times from
+    a fault plan or an :class:`~repro.vmpi.errors.AbortedError` so the
+    viewers can mark the timelines.
+    """
+    from repro.mpe.recovery import RecoveryReport
+
+    report = RecoveryReport(source=os.path.basename(base_path))
+    paths = find_partials(base_path)
+    if not paths:
+        report.note(f"no partial logs found for {base_path!r}")
+        log = Clog2File(1e-6, 0, [], [])
+        return log, report
+    usable: list[Partial] = []
+    for p in paths:
+        try:
+            part, sub = read_partial_tolerant(p)
+        except OSError as exc:
+            report.note(f"{os.path.basename(p)}: unreadable ({exc})")
+            continue
+        report.absorb(sub)
+        if part.rank < 0:
+            report.note(f"{os.path.basename(p)}: unidentifiable, skipped")
+            continue
+        usable.append(part)
+        report.note(f"{os.path.basename(p)}: rank {part.rank}, "
+                    f"{len(part.records)} records, "
+                    f"{len(part.sync_points)} sync points")
+    log = _merge_partial_objects(usable)
+    have = {part.rank for part in usable}
+    width = max(expected_ranks or 0, (max(have) + 1) if have else 0)
+    for rank in range(width):
+        if rank not in have:
+            report.missing_ranks.append(rank)
+    if width > log.num_ranks:
+        log = Clog2File(log.clock_resolution, width, log.definitions,
+                        log.records)
+    for rank, at in (crashed_ranks or {}).items():
+        report.mark_crashed(rank, at)
+    write_clog2(out_path or base_path, log)
+    return log, report
 
 
 def cleanup_partials(base_path: str) -> int:

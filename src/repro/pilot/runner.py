@@ -87,16 +87,23 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
               clock_resolution: float = 1e-8,
               skews: dict[int, ClockSkew] | None = None,
               mpe_options: "Any | None" = None,
-              extra_hooks: list | None = None) -> PilotResult:
+              extra_hooks: list | None = None,
+              faults: "Any | None" = None) -> PilotResult:
     """Run ``main`` on ``nprocs`` virtual ranks under Pilot.
 
     ``argv`` may carry Pilot's own options (``-pisvc=cdj``,
     ``-picheck=N``); they are stripped before ``main`` sees the rest,
     as PI_Configure does in C.
+
+    ``faults`` takes a :class:`repro.vmpi.faults.FaultPlan`: the run is
+    then subjected to its seeded message faults, injected crashes and
+    clock skews — the chaos harness under ``tests/chaos`` drives every
+    example app this way.
     """
     opts, app_argv = parse_argv(argv, options)
     world = World(nprocs, network=network, seed=seed,
-                  clock_resolution=clock_resolution, skews=skews)
+                  clock_resolution=clock_resolution, skews=skews,
+                  faults=faults)
     run = PilotRun(world.comm, opts, costs)
     run.app_argv = app_argv
 

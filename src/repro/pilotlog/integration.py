@@ -82,6 +82,12 @@ class JumpshotLoggerHook(PilotHooks):
         self.options = options or JumpshotOptions()
         self.mpe = MpeLogger(run.comm, self.options.mpe)
         self.report: MergeReport | None = None
+        if self.options.salvage:
+            # A crash is a world abort: every rank's buffer dies, not
+            # just the aborting rank's.  The engine fires these hooks
+            # from abort context (no current task, no messaging) —
+            # rank-local disk flushes are exactly what still works.
+            self.run.engine.on_abort_hooks.append(self._flush_all_on_abort)
 
     # -- id allocation -----------------------------------------------------
 
@@ -226,14 +232,26 @@ class JumpshotLoggerHook(PilotHooks):
     def _maybe_checkpoint(self, force: bool = False) -> None:
         if not self.options.salvage:
             return
+        task = self.run.engine._require_task()
+        self._checkpoint_task(task, force=force, charge=True)
+
+    def _checkpoint_task(self, task, *, force: bool = False,
+                         charge: bool = True) -> None:
+        """Flush one rank's new records to its partial file.
+
+        ``charge`` bills the (virtual) disk-write time to the task via
+        ``engine.advance`` — only possible from that task's own context;
+        the abort hook flushes uncharged, since the world is over anyway.
+        """
         from repro.mpe.salvage import (
             AppendPartialWriter,
             partial_path,
             write_partial,
         )
 
-        task = self.run.engine._require_task()
-        log = self.mpe._state()
+        log = task.locals.get("mpe")
+        if log is None:
+            return
         last = task.locals.get("pilotlog_salvaged", 0)
         pending = len(log.records) - last
         if not force and pending < self.options.salvage_interval:
@@ -254,10 +272,22 @@ class JumpshotLoggerHook(PilotHooks):
                           self.run.engine.clock_resolution)
             charged = len(log.records)  # O(whole buffer)
         task.locals["pilotlog_salvaged"] = len(log.records)
-        self.run.engine.advance(
-            self.options.salvage_checkpoint_latency
-            + self.options.salvage_cost_per_record * charged,
-            "salvage checkpoint")
+        if charge:
+            self.run.engine.advance(
+                self.options.salvage_checkpoint_latency
+                + self.options.salvage_cost_per_record * charged,
+                "salvage checkpoint")
+
+    def _flush_all_on_abort(self, exc) -> None:
+        """Engine abort hook: last-chance flush of *every* rank's buffer.
+
+        Runs outside any task, after the abort flag is set but before
+        the tasks unwind — the moment MPI_Abort would have killed the
+        processes.  No messaging, no time accounting; just whatever
+        rank-local writes still complete.
+        """
+        for task in self.run.engine.tasks.values():
+            self._checkpoint_task(task, force=True, charge=False)
 
     # -- wrap-up ---------------------------------------------------------------
 
@@ -280,7 +310,7 @@ class JumpshotLoggerHook(PilotHooks):
         # called, there is no way to avoid the loss of the MPE log"
         # (Section III.B).  With salvage enabled, flush this rank's
         # buffer one last time — rank-local disk I/O needs none of the
-        # messaging the abort is about to destroy.  (Only the aborting
-        # rank gets this final flush; other ranks keep whatever their
-        # periodic checkpoints saved, which is the realistic outcome.)
+        # messaging the abort is about to destroy.  The other ranks get
+        # their final flush from the engine abort hook registered at
+        # construction (see _flush_all_on_abort).
         self._maybe_checkpoint(force=True)

@@ -43,13 +43,20 @@ class ConversionReport:
     dangling_states: int = 0
     improper_nesting: int = 0
     unknown_event_ids: int = 0
+    # Attached when the input CLOG2 came out of a tolerant read/salvage
+    # merge: what the readers kept, dropped and lost (a
+    # repro.mpe.recovery.RecoveryReport).  Rides the same channel as the
+    # Equal Drawables warnings — conversion problems and recovery
+    # problems surface in one place.
+    recovery: "object | None" = None
 
     @property
     def clean(self) -> bool:
+        recovery_clean = self.recovery is None or self.recovery.clean
         return (not self.equal_drawables and not self.causality_violations
                 and self.unmatched_sends == 0 and self.unmatched_receives == 0
                 and self.dangling_states == 0 and self.improper_nesting == 0
-                and self.unknown_event_ids == 0)
+                and self.unknown_event_ids == 0 and recovery_clean)
 
     def summary(self) -> str:
         parts = [
@@ -61,13 +68,25 @@ class ConversionReport:
             f"improper-nesting={self.improper_nesting}",
             f"unknown-ids={self.unknown_event_ids}",
         ]
-        return "clog2TOslog2: " + " ".join(parts)
+        line = "clog2TOslog2: " + " ".join(parts)
+        if self.recovery is not None and not self.recovery.empty:
+            line += "\n  " + self.recovery.summary()
+        return line
 
 
 def convert(clog: Clog2File,
-            rank_names: dict[int, str] | None = None) -> tuple[Slog2Doc, ConversionReport]:
-    """Convert a parsed CLOG2 file into an SLOG2 document."""
-    report = ConversionReport()
+            rank_names: dict[int, str] | None = None, *,
+            recovery: "object | None" = None,
+            crashed_ranks: "dict[int, float | None] | None" = None
+            ) -> tuple[Slog2Doc, ConversionReport]:
+    """Convert a parsed CLOG2 file into an SLOG2 document.
+
+    ``recovery`` (a :class:`repro.mpe.recovery.RecoveryReport` from a
+    tolerant read or salvage merge) and ``crashed_ranks`` propagate to
+    both the returned report and the document, so the viewers can stamp
+    the salvage banner and crash markers on the timelines.
+    """
+    report = ConversionReport(recovery=recovery)
 
     # -- category tables ---------------------------------------------------
     categories: list[SlogCategory] = []
@@ -134,10 +153,15 @@ def convert(clog: Clog2File,
     # Names carried inside the log file, overridable by the caller.
     names = dict(clog.rank_names)
     names.update(rank_names or {})
+    crashes: dict[int, float | None] = {}
+    if recovery is not None:
+        crashes.update(getattr(recovery, "crashed_ranks", {}) or {})
+    crashes.update(crashed_ranks or {})
     doc = Slog2Doc(categories=categories, states=states, events=events,
                    arrows=arrows, num_ranks=clog.num_ranks,
                    clock_resolution=clog.clock_resolution,
-                   rank_names=names)
+                   rank_names=names, salvaged=recovery,
+                   crashed_ranks=crashes)
     _detect_equal_drawables(doc, report)
     return doc, report
 

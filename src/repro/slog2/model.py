@@ -89,6 +89,12 @@ class Slog2Doc:
     num_ranks: int
     clock_resolution: float
     rank_names: dict[int, str] = field(default_factory=dict)
+    # Set when the log was salvaged from a crashed run: the recovery
+    # accounting (a repro.mpe.recovery.RecoveryReport) and the ranks
+    # known to have crashed (rank -> virtual time, or None if unknown).
+    # The viewers render these as a banner and timeline markers.
+    salvaged: "object | None" = None
+    crashed_ranks: dict[int, "float | None"] = field(default_factory=dict)
 
     @property
     def drawables(self) -> list[Drawable]:

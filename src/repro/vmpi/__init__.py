@@ -39,6 +39,16 @@ from repro.vmpi.errors import (
     TaskFailed,
     VmpiError,
 )
+from repro.vmpi.faults import (
+    ClockFault,
+    CorruptedPayload,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    Injection,
+    MessageFault,
+)
 from repro.vmpi.status import Status
 from repro.vmpi.world import World, compute, mpirun
 
@@ -47,13 +57,21 @@ __all__ = [
     "ANY_TAG",
     "INTERNAL_TAG_BASE",
     "AbortedError",
+    "ClockFault",
     "ClockSkew",
     "Communicator",
+    "CorruptedPayload",
+    "CrashFault",
     "Engine",
     "EngineError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "Injection",
     "LocalClock",
     "Message",
     "MessageError",
+    "MessageFault",
     "NetworkModel",
     "RealTimeClock",
     "Request",

@@ -276,8 +276,15 @@ class Communicator:
         )
         self.stats["messages"] += 1
         self.stats["bytes"] += nbytes
-        self.engine.call_later(self.network.flight_time(),
-                               lambda: self._deliver(msg))
+        injector = self.engine.fault_injector
+        if injector is not None:
+            # Fault injection (repro.vmpi.faults) owns delivery
+            # scheduling: it may delay, drop, duplicate, corrupt, or
+            # reorder the message before it reaches _deliver.
+            injector.schedule_delivery(self, msg, self.network.flight_time())
+        else:
+            self.engine.call_later(self.network.flight_time(),
+                                   lambda: self._deliver(msg))
         return Request(self, task, "send")
 
     def _deliver(self, msg: Message) -> None:

@@ -227,6 +227,17 @@ class Engine:
         self._running = False
         self._aborted: AbortedError | None = None
         self.on_stall: list[Callable[["Engine"], bool]] = []
+        # Installed by repro.vmpi.faults.FaultPlan.install(); when set,
+        # Communicator routes delivery scheduling through it.
+        self.fault_injector: Any = None
+        # Fired exactly once when the world aborts (any cause: MPI_Abort,
+        # rank crash, injected crash, deadlock teardown).  Hooks run
+        # before task threads unwind, so crash-tolerant layers (MPE
+        # salvage) can flush rank-local state while it is still intact.
+        # Hook exceptions are collected, never propagated: a failing
+        # flush must not mask the abort itself.
+        self.on_abort_hooks: list[Callable[[AbortedError], None]] = []
+        self.abort_hook_errors: list[BaseException] = []
         # Context ids for sub-communicators (0 is COMM_WORLD's).
         self._comm_contexts = itertools.count(1)
         # Simple counters; cheap, and the overhead benchmarks report them.
@@ -344,6 +355,11 @@ class Engine:
         if self._aborted is not None:
             return
         self._aborted = AbortedError(errorcode, origin_rank, reason)
+        for hook in list(self.on_abort_hooks):
+            try:
+                hook(self._aborted)
+            except BaseException as exc:  # noqa: BLE001 - must not mask abort
+                self.abort_hook_errors.append(exc)
         # Wake every parked task so its thread can unwind.
         for t in self._tasks.values():
             if t.state in (TaskState.BLOCKED, TaskState.READY):
@@ -394,12 +410,17 @@ class Engine:
                         for r, t in self._tasks.items()
                         if t.state is not TaskState.DONE
                     }
+                    details = {
+                        r: (t.name, t.state.value)
+                        for r, t in self._tasks.items()
+                        if t.state is not TaskState.DONE
+                    }
                     # Unstick and drain the parked threads before raising
                     # so engines do not leak threads across tests.
                     self._abort_locked_free(errorcode=2, origin_rank=-1,
                                             reason="simulation deadlock")
                     self._drain_threads()
-                    raise SimulationDeadlock(blocked)
+                    raise SimulationDeadlock(blocked, details, self._now)
             self._drain_threads()
         finally:
             self._running = False

@@ -22,10 +22,22 @@ class SimulationDeadlock(VmpiError):
     that gives it a chance to run.
     """
 
-    def __init__(self, blocked: dict[int, str]) -> None:
+    def __init__(self, blocked: dict[int, str],
+                 details: dict[int, tuple[str, str]] | None = None,
+                 now: float = 0.0) -> None:
         self.blocked = dict(blocked)
-        lines = ", ".join(f"rank {r}: {why}" for r, why in sorted(blocked.items()))
-        super().__init__(f"simulation stalled with blocked tasks ({lines})")
+        self.details = dict(details or {})
+        self.now = now
+        lines = [f"simulation stalled at t={now:.6f}s with "
+                 f"{len(blocked)} blocked task(s) and no pending events:"]
+        for r, why in sorted(blocked.items()):
+            name, state = self.details.get(r, (f"rank{r}", "blocked"))
+            lines.append(f"  rank {r} ({name}, {state}): {why or '<no reason recorded>'}")
+        lines.append("  hint: each line is the blocking call that never "
+                     "completed; look for a send/write whose matching "
+                     "receive is missing (enable -pisvc=d under Pilot "
+                     "for a wait-for-graph diagnosis)")
+        super().__init__("\n".join(lines))
 
 
 class AbortedError(VmpiError):

@@ -9,11 +9,14 @@ figure-level tests read the MPE log and engine statistics from there.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.vmpi.clock import ClockSkew
 from repro.vmpi.comm import Communicator, NetworkModel
 from repro.vmpi.engine import Engine, RunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vmpi.faults import FaultPlan
 
 
 class World:
@@ -21,12 +24,17 @@ class World:
 
     def __init__(self, nprocs: int, *, network: NetworkModel | None = None,
                  seed: int = 0, clock_resolution: float = 1e-8,
-                 skews: dict[int, ClockSkew] | None = None) -> None:
+                 skews: dict[int, ClockSkew] | None = None,
+                 faults: "FaultPlan | None" = None) -> None:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        merged_skews = dict(faults.skews()) if faults is not None else {}
+        merged_skews.update(skews or {})  # explicit skews win
         self.engine = Engine(seed=seed, clock_resolution=clock_resolution,
-                             skews=skews)
+                             skews=merged_skews)
         self.comm = Communicator(self.engine, nprocs, network)
+        if faults is not None:
+            faults.install(self.engine)
 
     def run(self, main: Callable[..., Any], *args: Any) -> RunResult:
         """Spawn ``main(comm, *args)`` on every rank and run to the end."""
@@ -41,10 +49,12 @@ class World:
 def mpirun(main: Callable[..., Any], nprocs: int, *args: Any,
            network: NetworkModel | None = None, seed: int = 0,
            clock_resolution: float = 1e-8,
-           skews: dict[int, ClockSkew] | None = None) -> RunResult:
+           skews: dict[int, ClockSkew] | None = None,
+           faults: "FaultPlan | None" = None) -> RunResult:
     """One-shot launch; see :class:`World`."""
     world = World(nprocs, network=network, seed=seed,
-                  clock_resolution=clock_resolution, skews=skews)
+                  clock_resolution=clock_resolution, skews=skews,
+                  faults=faults)
     return world.run(main, *args)
 
 

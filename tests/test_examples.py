@@ -11,10 +11,15 @@ import sys
 import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
 
 def run_example(name, tmp_path, *args, timeout=240):
     env = dict(os.environ)
+    # The subprocess must see the repo's packages regardless of how
+    # pytest itself was launched (installed vs PYTHONPATH=src).
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC, env.get("PYTHONPATH")) if p)
     proc = subprocess.run(
         [sys.executable, os.path.join(EXAMPLES, name), *args],
         capture_output=True, text=True, timeout=timeout, env=env,

@@ -1,0 +1,259 @@
+"""Unit tests for the seeded fault-injection subsystem.
+
+Every fault kind is exercised at the vmpi level (where its effect is
+directly observable on message arrival order, payloads and run
+outcomes), plus the determinism guarantee the chaos harness builds on:
+same program + same plan seed -> identical injection records.
+"""
+
+import math
+
+import pytest
+
+from repro import vmpi
+from repro.vmpi.clock import ClockSkew
+from repro.vmpi.errors import SimulationDeadlock
+from repro.vmpi.faults import (
+    ClockFault,
+    CorruptedPayload,
+    CrashFault,
+    FaultPlan,
+    FaultPlanError,
+    MessageFault,
+)
+
+
+class TestPlanValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultPlanError):
+            MessageFault("explode")
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(FaultPlanError):
+            MessageFault("drop", probability=1.5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(FaultPlanError):
+            MessageFault("delay", delay=-1.0)
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(FaultPlanError):
+            CrashFault(rank=0, at=-0.1)
+
+    def test_non_rule_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(rules=["not a rule"])
+
+    def test_plan_repr_roundtrips_seed(self):
+        plan = FaultPlan(seed=42, rules=(MessageFault("drop"),))
+        assert "seed=42" in repr(plan)
+
+
+def pingpong(comm):
+    """Rank 0 sends two tagged messages; rank 1 records arrival order."""
+    if comm.rank == 0:
+        comm.send("first", dest=1, tag=1)
+        comm.send("second", dest=1, tag=2)
+        return None
+    return [comm.recv(source=0, tag=vmpi.ANY_TAG) for _ in range(2)]
+
+
+class TestMessageFaults:
+    def test_drop_starves_receiver_into_deadlock(self):
+        plan = FaultPlan(seed=1, rules=(MessageFault("drop", tag=1),))
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=1)
+            else:
+                comm.recv(source=0, tag=1)
+
+        with pytest.raises(SimulationDeadlock) as ei:
+            vmpi.mpirun(main, 2, faults=plan)
+        # Satellite: the deadlock message names each blocked rank and
+        # what it was waiting for.
+        assert "rank 1" in str(ei.value)
+        assert ei.value.blocked
+
+    def test_delay_pushes_one_message_behind_the_other(self):
+        plan = FaultPlan(seed=1, rules=(
+            MessageFault("delay", tag=1, delay=5e-3),))
+        res = vmpi.mpirun(pingpong, 2, faults=plan)
+        assert res.results[1] == ["second", "first"]
+        inj = res.engine.fault_injector.injections
+        assert [i.action for i in inj] == ["delay"]
+
+    def test_duplicate_delivers_two_copies(self):
+        plan = FaultPlan(seed=1, rules=(
+            MessageFault("duplicate", tag=1, delay=1e-6),))
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("x", dest=1, tag=1)
+                return None
+            return [comm.recv(source=0, tag=1) for _ in range(2)]
+
+        res = vmpi.mpirun(main, 2, faults=plan)
+        assert res.results[1] == ["x", "x"]
+        assert res.engine.fault_injector.counts() == {"duplicate": 1}
+
+    def test_corrupt_wraps_payload(self):
+        plan = FaultPlan(seed=1, rules=(MessageFault("corrupt", tag=1),))
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send({"v": 1}, dest=1, tag=1)
+                return None
+            return comm.recv(source=0, tag=1)
+
+        res = vmpi.mpirun(main, 2, faults=plan)
+        got = res.results[1]
+        assert isinstance(got, CorruptedPayload)
+        assert got.original == {"v": 1}
+
+    def test_reorder_swaps_adjacent_messages(self):
+        plan = FaultPlan(seed=1, rules=(MessageFault("reorder", tag=1),))
+        res = vmpi.mpirun(pingpong, 2, faults=plan)
+        assert res.results[1] == ["second", "first"]
+
+    def test_reorder_max_hold_releases_without_successor(self):
+        plan = FaultPlan(seed=1, rules=(
+            MessageFault("reorder", tag=1, max_hold=2e-3),))
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("only", dest=1, tag=1)
+                return None
+            return comm.recv(source=0, tag=1)
+
+        res = vmpi.mpirun(main, 2, faults=plan)
+        assert res.results[1] == "only"
+
+    def test_max_count_retires_rule(self):
+        plan = FaultPlan(seed=1, rules=(
+            MessageFault("drop", tag=1, max_count=1),))
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=1)
+                return None
+            return comm.recv(source=0, tag=1)
+
+        res = vmpi.mpirun(main, 2, faults=plan)
+        # First send dropped (the rule's one shot), second delivered.
+        assert res.results[1] == "b"
+        assert res.engine.fault_injector.counts() == {"drop": 1}
+
+    def test_probability_zero_never_fires(self):
+        plan = FaultPlan(seed=1, rules=(
+            MessageFault("drop", probability=0.0),))
+        res = vmpi.mpirun(pingpong, 2, faults=plan)
+        assert res.results[1] == ["first", "second"]
+        assert res.engine.fault_injector.injections == []
+
+    def test_internal_traffic_exempt_by_default(self):
+        # A drop-everything rule must not touch the collective's
+        # internal protocol messages.
+        plan = FaultPlan(seed=1, rules=(MessageFault("drop"),))
+
+        def main(comm):
+            return vmpi.collectives.bcast(comm, comm.rank, root=0)
+
+        res = vmpi.mpirun(main, 3, faults=plan)
+        assert res.results == {0: 0, 1: 0, 2: 0}
+
+    def test_time_window_bounds_matching(self):
+        plan = FaultPlan(seed=1, rules=(
+            MessageFault("drop", after=10.0, before=20.0),))
+        res = vmpi.mpirun(pingpong, 2, faults=plan)
+        assert res.results[1] == ["first", "second"]
+
+
+class TestCrashFaults:
+    def test_crash_aborts_world_at_time(self):
+        plan = FaultPlan(seed=1, rules=(
+            CrashFault(rank=1, at=5e-3, reason="injected"),))
+
+        def main(comm):
+            for _ in range(100):
+                comm.engine.advance(1e-3, "work")
+
+        res = vmpi.mpirun(main, 2, faults=plan)
+        assert res.aborted is not None
+        assert res.aborted.errorcode == 134
+        assert res.aborted.origin_rank == 1
+        assert "injected" in str(res.aborted)
+        assert abs(res.finished_at - 5e-3) < 1e-6
+
+    def test_crash_after_completion_is_noop(self):
+        plan = FaultPlan(seed=1, rules=(CrashFault(rank=0, at=1e3),))
+
+        def main(comm):
+            comm.engine.advance(1e-3, "work")
+
+        res = vmpi.mpirun(main, 2, faults=plan)
+        assert res.aborted is None
+
+    def test_crashed_ranks_mapping(self):
+        plan = FaultPlan(rules=(CrashFault(rank=2, at=0.5),
+                                CrashFault(rank=0, at=0.7)))
+        assert plan.crashed_ranks() == {2: 0.5, 0: 0.7}
+
+
+class TestClockFaults:
+    def test_fixed_skew_applied(self):
+        plan = FaultPlan(seed=1, rules=(
+            ClockFault(rank=1, offset=2.5, drift=1e-4),))
+        skews = plan.skews()
+        assert skews[1] == ClockSkew(offset=2.5, drift=1e-4)
+
+    def test_jittered_skew_is_seed_deterministic(self):
+        plan_a = FaultPlan(seed=9, rules=(
+            ClockFault(rank=0, offset_jitter=1e-3, drift_jitter=1e-5),))
+        plan_b = FaultPlan(seed=9, rules=(
+            ClockFault(rank=0, offset_jitter=1e-3, drift_jitter=1e-5),))
+        assert plan_a.skews() == plan_b.skews()
+        other = FaultPlan(seed=10, rules=(
+            ClockFault(rank=0, offset_jitter=1e-3, drift_jitter=1e-5),))
+        assert plan_a.skews() != other.skews()
+
+    def test_explicit_skews_override_plan(self):
+        plan = FaultPlan(seed=1, rules=(ClockFault(rank=0, offset=1.0),))
+        world = vmpi.World(2, faults=plan,
+                           skews={0: ClockSkew(offset=9.0, drift=0.0)})
+        assert world.engine.skew_for(0).offset == 9.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_injections(self):
+        def run():
+            plan = FaultPlan(seed=33, rules=(
+                MessageFault("delay", probability=0.5, delay=1e-4,
+                             jitter=1e-4),
+                MessageFault("drop", probability=0.2, max_count=1),))
+
+            def main(comm):
+                if comm.rank == 0:
+                    for i in range(10):
+                        comm.send(i, dest=1, tag=3)
+                    comm.send(-1, dest=1, tag=4)
+                    return None
+                got = []
+                while True:
+                    v = comm.recv(source=0, tag=vmpi.ANY_TAG)
+                    if v == -1:
+                        break
+                    got.append(v)
+                return got
+
+            try:
+                res = vmpi.mpirun(main, 2, faults=plan)
+            except SimulationDeadlock:
+                # A dropped sentinel starves the loop; determinism of
+                # that outcome is still checkable via a fresh run below.
+                return None
+            return (res.results[1],
+                    [str(i) for i in res.engine.fault_injector.injections])
+
+        assert run() == run()
