@@ -25,7 +25,7 @@ import repro.apps.labs as labs_module
 from repro.mpe import read_clog2
 from repro.pilot import PilotOptions, run_pilot
 
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+OUT_DIR = os.environ.get("REPRO_OUT_DIR") or os.path.join(os.path.dirname(__file__), "out")
 CFG = Lab3Config(workers=4, ntasks=64)
 
 

@@ -23,7 +23,7 @@ from repro.apps import GOOD, INSTANCE_A, INSTANCE_B, CollisionConfig, collisions
 from repro.mpe import read_clog2
 from repro.pilot import PilotOptions, run_pilot
 
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+OUT_DIR = os.environ.get("REPRO_OUT_DIR") or os.path.join(os.path.dirname(__file__), "out")
 CFG = CollisionConfig(nrecords=20_000)
 
 

@@ -28,7 +28,7 @@ from repro.pilot import (
     run_pilot,
 )
 
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+OUT_DIR = os.environ.get("REPRO_OUT_DIR") or os.path.join(os.path.dirname(__file__), "out")
 
 
 def main(argv):

@@ -19,7 +19,7 @@ from repro.apps import ThumbnailConfig, thumbnail_main
 from repro.mpe import read_clog2
 from repro.pilot import PilotOptions, run_pilot
 
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+OUT_DIR = os.environ.get("REPRO_OUT_DIR") or os.path.join(os.path.dirname(__file__), "out")
 
 
 if __name__ == "__main__":

@@ -1,9 +1,11 @@
 """Smoke-run every example script: the documentation must not rot.
 
-Each example runs in a subprocess with a private working directory so
-artifact files land in tmp, not the repo.
+Each example runs in a subprocess with a private working directory and
+REPRO_OUT_DIR pointed at tmp, so artifact files land there and the
+committed reference figures in examples/out/ are never overwritten.
 """
 
+import hashlib
 import os
 import subprocess
 import sys
@@ -12,6 +14,28 @@ import pytest
 
 EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
 SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+REF_OUT = os.path.join(EXAMPLES, "out")
+
+
+def _reference_digests():
+    if not os.path.isdir(REF_OUT):
+        return {}
+    return {
+        name: hashlib.sha256(
+            open(os.path.join(REF_OUT, name), "rb").read()).hexdigest()
+        for name in sorted(os.listdir(REF_OUT))
+        if os.path.isfile(os.path.join(REF_OUT, name))
+    }
+
+
+@pytest.fixture(autouse=True)
+def _guard_reference_artifacts():
+    """Fail loudly if a test run clobbers the committed figures."""
+    before = _reference_digests()
+    yield
+    assert _reference_digests() == before, (
+        "a test overwrote committed reference artifacts in examples/out/ "
+        "(restore with: git checkout -- examples/out)")
 
 
 def run_example(name, tmp_path, *args, timeout=240):
@@ -20,6 +44,10 @@ def run_example(name, tmp_path, *args, timeout=240):
     # pytest itself was launched (installed vs PYTHONPATH=src).
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (SRC, env.get("PYTHONPATH")) if p)
+    # Redirect example artifacts into the test's private directory;
+    # cwd isolation alone does not help since examples anchor their
+    # default output dir to their own __file__.
+    env["REPRO_OUT_DIR"] = str(tmp_path)
     proc = subprocess.run(
         [sys.executable, os.path.join(EXAMPLES, name), *args],
         capture_output=True, text=True, timeout=timeout, env=env,
