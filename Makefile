@@ -2,13 +2,24 @@
 
 PY ?= python
 
-.PHONY: install test bench chaos examples figures clean
+.PHONY: install test bench chaos examples figures clean check lint
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
 
 test:
 	$(PY) -m pytest tests/
+
+# Static communication analysis + trace linting over the shipped
+# programs and reference traces (see docs/STATIC_ANALYSIS.md).
+check:
+	$(PY) -m pytest tests/pilotcheck -q
+
+# Style/defect linters (same commands the CI lint job runs; requires
+# ruff and mypy on PATH).
+lint:
+	ruff check src/repro
+	mypy
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s

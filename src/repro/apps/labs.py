@@ -53,7 +53,7 @@ def lab1_main(argv: list[str], workers: int = 4) -> dict[str, Any]:
     chans: list = []
 
     def greeter(index: int, _arg2: Any) -> int:
-        PI_Write(chans[index], "%s %d", f"hello from worker", index)
+        PI_Write(chans[index], "%s %d", "hello from worker", index)
         return 0
 
     n_avail = PI_Configure(argv)

@@ -87,7 +87,7 @@ def thumbnail_main(argv: list[str], config: ThumbnailConfig) -> dict[str, Any]:
     workers = N - 1
     if workers < 2:
         raise ValueError(
-            f"thumbnail pipeline needs at least 2 work processes "
+            "thumbnail pipeline needs at least 2 work processes "
             f"(1 compressor + 1 decompressor), have {workers}")
     n_dec = workers - 1
 

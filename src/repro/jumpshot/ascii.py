@@ -52,6 +52,8 @@ def render_ascii(view: View, width: int = 100, *, show_legend: bool = True,
     banner = view.salvage_banner
     if banner is not None:
         lines.insert(0, f"{'':>{label_w}}|!! {banner}")
+    for note in reversed(view.annotations):
+        lines.insert(0, f"{'':>{label_w}}|>> {note}")
     for rank in view.rows:
         weights: list[dict[str, float]] = [{} for _ in range(width)]
         bubbles = [False] * width

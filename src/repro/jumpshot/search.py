@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.slog2.model import Arrow, Drawable, Event, Slog2Doc, State, drawable_span
+from repro.slog2.model import Arrow, Drawable, Slog2Doc, State, drawable_span
 
 
 def _sorted_by_time(doc: Slog2Doc) -> list[Drawable]:

@@ -63,6 +63,7 @@ def render_svg(view: View, path: str | None = None, *, width: int = 1100,
     if highlight_path is not None:
         parts.append(_critical_overlay(view, canvas, highlight_path))
     parts.append(_salvage_overlay(view, canvas))
+    parts.append(_annotation_overlay(view, canvas))
     if legend:
         parts.append(_legend_panel(view, width - legend_width + 10, total_h))
     parts.append("</svg>")
@@ -206,7 +207,7 @@ def _critical_overlay(view: View, canvas: Canvas, cpath) -> str:
                 f'y1="{src.y_bottom + 2.5:.2f}" '
                 f'x2="{canvas.clamp_x(seg.end):.2f}" '
                 f'y2="{dst.y_bottom + 2.5:.2f}" stroke="{CRITICAL}" '
-                f'stroke-width="2.2" stroke-dasharray="5,3">'
+                'stroke-width="2.2" stroke-dasharray="5,3">'
                 f'<title>critical path: {escape(seg.label)}</title></line>')
     parts.append("</g>")
     return "\n".join(parts)
@@ -249,6 +250,23 @@ def _salvage_overlay(view: View, canvas: Canvas) -> str:
         parts.append(f'<text x="{x + 3:.2f}" y="{row.y_center + 4:.2f}" '
                      f'fill="{CRASH}" font-weight="bold">✕'
                      f'<title>{escape(label)}</title></text>')
+    return "\n".join(parts)
+
+
+def _annotation_overlay(view: View, canvas: Canvas) -> str:
+    """Analysis annotations (e.g. a statically predicted deadlock cycle
+    that matched the observed one): amber flag lines stacked under the
+    salvage banner."""
+    annotations = view.annotations
+    if not annotations:
+        return ""
+    parts: list[str] = []
+    y = 32 if view.salvage_banner is not None else 14
+    for line in annotations:
+        parts.append(f'<text x="{canvas.margin_left + 6:.1f}" y="{y}" '
+                     f'fill="{SALVAGE}" font-weight="bold">'
+                     f'⚑ {escape(line)}</text>')
+        y += 14
     return "\n".join(parts)
 
 

@@ -124,6 +124,12 @@ class View:
             return f"rank(s) {ranks} crashed"
         return None
 
+    @property
+    def annotations(self) -> list[str]:
+        """Analysis annotations attached to the document (for example a
+        pilotcheck PC003 prediction matching an observed deadlock)."""
+        return list(getattr(self.doc, "annotations", []) or [])
+
     # -- content queries -----------------------------------------------------------
 
     def visible(self) -> tuple[list[Drawable], list[FrameNode]]:

@@ -118,7 +118,7 @@ def PI_CreateProcess(work: Callable[[int, Any], int], index: int = 0,
             run.fail("TOO_MANY_PROCESSES",
                      f"cannot create process #{rank}: only "
                      f"{run.available_processes} processes available "
-                     f"(is a service rank enabled?)", cs)
+                     "(is a service rank enabled?)", cs)
         return PI_PROCESS(rank, work, index, arg2)
 
     def match(existing: PI_PROCESS) -> bool:
@@ -351,7 +351,7 @@ def PI_SetName(obj: PI_PROCESS | PI_CHANNEL | PI_BUNDLE, name: str) -> None:
     run.check(perr.CHECK_API,
               isinstance(obj, (PI_PROCESS, PI_CHANNEL, PI_BUNDLE)),
               "BAD_ARGUMENTS",
-              f"PI_SetName needs a process/channel/bundle, got "
+              "PI_SetName needs a process/channel/bundle, got "
               f"{type(obj).__name__}", cs)
     run.check(perr.CHECK_API, isinstance(name, str) and name != "",
               "BAD_ARGUMENTS", "PI_SetName needs a non-empty string", cs)
@@ -364,7 +364,7 @@ def PI_GetName(obj: PI_PROCESS | PI_CHANNEL | PI_BUNDLE) -> str:
     run.check(perr.CHECK_API,
               isinstance(obj, (PI_PROCESS, PI_CHANNEL, PI_BUNDLE)),
               "BAD_ARGUMENTS",
-              f"PI_GetName needs a process/channel/bundle, got "
+              "PI_GetName needs a process/channel/bundle, got "
               f"{type(obj).__name__}", cs)
     return obj.name
 
@@ -497,7 +497,7 @@ def PI_State(handle: PI_STATE) -> _StateBlock:
     cs = pilot_callsite()
     run.require_phase(Phase.EXEC, "PI_State", cs)
     run.check(perr.CHECK_API, isinstance(handle, PI_STATE), "BAD_ARGUMENTS",
-              f"PI_State needs a PI_DefineState handle, got "
+              "PI_State needs a PI_DefineState handle, got "
               f"{type(handle).__name__}", cs)
     return _StateBlock(run, handle, cs)
 

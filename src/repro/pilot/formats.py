@@ -29,7 +29,7 @@ internally".
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -59,7 +59,18 @@ _ITEM_RE = re.compile(
 
 
 class FormatError(ValueError):
-    """Malformed format string or arguments inconsistent with it."""
+    """Malformed format string or arguments inconsistent with it.
+
+    ``pos`` carries the character offset of the offending conversion
+    spec within the format string (None when the error is not tied to a
+    position); tooling such as pilotcheck points at it in messages.
+    """
+
+    def __init__(self, message: str, *, pos: int | None = None) -> None:
+        if pos is not None:
+            message = f"{message} (at offset {pos})"
+        super().__init__(message)
+        self.pos = pos
 
 
 @dataclass(frozen=True)
@@ -69,6 +80,10 @@ class FormatItem:
     type_code: str  # canonical: c, d, u, hd, hu, ld, lu, f, lf, s, b
     count: int | str | None  # int, "*", "^" or None (scalar)
     op: str | None = None  # reduce operator or None
+    # Character offset of this item in the source format string; not
+    # part of the item's identity (equal items at different offsets
+    # still compare equal).
+    pos: int = field(default=-1, compare=False)
 
     @property
     def dtype(self) -> np.dtype | None:
@@ -111,14 +126,17 @@ def parse_format(fmt: str, *, allow_ops: bool = False) -> list[FormatItem]:
     if not isinstance(fmt, str):
         raise FormatError(f"format must be a string, got {type(fmt).__name__}")
     items: list[FormatItem] = []
-    for token in fmt.split():
+    for tok in re.finditer(r"\S+", fmt):
+        token, pos = tok.group(), tok.start()
         m = _ITEM_RE.fullmatch(token)
         if not m:
-            raise FormatError(f"unrecognised format item {token!r} in {fmt!r}")
+            raise FormatError(f"unrecognised format item {token!r} in {fmt!r}",
+                              pos=pos)
         op = m.group("op")
         if op and not allow_ops:
             raise FormatError(
-                f"operator {op!r} in {token!r} is only valid in PI_Reduce formats")
+                f"operator {op!r} in {token!r} is only valid in PI_Reduce formats",
+                pos=pos)
         count_s = m.group("count")
         count: int | str | None
         if count_s is None:
@@ -128,13 +146,15 @@ def parse_format(fmt: str, *, allow_ops: bool = False) -> list[FormatItem]:
         else:
             count = int(count_s)
             if count <= 0:
-                raise FormatError(f"array count must be positive in {token!r}")
+                raise FormatError(f"array count must be positive in {token!r}",
+                                  pos=pos)
         type_code = m.group("type")
         if op and count == "^":
-            raise FormatError(f"auto-alloc %^ cannot carry a reduce operator: {token!r}")
-        items.append(FormatItem(type_code, count, op))
+            raise FormatError(f"auto-alloc %^ cannot carry a reduce operator: {token!r}",
+                              pos=pos)
+        items.append(FormatItem(type_code, count, op, pos=pos))
     if not items:
-        raise FormatError(f"empty format string {fmt!r}")
+        raise FormatError(f"empty format string {fmt!r}", pos=0)
     return items
 
 

@@ -26,7 +26,6 @@ from repro.pilot.objects import (
     PI_CHANNEL,
     PI_MAIN,
     PI_PROCESS,
-    BundleUsage,
     _MainHandle,
 )
 from repro.vmpi.comm import INTERNAL_TAG_BASE, Communicator
@@ -61,7 +60,9 @@ class PilotOptions:
 
     ``-pisvc=<letters>`` selects services: ``c`` native call log, ``d``
     deadlock detection, ``j`` Jumpshot (MPE) logging — combinable, e.g.
-    ``-pisvc=cj`` (paper Section III.C).  ``-picheck=<0..3>`` selects
+    ``-pisvc=cj`` (paper Section III.C).  ``s`` runs the pilotcheck
+    static analyzer before launch (this repo's addition; ``c`` was
+    already taken by the native call log).  ``-picheck=<0..3>`` selects
     the error-check level.
     """
 
@@ -101,7 +102,7 @@ def parse_argv(argv: list[str] | tuple[str, ...],
     for arg in argv:
         if arg.startswith("-pisvc="):
             letters = arg.split("=", 1)[1]
-            bad = set(letters) - {"c", "d", "j"}
+            bad = set(letters) - {"c", "d", "j", "s"}
             if bad:
                 raise PilotError(Diagnostic(
                     "BAD_OPTION", f"unknown -pisvc letters {sorted(bad)}", None, -1))
@@ -264,7 +265,7 @@ class PilotRun:
         if isinstance(endpoint, PI_PROCESS):
             return endpoint
         self.fail("BAD_ENDPOINT",
-                  f"channel endpoint must be PI_MAIN or a PI_PROCESS, "
+                  "channel endpoint must be PI_MAIN or a PI_PROCESS, "
                   f"got {type(endpoint).__name__}", callsite)
         raise AssertionError("unreachable")
 

@@ -26,6 +26,7 @@ from repro.pilot.service import ServiceFeedHook
 from repro.vmpi.clock import ClockSkew
 from repro.vmpi.comm import NetworkModel
 from repro.vmpi.engine import RunResult
+from repro.vmpi.errors import SimulationDeadlock
 from repro.vmpi.world import World
 
 
@@ -101,11 +102,30 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
     example app this way.
     """
     opts, app_argv = parse_argv(argv, options)
+
+    # -pisvc=s: run the static analyzer over main before launching.
+    # Advisory only — findings are printed (and kept on the result's
+    # run object), never fatal: the analyzer must not break a run it
+    # cannot understand.
+    static_findings: list = []
+    if "s" in opts.services:
+        try:
+            from repro.pilotcheck import analyze_program
+
+            analysis = analyze_program(main, nprocs, argv, options=options)
+            static_findings = analysis.findings
+            for finding in static_findings:
+                print(f"PILOT CHECK: {finding.render()}", file=sys.stderr)
+        except Exception as exc:  # noqa: BLE001 - advisory pass
+            print(f"PILOT CHECK: static analysis unavailable ({exc})",
+                  file=sys.stderr)
+
     world = World(nprocs, network=network, seed=seed,
                   clock_resolution=clock_resolution, skews=skews,
                   faults=faults)
     run = PilotRun(world.comm, opts, costs)
     run.app_argv = app_argv
+    run.static_findings = static_findings  # type: ignore[attr-defined]
 
     if opts.needs_service_rank:
         run.hooks.add(ServiceFeedHook(run))
@@ -132,5 +152,16 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
         finally:
             set_current_run(None)
 
-    vres = world.run(rank_body)
+    try:
+        vres = world.run(rank_body)
+    except SimulationDeadlock as exc:
+        if static_findings:
+            from repro.pilotcheck import match_deadlock
+
+            matched = match_deadlock(static_findings, exc.blocked)
+            exc.static_findings = matched  # type: ignore[attr-defined]
+            for finding in matched:
+                print("PILOT CHECK: predicted this deadlock: "
+                      f"{finding.render()}", file=sys.stderr)
+        raise
     return PilotResult(run, vres)

@@ -319,7 +319,7 @@ def do_reduce(run: PilotRun, bundle: PI_BUNDLE, fmt: str, args: tuple,
     for item in items:
         run.check(perr.CHECK_API, item.op is not None, "BAD_FORMAT",
                   f"PI_Reduce format item {item.signature()!r} needs an "
-                  f"operator (one of + * < > & | ^)", callsite)
+                  "operator (one of + * < > & | ^)", callsite)
     call = make_call(run, "PI_Reduce", callsite, bundle=bundle)
     run.hooks.on_call_begin(call)
     run.charge_call()

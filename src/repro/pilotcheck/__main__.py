@@ -1,0 +1,128 @@
+"""CLI: ``python -m repro.pilotcheck``.
+
+Subcommands::
+
+    analyze MODULE:CALLABLE [--nprocs N] [--pilot-arg ARG]...
+    lint-trace FILE [FILE...] [--strict]
+    codes
+
+Exit status: 0 clean, 1 warnings only (or any finding under
+``--strict``), 2 errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import sys
+
+from repro.pilotcheck.findings import CODES, Finding, render_findings
+
+
+def _load_target(spec: str):
+    """Resolve ``pkg.module:callable`` or ``path/to/file.py:callable``."""
+    if ":" not in spec:
+        raise SystemExit(
+            "target must be MODULE:CALLABLE or FILE.py:CALLABLE, "
+            f"got {spec!r}")
+    modpart, _, funcname = spec.rpartition(":")
+    if modpart.endswith(".py"):
+        loader_spec = importlib.util.spec_from_file_location(
+            "pilotcheck_target", modpart)
+        if loader_spec is None or loader_spec.loader is None:
+            raise SystemExit(f"cannot load {modpart!r}")
+        module = importlib.util.module_from_spec(loader_spec)
+        loader_spec.loader.exec_module(module)
+    else:
+        module = importlib.import_module(modpart)
+    try:
+        return getattr(module, funcname)
+    except AttributeError:
+        raise SystemExit(
+            f"{modpart!r} has no callable {funcname!r}") from None
+
+
+def _exit_code(findings: list[Finding], strict: bool) -> int:
+    if any(f.severity == "error" for f in findings):
+        return 2
+    if findings:
+        return 1 if strict else 0
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.pilotcheck.analysis import analyze_program
+    from repro.pilotcheck.capture import CaptureError
+
+    main = _load_target(args.target)
+    argv = tuple(args.pilot_arg or ())
+    try:
+        analysis = analyze_program(main, args.nprocs, argv)
+    except CaptureError as exc:
+        print(f"configuration phase failed: {exc.args[0].render()}",
+              file=sys.stderr)
+        return 2
+    print(analysis.render())
+    for note in analysis.notes:
+        print(f"  note: {note}")
+    return _exit_code(analysis.findings, args.strict)
+
+
+def _cmd_lint_trace(args: argparse.Namespace) -> int:
+    from repro.pilotcheck.tracelint import lint_path
+
+    worst = 0
+    for path in args.files:
+        findings = lint_path(path)
+        if findings:
+            print(render_findings(findings, header=f"{path}:"))
+        else:
+            print(f"{path}: clean")
+        worst = max(worst, _exit_code(findings, args.strict))
+    return worst
+
+
+def _cmd_codes(_args: argparse.Namespace) -> int:
+    for code, (meaning, severity) in sorted(CODES.items()):
+        print(f"{code}  [{severity:7s}] {meaning}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pilotcheck",
+        description="Static communication analyzer and trace linter "
+                    "for Pilot programs.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_an = sub.add_parser("analyze",
+                          help="statically analyze a Pilot main")
+    p_an.add_argument("target",
+                      help="MODULE:CALLABLE or FILE.py:CALLABLE")
+    p_an.add_argument("--nprocs", type=int, default=6,
+                      help="virtual world size (default 6)")
+    p_an.add_argument("--pilot-arg", action="append", metavar="ARG",
+                      help="argv entry passed to the program "
+                           "(repeatable; e.g. --pilot-arg=-pisvc=d)")
+    p_an.add_argument("--strict", action="store_true",
+                      help="non-zero exit on warnings too")
+    p_an.set_defaults(func=_cmd_analyze)
+
+    p_lt = sub.add_parser("lint-trace",
+                          help="validate CLOG2/SLOG2 trace invariants")
+    p_lt.add_argument("files", nargs="+", metavar="FILE")
+    p_lt.add_argument("--strict", action="store_true",
+                      help="non-zero exit on warnings too")
+    p_lt.set_defaults(func=_cmd_lint_trace)
+
+    p_codes = sub.add_parser("codes",
+                             help="list the diagnostic code catalogue")
+    p_codes.set_defaults(func=_cmd_codes)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,802 @@
+"""AST walk of Pilot work functions: extract communication operations.
+
+The configuration phase is executed for real (see :mod:`.capture`); the
+*execution* phase must not be, so each rank's code is walked as an AST
+against the concrete environment the capture produced — closure cells,
+globals, and (for PI_MAIN) the snapshot of main's locals taken at
+``PI_StartAll``.  Expressions are resolved with a side-effect-free
+constant folder; anything it cannot prove becomes the ``UNKNOWN``
+poison value, which widens the analysis (a read on ``chans[i]`` with
+unknown ``i`` becomes a read on *any* channel in ``chans``) instead of
+guessing.
+
+Loops whose iterable resolves to a small concrete sequence are
+unrolled; ``while`` loops and opaque ``for`` loops contribute one
+symbolic iteration and poison everything they assign.  This is a
+bounded, deliberately optimistic model: it under-approximates repeat
+counts but preserves which channels each rank touches and with which
+format strings, which is all PC001-PC005 need.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro._util.callsite import CallSite
+from repro.pilot.formats import FormatError, FormatItem, parse_format
+from repro.pilot.objects import PI_BUNDLE, PI_CHANNEL
+
+LOOP_CAP = 512  # max unrolled iterations / comprehension elements
+
+
+class _Unknown:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<unknown>"
+
+    def __bool__(self) -> bool:
+        raise TypeError("UNKNOWN has no truth value")
+
+
+UNKNOWN = _Unknown()
+
+_SAFE_BUILTINS: dict[str, Any] = {
+    "range": range, "len": len, "int": int, "float": float, "str": str,
+    "bool": bool, "abs": abs, "min": min, "max": max, "enumerate": enumerate,
+    "zip": zip, "list": list, "tuple": tuple, "dict": dict, "set": set,
+    "sorted": sorted, "reversed": reversed, "repr": repr,
+}
+
+#: Call results we are willing to compute during resolution (pure).
+_SAFE_CALLABLES = frozenset(
+    id(v) for v in _SAFE_BUILTINS.values())
+
+#: PI_* functions that communicate, mapped to an op kind.
+COMM_FUNCS: dict[str, str] = {
+    "PI_Write": "write",
+    "PI_Read": "read",
+    "PI_Broadcast": "broadcast",
+    "PI_Scatter": "scatter",
+    "PI_Gather": "gather",
+    "PI_Reduce": "reduce",
+    "PI_Select": "select",
+    "PI_TrySelect": "tryselect",
+    "PI_ChannelHasData": "hasdata",
+}
+
+#: Op kinds whose target argument is a bundle, not a channel.
+BUNDLE_KINDS = frozenset({"broadcast", "scatter", "gather", "reduce",
+                          "select", "tryselect"})
+#: Op kinds that carry a format string as their second argument.
+FMT_KINDS = frozenset({"write", "read", "broadcast", "scatter", "gather",
+                       "reduce"})
+#: Kinds that put data INTO channels at this rank.
+WRITING_KINDS = frozenset({"write", "broadcast", "scatter"})
+#: Kinds that take data OUT of channels at this rank.
+READING_KINDS = frozenset({"read", "gather", "reduce"})
+
+
+class Env:
+    """Chained name environment with a mutable overlay."""
+
+    __slots__ = ("overlay", "maps")
+
+    def __init__(self, maps: tuple[dict, ...],
+                 overlay: dict[str, Any] | None = None) -> None:
+        self.maps = maps
+        self.overlay: dict[str, Any] = overlay if overlay is not None else {}
+
+    def lookup(self, name: str) -> Any:
+        if name in self.overlay:
+            return self.overlay[name]
+        for m in self.maps:
+            if name in m:
+                return m[name]
+        return UNKNOWN
+
+    def bind(self, name: str, value: Any) -> None:
+        self.overlay[name] = value
+
+    def child(self) -> "Env":
+        return Env(self.maps, dict(self.overlay))
+
+
+# ---------------------------------------------------------------------------
+# Side-effect-free expression resolution
+# ---------------------------------------------------------------------------
+
+
+def resolve(node: ast.AST | None, env: Env) -> Any:
+    """Best-effort constant value of ``node`` under ``env``; UNKNOWN when
+    the expression cannot be proved side-effect-free and constant."""
+    try:
+        return _resolve(node, env)
+    except Exception:
+        return UNKNOWN
+
+
+def _resolve(node: ast.AST | None, env: Env) -> Any:
+    if node is None:
+        return UNKNOWN
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.Name):
+        return env.lookup(node.id)
+    if isinstance(node, ast.Attribute):
+        base = _resolve(node.value, env)
+        if base is UNKNOWN:
+            return UNKNOWN
+        return getattr(base, node.attr, UNKNOWN)
+    if isinstance(node, ast.Subscript):
+        base = _resolve(node.value, env)
+        key = _resolve(node.slice, env)
+        if base is UNKNOWN or key is UNKNOWN:
+            return UNKNOWN
+        return base[key]
+    if isinstance(node, ast.Slice):
+        parts = [_resolve(p, env) if p is not None else None
+                 for p in (node.lower, node.upper, node.step)]
+        if any(p is UNKNOWN for p in parts):
+            return UNKNOWN
+        return slice(*parts)
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        elts = [_resolve(e, env) for e in node.elts]
+        if any(e is UNKNOWN for e in elts):
+            return UNKNOWN
+        if isinstance(node, ast.Tuple):
+            return tuple(elts)
+        return set(elts) if isinstance(node, ast.Set) else elts
+    if isinstance(node, ast.Dict):
+        out = {}
+        for k, v in zip(node.keys, node.values):
+            if k is None:  # **expansion
+                return UNKNOWN
+            kv, vv = _resolve(k, env), _resolve(v, env)
+            if kv is UNKNOWN or vv is UNKNOWN:
+                return UNKNOWN
+            out[kv] = vv
+        return out
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for piece in node.values:
+            if isinstance(piece, ast.FormattedValue):
+                v = _resolve(piece.value, env)
+                if v is UNKNOWN or piece.format_spec is not None:
+                    return UNKNOWN
+                parts.append(format(v))
+            else:
+                parts.append(str(_resolve(piece, env)))
+        return "".join(parts)
+    if isinstance(node, ast.BinOp):
+        left, right = _resolve(node.left, env), _resolve(node.right, env)
+        if left is UNKNOWN or right is UNKNOWN:
+            return UNKNOWN
+        return _BINOPS[type(node.op)](left, right)
+    if isinstance(node, ast.UnaryOp):
+        val = _resolve(node.operand, env)
+        if val is UNKNOWN:
+            return UNKNOWN
+        return _UNOPS[type(node.op)](val)
+    if isinstance(node, ast.BoolOp):
+        last: Any = UNKNOWN
+        for v in node.values:
+            last = _resolve(v, env)
+            if last is UNKNOWN:
+                return UNKNOWN
+            if isinstance(node.op, ast.And) and not last:
+                return last
+            if isinstance(node.op, ast.Or) and last:
+                return last
+        return last
+    if isinstance(node, ast.Compare):
+        left = _resolve(node.left, env)
+        if left is UNKNOWN:
+            return UNKNOWN
+        for op, comparator in zip(node.ops, node.comparators):
+            right = _resolve(comparator, env)
+            if right is UNKNOWN:
+                return UNKNOWN
+            if not _CMPOPS[type(op)](left, right):
+                return False
+            left = right
+        return True
+    if isinstance(node, ast.IfExp):
+        test = _resolve(node.test, env)
+        if test is UNKNOWN:
+            return UNKNOWN
+        return _resolve(node.body if test else node.orelse, env)
+    if isinstance(node, ast.Call):
+        func = _resolve(node.func, env)
+        if func is UNKNOWN or id(func) not in _SAFE_CALLABLES:
+            return UNKNOWN
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            return UNKNOWN
+        args = [_resolve(a, env) for a in node.args]
+        kwargs = {kw.arg: _resolve(kw.value, env) for kw in node.keywords
+                  if kw.arg is not None}
+        if (any(a is UNKNOWN for a in args)
+                or any(v is UNKNOWN for v in kwargs.values())
+                or len(kwargs) < len(node.keywords)):
+            return UNKNOWN
+        return func(*args, **kwargs)
+    if isinstance(node, ast.Starred):
+        return _resolve(node.value, env)
+    return UNKNOWN
+
+
+_BINOPS = {
+    ast.Add: lambda a, b: a + b, ast.Sub: lambda a, b: a - b,
+    ast.Mult: lambda a, b: a * b, ast.Div: lambda a, b: a / b,
+    ast.FloorDiv: lambda a, b: a // b, ast.Mod: lambda a, b: a % b,
+    ast.Pow: lambda a, b: a ** b, ast.LShift: lambda a, b: a << b,
+    ast.RShift: lambda a, b: a >> b, ast.BitOr: lambda a, b: a | b,
+    ast.BitAnd: lambda a, b: a & b, ast.BitXor: lambda a, b: a ^ b,
+}
+_UNOPS = {
+    ast.UAdd: lambda a: +a, ast.USub: lambda a: -a,
+    ast.Not: lambda a: not a, ast.Invert: lambda a: ~a,
+}
+_CMPOPS = {
+    ast.Eq: lambda a, b: a == b, ast.NotEq: lambda a, b: a != b,
+    ast.Lt: lambda a, b: a < b, ast.LtE: lambda a, b: a <= b,
+    ast.Gt: lambda a, b: a > b, ast.GtE: lambda a, b: a >= b,
+    ast.Is: lambda a, b: a is b, ast.IsNot: lambda a, b: a is not b,
+    ast.In: lambda a, b: a in b, ast.NotIn: lambda a, b: a not in b,
+}
+
+
+def channel_candidates(node: ast.AST, env: Env
+                       ) -> tuple[set, bool] | None:
+    """Channels an expression may denote: ``(candidates, exact)``.
+
+    ``exact`` means the expression resolved to precisely one channel.
+    A subscript of a *known* container with an *unknown* key widens to
+    every channel inside the container.  Returns None when nothing can
+    be said (fully unknown target).
+    """
+    value = resolve(node, env)
+    if isinstance(value, PI_CHANNEL):
+        return {value}, True
+    if isinstance(node, ast.Subscript):
+        base = resolve(node.value, env)
+        if base is not UNKNOWN:
+            if isinstance(base, dict):
+                pool: Iterable[Any] = base.values()
+            elif isinstance(base, (list, tuple)):
+                pool = base
+            else:
+                pool = ()
+            chans = {c for c in pool if isinstance(c, PI_CHANNEL)}
+            if chans:
+                return chans, False
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Communication-op extraction
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CommOp:
+    """One communication call a rank may execute."""
+
+    kind: str  # COMM_FUNCS value
+    func: str  # COMM_FUNCS key (PI_* name)
+    rank: int
+    callsite: CallSite
+    channels: tuple | None  # candidate PI_CHANNELs; None = unresolvable
+    exact: bool  # channels is a single proven target
+    bundle: Any = None  # PI_BUNDLE for collective kinds, when resolved
+    fmt: str | None = None  # literal format string, when resolved
+    items: tuple[FormatItem, ...] | None = None  # parsed fmt
+    fmt_error: FormatError | None = None  # malformed literal format
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in WRITING_KINDS
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind in READING_KINDS
+
+
+@dataclass
+class RankOps:
+    """Extraction result for one rank."""
+
+    rank: int
+    ops: list[CommOp] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    opaque: bool = False  # source unavailable: rank not analyzable
+
+
+class _Walker:
+    def __init__(self, rank: int, filename: str, func_name: str) -> None:
+        self.rank = rank
+        self.filename = filename
+        self.func_name = func_name
+        self.ops: list[CommOp] = []
+        self.notes: list[str] = []
+
+    # -- statements --------------------------------------------------------
+
+    def walk_body(self, stmts: list[ast.stmt], env: Env) -> bool:
+        """Walk statements in order; True when the block provably
+        terminates (return/break/continue/raise on every path)."""
+        for stmt in stmts:
+            if self.walk_stmt(stmt, env):
+                return True
+        return False
+
+    def walk_stmt(self, stmt: ast.stmt, env: Env) -> bool:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                self.scan_expr(stmt.value, env)
+            return True
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return True
+        if isinstance(stmt, ast.Expr):
+            self.scan_expr(stmt.value, env)
+            return False
+        if isinstance(stmt, ast.Assign):
+            value = self.scan_expr(stmt.value, env)
+            for target in stmt.targets:
+                self.assign_target(target, value, env)
+            return False
+        if isinstance(stmt, ast.AugAssign):
+            self.scan_expr(stmt.value, env)
+            self.poison_target(stmt.target, env)
+            return False
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.scan_expr(stmt.value, env)
+                self.assign_target(stmt.target, value, env)
+            return False
+        if isinstance(stmt, ast.If):
+            return self.walk_if(stmt, env)
+        if isinstance(stmt, ast.For):
+            self.walk_for(stmt, env)
+            return False
+        if isinstance(stmt, ast.While):
+            self.walk_while(stmt, env)
+            return False
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.scan_expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.poison_target(item.optional_vars, env)
+            return self.walk_body(stmt.body, env)
+        if isinstance(stmt, ast.Try):
+            self.walk_body(stmt.body, env)
+            for handler in stmt.handlers:
+                if handler.name:
+                    env.bind(handler.name, UNKNOWN)
+                self.walk_body(handler.body, env)
+            self.walk_body(stmt.orelse, env)
+            self.walk_body(stmt.finalbody, env)
+            return False
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            env.bind(stmt.name, UNKNOWN)
+            return False
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                env.bind((alias.asname or alias.name).split(".")[0], UNKNOWN)
+            return False
+        if isinstance(stmt, ast.Assert):
+            self.scan_expr(stmt.test, env)
+            return False
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self.poison_target(target, env)
+            return False
+        return False  # Pass, Global, Nonlocal, ...
+
+    def walk_if(self, stmt: ast.If, env: Env) -> bool:
+        test = resolve(stmt.test, env)
+        if test is not UNKNOWN:
+            try:
+                taken = bool(test)
+            except Exception:
+                taken = True
+            return self.walk_body(stmt.body if taken else stmt.orelse, env)
+        self.scan_expr(stmt.test, env)
+        then_env, else_env = env.child(), env.child()
+        t1 = self.walk_body(stmt.body, then_env)
+        t2 = self.walk_body(stmt.orelse, else_env)
+        # Merge: a name bound differently (or in only one branch) is
+        # poisoned; identically bound names survive.
+        for name in set(then_env.overlay) | set(else_env.overlay):
+            a = then_env.overlay.get(name, UNKNOWN)
+            b = else_env.overlay.get(name, UNKNOWN)
+            same = a is b
+            if not same:
+                try:
+                    same = bool(a == b)
+                except Exception:
+                    same = False
+            env.bind(name, a if same else UNKNOWN)
+        return t1 and t2
+
+    def walk_for(self, stmt: ast.For, env: Env) -> None:
+        iterable = resolve(stmt.iter, env)
+        elements = self._materialize(iterable)
+        if elements is None:
+            self.scan_expr(stmt.iter, env)
+            self.poison_target(stmt.target, env)
+            self.walk_body(stmt.body, env)
+            self._poison_assigned(stmt.body, env)
+            self.walk_body(stmt.orelse, env)
+            return
+        for value in elements:
+            self.assign_target(stmt.target, value, env)
+            if self.walk_body(stmt.body, env):
+                break
+        self.walk_body(stmt.orelse, env)
+
+    def walk_while(self, stmt: ast.While, env: Env) -> None:
+        test = resolve(stmt.test, env)
+        if test is not UNKNOWN:
+            try:
+                if not test:
+                    self.walk_body(stmt.orelse, env)
+                    return
+            except Exception:
+                pass
+        else:
+            self.scan_expr(stmt.test, env)
+        # One symbolic iteration, then poison whatever the body assigns:
+        # values after an unknown number of iterations are unknowable.
+        self.walk_body(stmt.body, env)
+        self._poison_assigned(stmt.body, env)
+        self.walk_body(stmt.orelse, env)
+
+    def _materialize(self, iterable: Any) -> list | None:
+        if iterable is UNKNOWN:
+            return None
+        try:
+            if isinstance(iterable, (range, list, tuple, str, dict, set,
+                                     frozenset)):
+                elements = list(iterable)
+            else:
+                return None
+        except Exception:
+            return None
+        if len(elements) > LOOP_CAP:
+            self.notes.append(
+                f"rank {self.rank}: loop over {len(elements)} elements "
+                f"capped at {LOOP_CAP} (analysis is bounded)")
+            elements = elements[:LOOP_CAP]
+        return elements
+
+    def _poison_assigned(self, body: list[ast.stmt], env: Env) -> None:
+        for name in _assigned_names(body):
+            env.bind(name, UNKNOWN)
+
+    # -- assignment targets -------------------------------------------------
+
+    def assign_target(self, target: ast.AST, value: Any, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env.bind(target.id, value)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elements = None
+            if value is not UNKNOWN:
+                try:
+                    elements = list(value)
+                except Exception:
+                    elements = None
+            starred = any(isinstance(e, ast.Starred) for e in target.elts)
+            if (elements is not None and not starred
+                    and len(elements) == len(target.elts)):
+                for sub, v in zip(target.elts, elements):
+                    self.assign_target(sub, v, env)
+            else:
+                for sub in target.elts:
+                    self.poison_target(sub, env)
+            return
+        self.poison_target(target, env)
+
+    def poison_target(self, target: ast.AST, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env.bind(target.id, UNKNOWN)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for sub in target.elts:
+                self.poison_target(sub, env)
+        elif isinstance(target, ast.Starred):
+            self.poison_target(target.value, env)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            # Mutating part of a structure invalidates the whole root.
+            root = target
+            while isinstance(root, (ast.Subscript, ast.Attribute)):
+                root = root.value
+            if isinstance(root, ast.Name):
+                env.bind(root.id, UNKNOWN)
+
+    # -- expressions ---------------------------------------------------------
+
+    def scan_expr(self, node: ast.AST | None, env: Env) -> Any:
+        """Scan an expression for communication calls (evaluation order:
+        inner first), then return its resolved value."""
+        if node is None or not isinstance(node, ast.AST):
+            return UNKNOWN
+        self._scan(node, env)
+        return resolve(node, env)
+
+    def _scan(self, node: ast.AST, env: Env) -> None:
+        if isinstance(node, (ast.Lambda, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            return  # deferred code: analyzed only if spawned as a process
+        if isinstance(node, ast.Call):
+            for arg in node.args:
+                self._scan(arg, env)
+            for kw in node.keywords:
+                self._scan(kw.value, env)
+            self._scan(node.func, env)
+            name = _call_name(node.func)
+            if name in COMM_FUNCS:
+                self.emit_op(name, node, env)
+            return
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp,
+                             ast.DictComp)):
+            self._scan_comprehension(node, env)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._scan(child, env)
+
+    def _scan_comprehension(self, node: ast.AST, env: Env) -> None:
+        has_comm = any(
+            isinstance(n, ast.Call) and _call_name(n.func) in COMM_FUNCS
+            for n in ast.walk(node))
+        if not has_comm:
+            return
+        gen = node.generators[0]  # type: ignore[attr-defined]
+        elements = self._materialize(resolve(gen.iter, env))
+
+        def scan_once(sub: Env) -> None:
+            for cond in gen.ifs:
+                self._scan(cond, sub)
+            for extra in node.generators[1:]:  # type: ignore[attr-defined]
+                self._scan(extra.iter, sub)
+                self.poison_target(extra.target, sub)
+            if isinstance(node, ast.DictComp):
+                self._scan(node.key, sub)
+                self._scan(node.value, sub)
+            else:
+                self._scan(node.elt, sub)  # type: ignore[attr-defined]
+
+        if elements is not None:
+            for value in elements:
+                sub = env.child()
+                self.assign_target(gen.target, value, sub)
+                scan_once(sub)
+        else:
+            sub = env.child()
+            self.poison_target(gen.target, sub)
+            scan_once(sub)
+
+    # -- op emission ---------------------------------------------------------
+
+    def emit_op(self, func_name: str, call: ast.Call, env: Env) -> None:
+        kind = COMM_FUNCS[func_name]
+        callsite = CallSite(self.filename, call.lineno, self.func_name)
+        channels: tuple | None = None
+        exact = False
+        bundle = None
+        target = call.args[0] if call.args else None
+        if target is not None:
+            if kind in BUNDLE_KINDS:
+                value = resolve(target, env)
+                if isinstance(value, PI_BUNDLE):
+                    bundle = value
+                    channels = tuple(value.channels)
+                    exact = True
+            else:
+                cands = channel_candidates(target, env)
+                if cands is not None:
+                    chans, exact = cands
+                    channels = tuple(sorted(chans, key=lambda c: c.cid))
+        fmt = items = fmt_error = None
+        if kind in FMT_KINDS and len(call.args) >= 2:
+            value = resolve(call.args[1], env)
+            if isinstance(value, str):
+                fmt = value
+                try:
+                    items = tuple(parse_format(
+                        fmt, allow_ops=(kind == "reduce")))
+                except FormatError as exc:
+                    fmt_error = exc
+        self.ops.append(CommOp(
+            kind=kind, func=func_name, rank=self.rank, callsite=callsite,
+            channels=channels, exact=exact, bundle=bundle,
+            fmt=fmt, items=items, fmt_error=fmt_error))
+
+
+def _call_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _assigned_names(body: list[ast.stmt]) -> set[str]:
+    """Names (re)bound anywhere in ``body``, including roots of mutated
+    subscripts/attributes."""
+    names: set[str] = set()
+
+    def add_target(t: ast.AST) -> None:
+        if isinstance(t, ast.Name):
+            names.add(t.id)
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            for e in t.elts:
+                add_target(e)
+        elif isinstance(t, ast.Starred):
+            add_target(t.value)
+        elif isinstance(t, (ast.Subscript, ast.Attribute)):
+            root = t
+            while isinstance(root, (ast.Subscript, ast.Attribute)):
+                root = root.value
+            if isinstance(root, ast.Name):
+                names.add(root.id)
+
+    for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                add_target(t)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            add_target(node.target)
+        elif isinstance(node, ast.For):
+            add_target(node.target)
+        elif isinstance(node, ast.withitem) and node.optional_vars:
+            add_target(node.optional_vars)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Entry points: one per rank
+# ---------------------------------------------------------------------------
+
+
+def _function_ast(code, source_hint: Any
+                  ) -> tuple[ast.AST | None, str]:
+    """Locate the AST of the function ``code`` belongs to."""
+    filename = code.co_filename
+    try:
+        lines, first_line = inspect.getsourcelines(source_hint)
+        source = textwrap.dedent("".join(lines))
+    except (OSError, TypeError):
+        return None, filename
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return None, filename
+    ast.increment_lineno(tree, first_line - 1)
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == code.co_name):
+            return node, filename
+        if isinstance(node, ast.Lambda) and code.co_name == "<lambda>":
+            return node, filename
+    return None, filename
+
+
+def extract_worker_ops(proc) -> RankOps:
+    """Communication ops of a worker process (``proc.work``)."""
+    out = RankOps(rank=proc.rank)
+    work = proc.work
+    code = getattr(work, "__code__", None)
+    if code is None:
+        out.opaque = True
+        out.notes.append(f"rank {proc.rank} ({proc.name}): work function "
+                         "has no Python code object")
+        return out
+    node, filename = _function_ast(code, work)
+    if node is None:
+        out.opaque = True
+        out.notes.append(f"rank {proc.rank} ({proc.name}): source "
+                         "unavailable; rank treated as opaque")
+        return out
+
+    params: dict[str, Any] = {}
+    argnames = code.co_varnames[:code.co_argcount]
+    for name, value in zip(argnames, (proc.index, proc.arg2)):
+        params[name] = value
+    closure: dict[str, Any] = {}
+    if getattr(work, "__closure__", None):
+        for name, cell in zip(code.co_freevars, work.__closure__):
+            try:
+                closure[name] = cell.cell_contents
+            except ValueError:
+                closure[name] = UNKNOWN
+    globs = getattr(work, "__globals__", {})
+    env = Env((params, closure, globs, _SAFE_BUILTINS))
+
+    walker = _Walker(proc.rank, filename, code.co_name)
+    if isinstance(node, ast.Lambda):
+        walker.scan_expr(node.body, env)
+    else:
+        walker.walk_body(node.body, env)
+    out.ops = walker.ops
+    out.notes.extend(walker.notes)
+    return out
+
+
+def extract_main_ops(captured) -> RankOps:
+    """Communication ops of PI_MAIN: the statements after the top-level
+    ``PI_StartAll()`` in ``main``, resolved against the locals snapshot
+    the capture took at that call."""
+    out = RankOps(rank=0)
+    code = captured.main_code
+    if code is None:
+        out.opaque = True
+        out.notes.append("PI_MAIN: no PI_StartAll snapshot captured")
+        return out
+
+    # Rebuild a function object reference for getsource: the snapshot
+    # has the code object; find it via any function in globals/locals,
+    # else fall back to the file + ast scan by name.
+    node, filename = _main_function_ast(code)
+    if node is None:
+        out.opaque = True
+        out.notes.append("PI_MAIN: source unavailable; rank treated "
+                         "as opaque")
+        return out
+
+    env = Env((dict(captured.main_locals), captured.main_globals,
+               _SAFE_BUILTINS))
+    walker = _Walker(0, filename, code.co_name)
+
+    body = node.body if not isinstance(node, ast.Lambda) else [
+        ast.Expr(value=node.body)]
+    start = _post_startall_index(body)
+    if start is None:
+        out.notes.append("PI_MAIN: PI_StartAll not found at the top level "
+                         "of main; walking the whole body")
+        walker.walk_body(body, env)
+    else:
+        walker.walk_body(body[start:], env)
+    out.ops = walker.ops
+    out.notes.extend(walker.notes)
+    return out
+
+
+def _main_function_ast(code) -> tuple[ast.AST | None, str]:
+    filename = code.co_filename
+    try:
+        with open(filename, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        tree = ast.parse(source)
+    except (OSError, SyntaxError):
+        return None, filename
+    best = None
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == code.co_name):
+            # co_firstlineno disambiguates same-named functions.
+            if node.lineno <= code.co_firstlineno <= _last_line(node):
+                return node, filename
+            if best is None:
+                best = node
+    return best, filename
+
+
+def _last_line(node: ast.AST) -> int:
+    return getattr(node, "end_lineno", None) or 10 ** 9
+
+
+def _post_startall_index(body: list[ast.stmt]) -> int | None:
+    """Index just past the first top-level statement containing a
+    PI_StartAll call, or None when there is no such statement."""
+    for i, stmt in enumerate(body):
+        for sub in ast.walk(stmt):
+            if (isinstance(sub, ast.Call)
+                    and _call_name(sub.func) == "PI_StartAll"):
+                return i + 1
+    return None

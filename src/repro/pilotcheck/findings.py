@@ -1,0 +1,75 @@
+"""Diagnostic findings and the stable code catalogue.
+
+Every problem either analysis pass reports is a :class:`Finding` with a
+stable ``PCnnn`` (program analysis) or ``TRnnn`` (trace linter) code, so
+CI scripts and tests can assert on codes instead of message text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.callsite import CallSite
+
+#: Stable code catalogue: code -> (one-line meaning, default severity).
+CODES: dict[str, tuple[str, str]] = {
+    "PC001": ("format-string mismatch between the write and read ends "
+              "of a channel", "error"),
+    "PC002": ("channel direction misuse (write to a read end, or a "
+              "collective issued from a non-common end)", "error"),
+    "PC003": ("potential deadlock cycle in the channel wait graph", "error"),
+    "PC004": ("orphan channel: written but never read (or never-read "
+              "bundle member)", "warning"),
+    "PC005": ("process created but unreachable from PI_MAIN through "
+              "any channel", "warning"),
+    "TR001": ("non-monotone per-rank timestamps", "error"),
+    "TR002": ("unmatched send/receive arrow half", "warning"),
+    "TR003": ("causality violation: receive timestamped before its send",
+              "warning"),
+    "TR004": ("broken state nesting (end without start, interleaved or "
+              "dangling states)", "warning"),
+    "TR005": ("damaged or truncated log file", "error"),
+    "TR006": ("RecoveryReport inconsistent with the salvaged log", "error"),
+    "TR007": ("record references an undefined event id", "warning"),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by pilotcheck."""
+
+    code: str
+    message: str
+    severity: str = "error"  # "error" | "warning"
+    callsite: CallSite | None = None
+    rank: int | None = None
+    obj: str | None = None  # channel/process/bundle display name
+    ranks: tuple[int, ...] = field(default=())  # PC003 cycle members
+
+    def render(self) -> str:
+        parts = [self.code]
+        if self.obj:
+            parts.append(f"[{self.obj}]")
+        parts.append(self.message)
+        text = " ".join(parts)
+        if self.callsite is not None:
+            text += f"  ({self.callsite})"
+        return text
+
+
+def max_severity(findings: list[Finding]) -> str | None:
+    """``"error"`` if any error finding, else ``"warning"``, else None."""
+    if any(f.severity == "error" for f in findings):
+        return "error"
+    if findings:
+        return "warning"
+    return None
+
+
+def render_findings(findings: list[Finding], *, header: str | None = None) -> str:
+    lines = []
+    if header is not None:
+        lines.append(header)
+    for f in findings:
+        lines.append(f"  {f.severity.upper():7s} {f.render()}")
+    return "\n".join(lines)

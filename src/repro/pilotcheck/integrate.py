@@ -1,0 +1,43 @@
+"""Wiring pilotcheck findings into the runtime and the viewers.
+
+When a run launched with ``-pisvc=s`` deadlocks, the
+:class:`SimulationDeadlock` the detector raises is compared against the
+static PC003 predictions; matching findings are attached to the
+exception (``exc.static_findings``) and can be stamped onto a
+:class:`~repro.slog2.model.Slog2Doc` so Jumpshot renders the predicted
+cycle next to the observed one.
+"""
+
+from __future__ import annotations
+
+from repro.pilotcheck.findings import Finding
+
+
+def match_deadlock(findings: list[Finding], blocked_ranks) -> list[Finding]:
+    """PC003 findings whose predicted cycle is contained in the set of
+    ranks the runtime detector observed blocked."""
+    observed = set(blocked_ranks)
+    return [f for f in findings
+            if f.code == "PC003" and f.ranks
+            and set(f.ranks) <= observed]
+
+
+def annotation_lines(findings: list[Finding]) -> list[str]:
+    """Human-oriented one-liners for the viewer banner area."""
+    lines = []
+    for f in findings:
+        if f.code == "PC003":
+            ranks = ",".join(str(r) for r in f.ranks)
+            where = f" ({f.callsite})" if f.callsite else ""
+            lines.append("pilotcheck PC003: deadlock cycle over ranks "
+                         f"{ranks} was predicted statically{where}")
+        else:
+            lines.append(f"pilotcheck {f.code}: {f.message}")
+    return lines
+
+
+def annotate_doc(doc, findings: list[Finding]) -> None:
+    """Attach findings to a Slog2Doc for viewer rendering."""
+    for line in annotation_lines(findings):
+        if line not in doc.annotations:
+            doc.annotations.append(line)

@@ -1,0 +1,324 @@
+"""The trace linter: machine-check CLOG2/SLOG2 invariants.
+
+``pilotcheck lint-trace`` validates what the log pipeline *promises*:
+per-rank timestamps never run backwards (TR001), every send half has a
+receive half and vice versa (TR002), receives never precede their sends
+(TR003), state halves nest properly (TR004), the file itself is intact
+(TR005), and — for salvaged logs — the :class:`RecoveryReport` actually
+accounts for the records that survived (TR006).  The pairing rules
+mirror :mod:`repro.slog2.convert` exactly, so a log that lints clean
+converts clean.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict, deque
+
+from repro.mpe.clog2 import (
+    Clog2File,
+    Clog2FormatError,
+    read_clog2,
+    read_clog2_tolerant,
+)
+from repro.mpe.records import RECV, SEND, BareEvent, EventDef, MsgEvent, StateDef
+from repro.pilotcheck.findings import Finding
+
+_MAX_PER_CODE = 8  # cap repeated findings of one code per file
+
+
+def _capped(findings: list[Finding]) -> list[Finding]:
+    by_code: dict[str, int] = defaultdict(int)
+    out = []
+    dropped: dict[str, int] = defaultdict(int)
+    for f in findings:
+        by_code[f.code] += 1
+        if by_code[f.code] <= _MAX_PER_CODE:
+            out.append(f)
+        else:
+            dropped[f.code] += 1
+    for code, n in dropped.items():
+        out.append(Finding(code, f"... and {n} more {code} finding(s) "
+                           "suppressed", severity="warning"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# CLOG2
+# ---------------------------------------------------------------------------
+
+
+def lint_clog2_records(log: Clog2File, *,
+                       crashed_ranks: dict[int, float | None] | None = None
+                       ) -> list[Finding]:
+    """Record-level invariants of an in-memory CLOG2 log."""
+    findings: list[Finding] = []
+    crashed = crashed_ranks or {}
+
+    # TR001: monotone per-rank timestamps (records are kept in file
+    # order, which the writer emits per rank in causal order).
+    last_t: dict[int, float] = {}
+    for rec in log.records:
+        prev = last_t.get(rec.rank)
+        if prev is not None and rec.timestamp < prev:
+            findings.append(Finding(
+                "TR001",
+                f"rank {rec.rank}: timestamp runs backwards "
+                f"({rec.timestamp:.9f} after {prev:.9f})"))
+        last_t[rec.rank] = max(prev, rec.timestamp) \
+            if prev is not None else rec.timestamp
+
+    # Definitions index.
+    start_of: dict[int, StateDef] = {}
+    end_of: dict[int, StateDef] = {}
+    event_ids: set[int] = set()
+    for d in log.definitions:
+        if isinstance(d, StateDef):
+            start_of[d.start_id] = d
+            end_of[d.end_id] = d
+        elif isinstance(d, EventDef):
+            event_ids.add(d.event_id)
+
+    # TR002/TR003: FIFO send/recv pairing, exactly as convert.py pairs
+    # arrows.
+    pending_sends: dict[tuple[int, int, int], deque[MsgEvent]] = \
+        defaultdict(deque)
+    pending_recvs: dict[tuple[int, int, int], deque[MsgEvent]] = \
+        defaultdict(deque)
+    for rec in log.records:
+        if not isinstance(rec, MsgEvent):
+            continue
+        if rec.kind == SEND:
+            key = (rec.rank, rec.other_rank, rec.tag)
+            if pending_recvs[key]:
+                recv = pending_recvs[key].popleft()
+                if recv.timestamp < rec.timestamp:
+                    findings.append(Finding(
+                        "TR003",
+                        f"message {rec.rank}->{rec.other_rank} tag "
+                        f"{rec.tag}: received at {recv.timestamp:.9f} "
+                        f"before it was sent at {rec.timestamp:.9f}"))
+            else:
+                pending_sends[key].append(rec)
+        elif rec.kind == RECV:
+            key = (rec.other_rank, rec.rank, rec.tag)
+            if pending_sends[key]:
+                send = pending_sends[key].popleft()
+                if rec.timestamp < send.timestamp:
+                    findings.append(Finding(
+                        "TR003",
+                        f"message {send.rank}->{rec.rank} tag {rec.tag}: "
+                        f"received at {rec.timestamp:.9f} before it was "
+                        f"sent at {send.timestamp:.9f}"))
+            else:
+                pending_recvs[key].append(rec)
+    for key, sends in pending_sends.items():
+        if sends:
+            src, dst, tag = key
+            sev = "warning" if (src in crashed or dst in crashed) else \
+                "warning"
+            findings.append(Finding(
+                "TR002",
+                f"{len(sends)} send(s) {src}->{dst} tag {tag} have no "
+                "matching receive", severity=sev))
+    for key, recvs in pending_recvs.items():
+        if recvs:
+            src, dst, tag = key
+            findings.append(Finding(
+                "TR002",
+                f"{len(recvs)} receive(s) {src}->{dst} tag {tag} have "
+                "no matching send", severity="warning"))
+
+    # TR004/TR007: state nesting per rank.
+    stacks: dict[int, list[StateDef]] = defaultdict(list)
+    for rec in log.records:
+        if not isinstance(rec, BareEvent):
+            continue
+        eid = rec.event_id
+        if eid in start_of:
+            stacks[rec.rank].append(start_of[eid])
+        elif eid in end_of:
+            stack = stacks[rec.rank]
+            sdef = end_of[eid]
+            if stack and stack[-1] is sdef:
+                stack.pop()
+            elif sdef in stack:
+                findings.append(Finding(
+                    "TR004",
+                    f"rank {rec.rank}: state {sdef.name!r} ends while "
+                    f"{stack[-1].name!r} is still open (improper "
+                    "nesting)"))
+                stack.remove(sdef)
+            else:
+                findings.append(Finding(
+                    "TR004",
+                    f"rank {rec.rank}: end of state {sdef.name!r} "
+                    "without a matching start"))
+        elif eid not in event_ids:
+            findings.append(Finding(
+                "TR007",
+                f"rank {rec.rank}: record references undefined event "
+                f"id {eid}", severity="warning"))
+    for rank, stack in stacks.items():
+        if stack:
+            names = ", ".join(s.name for s in stack)
+            findings.append(Finding(
+                "TR004",
+                f"rank {rank}: {len(stack)} state(s) never closed "
+                f"({names})",
+                severity="warning"))
+    return _capped(findings)
+
+
+def lint_recovery(log: Clog2File, report) -> list[Finding]:
+    """TR005/TR006: the salvage accounting matches the salvaged log."""
+    findings: list[Finding] = []
+    for rng in report.dropped_ranges:
+        findings.append(Finding(
+            "TR005",
+            f"{rng.source}: bytes {rng.start}..{rng.end} dropped "
+            f"({rng.reason})"))
+    ranks_present = {rec.rank for rec in log.records}
+    for rank in report.missing_ranks:
+        if rank in ranks_present:
+            findings.append(Finding(
+                "TR006",
+                f"rank {rank} is reported missing but the log contains "
+                "its records"))
+    for rank, crash_time in report.crashed_ranks.items():
+        if crash_time is None:
+            continue
+        margin = max(1e-3, 0.05 * abs(crash_time))
+        late = [rec for rec in log.records
+                if rec.rank == rank and rec.timestamp > crash_time + margin]
+        if late:
+            findings.append(Finding(
+                "TR006",
+                f"rank {rank} reportedly crashed at {crash_time:.6f} but "
+                f"{len(late)} of its records are timestamped later "
+                f"(first at {late[0].timestamp:.6f})"))
+    if report.records_kept < len(log.records):
+        findings.append(Finding(
+            "TR006",
+            f"report accounts for {report.records_kept} kept records "
+            f"but the log carries {len(log.records)}"))
+    return _capped(findings)
+
+
+def lint_clog2(path: str) -> list[Finding]:
+    """Lint a CLOG2 file on disk, strict first, salvaging on damage."""
+    findings: list[Finding] = []
+    crashed: dict[int, float | None] = {}
+    try:
+        log = read_clog2(path)
+    except FileNotFoundError:
+        return [Finding("TR005", f"{path}: no such file")]
+    except Clog2FormatError as exc:
+        findings.append(Finding(
+            "TR005",
+            f"strict parse failed ({exc}); file is damaged or truncated"))
+        log, report = read_clog2_tolerant(path)
+        findings.extend(lint_recovery(log, report))
+        crashed = dict(report.crashed_ranks)
+    findings.extend(lint_clog2_records(log, crashed_ranks=crashed))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# SLOG2
+# ---------------------------------------------------------------------------
+
+
+def lint_slog2_doc(doc) -> list[Finding]:
+    """Drawable-level invariants of an in-memory SLOG2 document."""
+    findings: list[Finding] = []
+    ncats = len(doc.categories)
+    for state in doc.states:
+        if state.end < state.start:
+            findings.append(Finding(
+                "TR001",
+                f"rank {state.rank}: state runs backwards "
+                f"({state.start:.9f} -> {state.end:.9f})"))
+        if not 0 <= state.category < ncats:
+            findings.append(Finding(
+                "TR005",
+                f"state references undefined category {state.category}"))
+    for arrow in doc.arrows:
+        if arrow.end < arrow.start:
+            findings.append(Finding(
+                "TR003",
+                f"arrow {arrow.src_rank}->{arrow.dst_rank} tag "
+                f"{arrow.tag}: received at {arrow.end:.9f} before sent "
+                f"at {arrow.start:.9f}", severity="warning"))
+        if not 0 <= arrow.category < ncats:
+            findings.append(Finding(
+                "TR005",
+                f"arrow references undefined category {arrow.category}"))
+    for event in doc.events:
+        if not 0 <= event.category < ncats:
+            findings.append(Finding(
+                "TR005",
+                f"event references undefined category {event.category}"))
+    max_rank = max((d.rank for d in (*doc.states, *doc.events)),
+                   default=-1)
+    max_rank = max(max_rank,
+                   max((max(a.src_rank, a.dst_rank) for a in doc.arrows),
+                       default=-1))
+    if max_rank >= doc.num_ranks:
+        findings.append(Finding(
+            "TR005",
+            f"drawables reference rank {max_rank} but the document "
+            f"declares only {doc.num_ranks} ranks", severity="warning"))
+    return _capped(findings)
+
+
+def lint_slog2(path: str) -> list[Finding]:
+    from repro.slog2.file import Slog2FormatError, read_slog2
+
+    try:
+        doc = read_slog2(path)
+    except FileNotFoundError:
+        return [Finding("TR005", f"{path}: no such file")]
+    except Slog2FormatError as exc:
+        return [Finding("TR005", f"strict parse failed ({exc}); file is "
+                        "damaged or truncated")]
+    return lint_slog2_doc(doc)
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+
+def lint_path(path: str) -> list[Finding]:
+    """Lint any supported trace file, sniffing the format by magic."""
+    if not os.path.exists(path):
+        return [Finding("TR005", f"{path}: no such file")]
+    with open(path, "rb") as fh:
+        magic = fh.read(8)
+    if magic == b"CLOG2PY1":
+        return lint_clog2(path)
+    if magic == b"SLOG2PY1":
+        return lint_slog2(path)
+    if magic in (b"CLOGPART", b"CLOGPARA"):
+        from repro.mpe.recovery import RecoveryReport
+        from repro.mpe.salvage import read_partial_tolerant
+
+        report = RecoveryReport(source=os.path.basename(path))
+        partial = read_partial_tolerant(path, report)
+        findings = [Finding(
+            "TR005",
+            f"{rng.source}: bytes {rng.start}..{rng.end} dropped "
+            f"({rng.reason})") for rng in report.dropped_ranges]
+        if partial is None:
+            findings.append(Finding(
+                "TR005", f"{path}: partial log unrecoverable"))
+        return findings
+    # A truncated file may not even carry its magic.
+    if b"CLOG2PY1".startswith(magic) or b"SLOG2PY1".startswith(magic):
+        return [Finding("TR005",
+                        f"{path}: truncated before the end of the magic "
+                        f"({len(magic)} bytes)")]
+    return [Finding("TR005",
+                    f"{path}: unrecognised trace format "
+                    f"(magic {magic!r})")]

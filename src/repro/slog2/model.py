@@ -95,6 +95,11 @@ class Slog2Doc:
     # The viewers render these as a banner and timeline markers.
     salvaged: "object | None" = None
     crashed_ranks: dict[int, "float | None"] = field(default_factory=dict)
+    # Analysis annotations (e.g. a pilotcheck PC003 cycle matching an
+    # observed deadlock): free-form lines the viewers surface alongside
+    # the salvage banner.  Viewer-level decoration only — not persisted
+    # by write_slog2.
+    annotations: list[str] = field(default_factory=list)
 
     @property
     def drawables(self) -> list[Drawable]:

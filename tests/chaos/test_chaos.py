@@ -30,6 +30,7 @@ from repro.pilot.api import (
     PI_StopMain,
     PI_Write,
 )
+from repro.pilotcheck import lint_clog2, lint_recovery
 from repro.pilotlog.integration import JumpshotOptions
 from repro.slog2.convert import convert
 from repro.vmpi.errors import SimulationDeadlock
@@ -119,6 +120,12 @@ class TestCrashSalvagePipeline:
         assert not report.empty
         assert report.crashed_ranks == {1: 4e-3}
 
+        # The trace linter agrees the salvage told the truth: the
+        # recovery report must be consistent with the merged records
+        # (no TR006), even though the torn run leaves dangling states.
+        assert [f for f in lint_recovery(log, report)
+                if f.code == "TR006"] == []
+
         doc, conv = convert(log, recovery=report)
         assert doc.salvaged is report
         assert doc.crashed_ranks == {1: 4e-3}
@@ -150,6 +157,11 @@ class TestCrashSalvagePipeline:
             base, expected_ranks=3, crashed_ranks=plan.crashed_ranks())
         assert report.records_dropped > 0
         assert not report.clean
+        # The linter surfaces the torn tail as TR005 and still finds
+        # the report consistent with what survived.
+        lint = lint_recovery(log, report)
+        assert "TR005" in {f.code for f in lint}
+        assert not [f for f in lint if f.code == "TR006"]
         doc, _ = convert(log, recovery=report)
         svg = render_svg(View(doc))
         assert "records dropped" in svg
@@ -168,6 +180,9 @@ class TestCrashSalvagePipeline:
         assert res.aborted is None
         assert os.path.exists(base)
         assert not find_partials(base)
+        # A fault plan that never fired leaves a log the trace linter
+        # considers pristine.
+        assert lint_clog2(base) == []
         log, report = merge_partials_tolerant(base) if find_partials(base) \
             else (None, None)
         # Nothing to salvage: the normal finalize path owned the log.

@@ -98,6 +98,84 @@ class TestCopyChannels:
 
         expect_abort_with(run_pilot(main, 2), "BAD_ARGUMENTS")
 
+    def test_aliasing_is_endpoint_level_not_channel_level(self):
+        """Copies alias the original's endpoints but are distinct
+        channels: the captured topology groups them into one aliasing
+        class per (writer, reader) pair while keeping separate cids."""
+        from repro.pilotcheck import capture_program
+
+        def main(argv):
+            PI_Configure(argv)
+            procs = [PI_CreateProcess(lambda i, a: 0, i) for i in range(2)]
+            originals = [PI_CreateChannel(p, PI_MAIN) for p in procs]
+            PI_CopyChannels(originals)
+            PI_StartAll()
+            PI_StopMain(0)
+
+        captured = capture_program(main, 3)
+        groups = captured.alias_groups
+        # One class per worker->main pair, each holding original + copy.
+        worker_groups = {k: v for k, v in groups.items() if k[1] == 0 and k[0] != 0}
+        assert len(worker_groups) == 2
+        for chans in worker_groups.values():
+            assert len(chans) == 2
+            assert len({c.cid for c in chans}) == 2
+
+    def test_analyzer_tracks_copies_independently(self):
+        """A copy that is written but never read is its own PC004 —
+        reading the original does not cover the alias."""
+        from repro.pilotcheck import analyze_program
+
+        def main(argv):
+            chans = []
+            copies = []
+
+            def work(i, _a):
+                PI_Write(chans[0], "%d", 1)
+                PI_Write(copies[0], "%d", 2)  # nobody drains this one
+                return 0
+
+            PI_Configure(argv)
+            p = PI_CreateProcess(work, 0)
+            chans.append(PI_CreateChannel(p, PI_MAIN))
+            copies.extend(PI_CopyChannels(chans))
+            PI_StartAll()
+            PI_Read(chans[0], "%d")
+            PI_StopMain(0)
+
+        analysis = analyze_program(main, 2)
+        assert [f.code for f in analysis.findings] == ["PC004"]
+
+    def test_selector_plus_gather_pattern_analyzes_clean(self):
+        """The motivating select-one-set / gather-the-copies idiom must
+        not trip any static check."""
+        from repro.pilotcheck import analyze_program
+
+        def main(argv):
+            chans = []
+            copies = []
+
+            def work(i, _a):
+                PI_Write(chans[i], "%d", i + 1)
+                PI_Write(copies[i], "%d", (i + 1) * 100)
+                return 0
+
+            PI_Configure(argv)
+            procs = [PI_CreateProcess(work, i) for i in range(3)]
+            chans.extend(PI_CreateChannel(p, PI_MAIN) for p in procs)
+            copies.extend(PI_CopyChannels(chans))
+            selector = PI_CreateBundle(BundleUsage.SELECT, chans)
+            gatherer = PI_CreateBundle(BundleUsage.GATHER, copies)
+            PI_StartAll()
+            PI_Select(selector)
+            PI_Gather(gatherer, "%d")
+            for i in range(3):
+                PI_Read(chans[i], "%d")
+            PI_StopMain(0)
+
+        analysis = analyze_program(main, 4)
+        assert analysis.findings == [], [f.render() for f in analysis.findings]
+
     def test_consistent_across_ranks(self):
         # All ranks re-execute the copy; slots must line up.
         def main(argv):

@@ -88,6 +88,62 @@ class TestParse:
             parse_format("%+^d", allow_ops=True)
 
 
+class TestOffsets:
+    """Parse errors and items carry the character offset of their
+    conversion spec — pilotcheck's PC001 messages point at it."""
+
+    def error_pos(self, fmt, **kw):
+        with pytest.raises(FormatError) as excinfo:
+            parse_format(fmt, **kw)
+        return excinfo.value.pos
+
+    def test_unknown_conversion_at_start(self):
+        assert self.error_pos("%q") == 0
+
+    def test_unknown_conversion_after_good_items(self):
+        # "%d %3f %q": the bad token starts at offset 7.
+        assert self.error_pos("%d %3f %q") == 7
+
+    def test_offset_survives_in_message(self):
+        with pytest.raises(FormatError, match=r"at offset 3"):
+            parse_format("%d %zz")
+
+    def test_bare_literal_token(self):
+        # A trailing literal with no % is rejected where it starts.
+        assert self.error_pos("%d stop") == 3
+
+    def test_zero_repeat_count(self):
+        assert self.error_pos("%d %0f") == 3
+
+    def test_operator_outside_reduce(self):
+        assert self.error_pos("%lf %+d") == 4
+
+    def test_autoalloc_with_op(self):
+        assert self.error_pos("%d %+^d", allow_ops=True) == 3
+
+    def test_empty_format_points_at_start(self):
+        assert self.error_pos("") == 0
+        assert self.error_pos("   ") == 0
+
+    def test_type_error_has_no_position(self):
+        with pytest.raises(FormatError) as excinfo:
+            parse_format(None)
+        assert excinfo.value.pos is None
+
+    def test_items_record_their_offsets(self):
+        items = parse_format("%d  %100f %*ld")
+        assert [i.pos for i in items] == [0, 4, 10]
+
+    def test_runtime_count_item_offset(self):
+        (a, b) = parse_format("%s %^d")
+        assert (a.pos, b.pos) == (0, 3)
+
+    def test_offset_does_not_affect_equality(self):
+        (a,) = parse_format("%d")
+        (b,) = parse_format("   %d")
+        assert a == b and a.pos != b.pos
+
+
 class TestSignature:
     def test_signature_excludes_op(self):
         with_op = parse_format("%+d", allow_ops=True)

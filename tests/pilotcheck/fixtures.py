@@ -1,0 +1,235 @@
+"""Known-bad Pilot programs (and passing near-misses) for pilotcheck.
+
+Each PCnnn code has one main that must fire it and one near-miss that
+exercises the same shape without the bug.  All fixtures are tiny SPMD
+mains in the style of the paper's listings.
+"""
+
+from repro.pilot import (
+    PI_MAIN,
+    PI_Configure,
+    PI_CreateBundle,
+    PI_CreateChannel,
+    PI_CreateProcess,
+    PI_Read,
+    PI_StartAll,
+    PI_StopMain,
+    PI_Write,
+)
+
+
+# -- PC001: format mismatch ---------------------------------------------------
+
+
+def pc001_bad(argv):
+    chan = []
+
+    def worker(_i, _a):
+        PI_Write(chan[0], "%lf", 1.5)  # writes a double...
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    chan.append(PI_CreateChannel(p, PI_MAIN))
+    PI_StartAll()
+    PI_Read(chan[0], "%d")  # ...but the reader expects an int
+    PI_StopMain(0)
+
+
+def pc001_near_miss(argv):
+    """Same shape; formats agree (multiple writes, intersecting sets)."""
+    chan = []
+
+    def worker(i, _a):
+        if i > 0:
+            PI_Write(chan[0], "%lf", 1.5)
+        else:
+            PI_Write(chan[0], "%d", 7)
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker, 0)
+    chan.append(PI_CreateChannel(p, PI_MAIN))
+    PI_StartAll()
+    PI_Read(chan[0], "%d")
+    PI_StopMain(0)
+
+
+def pc001_malformed(argv):
+    """A format string no end can parse (fires PC001 with an offset)."""
+    chan = []
+
+    def worker(_i, _a):
+        PI_Write(chan[0], "%d %q", 1, 2)  # %q is not a conversion
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    chan.append(PI_CreateChannel(p, PI_MAIN))
+    PI_StartAll()
+    PI_Read(chan[0], "%d")
+    PI_StopMain(0)
+
+
+# -- PC002: direction misuse --------------------------------------------------
+
+
+def pc002_bad(argv):
+    chan = []
+
+    def worker(_i, _a):
+        PI_Read(chan[0], "%d")  # channel runs MAIN -> worker; ok
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    chan.append(PI_CreateChannel(PI_MAIN, p))
+    PI_StartAll()
+    PI_Read(chan[0], "%d")  # BUG: main reads its own write end
+    PI_StopMain(0)
+
+
+def pc002_near_miss(argv):
+    chan = []
+
+    def worker(_i, _a):
+        PI_Read(chan[0], "%d")
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    chan.append(PI_CreateChannel(PI_MAIN, p))
+    PI_StartAll()
+    PI_Write(chan[0], "%d", 1)  # correct end
+    PI_StopMain(0)
+
+
+# -- PC003: deadlock cycle ----------------------------------------------------
+
+
+def pc003_bad(argv):
+    """The classic: both sides read before they write."""
+    ask, answer = [], []
+
+    def worker(_i, _a):
+        n = PI_Read(ask[0], "%d")
+        PI_Write(answer[0], "%d", int(n) * 2)
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    ask.append(PI_CreateChannel(PI_MAIN, p))
+    answer.append(PI_CreateChannel(p, PI_MAIN))
+    PI_StartAll()
+    got = PI_Read(answer[0], "%d")  # BUG: reads before writing the ask
+    PI_Write(ask[0], "%d", 21)
+    PI_StopMain(0)
+    return got
+
+
+def pc003_near_miss(argv):
+    """Identical topology, correct order."""
+    ask, answer = [], []
+
+    def worker(_i, _a):
+        n = PI_Read(ask[0], "%d")
+        PI_Write(answer[0], "%d", int(n) * 2)
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    ask.append(PI_CreateChannel(PI_MAIN, p))
+    answer.append(PI_CreateChannel(p, PI_MAIN))
+    PI_StartAll()
+    PI_Write(ask[0], "%d", 21)
+    got = PI_Read(answer[0], "%d")
+    PI_StopMain(0)
+    return got
+
+
+# -- PC004: orphan channel ----------------------------------------------------
+
+
+def pc004_bad(argv):
+    work_chan, debug_chan = [], []
+
+    def worker(_i, _a):
+        n = PI_Read(work_chan[0], "%d")
+        PI_Write(debug_chan[0], "%d", int(n))  # nobody ever reads this
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    work_chan.append(PI_CreateChannel(PI_MAIN, p))
+    debug_chan.append(PI_CreateChannel(p, PI_MAIN))
+    PI_StartAll()
+    PI_Write(work_chan[0], "%d", 1)
+    PI_StopMain(0)
+
+
+def pc004_near_miss(argv):
+    """The 'unused' channel is covered by a selector bundle read."""
+    work_chan, debug_chan = [], []
+
+    def worker(_i, _a):
+        n = PI_Read(work_chan[0], "%d")
+        PI_Write(debug_chan[0], "%d", int(n))
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    work_chan.append(PI_CreateChannel(PI_MAIN, p))
+    debug_chan.append(PI_CreateChannel(p, PI_MAIN))
+    PI_CreateBundle("select", [debug_chan[0]])
+    PI_StartAll()
+    PI_Write(work_chan[0], "%d", 1)
+    PI_Read(debug_chan[0], "%d")
+    PI_StopMain(0)
+
+
+# -- PC005: unreachable process -----------------------------------------------
+
+
+def pc005_bad(argv):
+    chan = []
+
+    def worker(_i, _a):
+        PI_Read(chan[0], "%d")
+        return 0
+
+    def loner(_i, _a):
+        return 0  # created, but no channel connects it to anything
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    PI_CreateProcess(loner)
+    chan.append(PI_CreateChannel(PI_MAIN, p))
+    PI_StartAll()
+    PI_Write(chan[0], "%d", 1)
+    PI_StopMain(0)
+
+
+def pc005_near_miss(argv):
+    """The second process is reachable indirectly (via the first)."""
+    to_a, a_to_b, b_to_main = [], [], []
+
+    def worker_a(_i, _a):
+        n = PI_Read(to_a[0], "%d")
+        PI_Write(a_to_b[0], "%d", int(n))
+        return 0
+
+    def worker_b(_i, _a):
+        n = PI_Read(a_to_b[0], "%d")
+        PI_Write(b_to_main[0], "%d", int(n))
+        return 0
+
+    PI_Configure(argv)
+    pa = PI_CreateProcess(worker_a)
+    pb = PI_CreateProcess(worker_b)
+    to_a.append(PI_CreateChannel(PI_MAIN, pa))
+    a_to_b.append(PI_CreateChannel(pa, pb))
+    b_to_main.append(PI_CreateChannel(pb, PI_MAIN))
+    PI_StartAll()
+    PI_Write(to_a[0], "%d", 1)
+    PI_Read(b_to_main[0], "%d")
+    PI_StopMain(0)

@@ -1,0 +1,159 @@
+"""Each PC code fires on its bad fixture and stays quiet on the
+near-miss — the core acceptance matrix of the static analyzer."""
+
+import pytest
+
+from repro.pilotcheck import analyze_program
+
+from tests.pilotcheck import fixtures
+
+
+def codes_of(main, nprocs=4, argv=()):
+    analysis = analyze_program(main, nprocs, argv)
+    return analysis, [f.code for f in analysis.findings]
+
+
+class TestPC001:
+    def test_fires_on_format_mismatch(self):
+        analysis, codes = codes_of(fixtures.pc001_bad)
+        assert codes == ["PC001"]
+        finding = analysis.findings[0]
+        assert "%lf" in finding.message and "%d" in finding.message
+        # The satellite: parse offsets are surfaced in the message.
+        assert "offset" in finding.message
+
+    def test_quiet_when_signature_sets_intersect(self):
+        _, codes = codes_of(fixtures.pc001_near_miss)
+        assert codes == []
+
+    def test_fires_on_malformed_format(self):
+        analysis, codes = codes_of(fixtures.pc001_malformed)
+        assert "PC001" in codes
+        malformed = [f for f in analysis.findings
+                     if "malformed" in f.message]
+        assert malformed
+        # FormatError's position points at the bad token ("%q" at 3).
+        assert "offset 3" in malformed[0].message
+
+    def test_finding_carries_callsite(self):
+        analysis, _ = codes_of(fixtures.pc001_bad)
+        callsite = analysis.findings[0].callsite
+        assert callsite is not None
+        assert callsite.basename == "fixtures.py"
+
+
+class TestPC002:
+    def test_fires_on_wrong_end_read(self):
+        analysis, codes = codes_of(fixtures.pc002_bad)
+        assert codes == ["PC002"]
+        assert "wrong end" in analysis.findings[0].message
+
+    def test_quiet_on_correct_direction(self):
+        _, codes = codes_of(fixtures.pc002_near_miss)
+        assert codes == []
+
+
+class TestPC003:
+    def test_fires_on_read_read_cycle(self):
+        analysis, codes = codes_of(fixtures.pc003_bad)
+        assert codes == ["PC003"]
+        finding = analysis.findings[0]
+        assert finding.ranks == (0, 1)
+        # Both legs of the cycle name their blocked call site.
+        assert finding.message.count("PI_Read") == 2
+
+    def test_quiet_on_correct_order(self):
+        _, codes = codes_of(fixtures.pc003_near_miss)
+        assert codes == []
+
+
+class TestPC004:
+    def test_fires_on_written_never_read(self):
+        analysis, codes = codes_of(fixtures.pc004_bad)
+        assert codes == ["PC004"]
+        assert analysis.findings[0].severity == "warning"
+
+    def test_bundle_membership_counts_as_read_coverage(self):
+        _, codes = codes_of(fixtures.pc004_near_miss)
+        assert codes == []
+
+
+class TestPC005:
+    def test_fires_on_disconnected_process(self):
+        analysis, codes = codes_of(fixtures.pc005_bad)
+        assert codes == ["PC005"]
+        assert analysis.findings[0].severity == "warning"
+
+    def test_indirect_reachability_is_enough(self):
+        _, codes = codes_of(fixtures.pc005_near_miss)
+        assert codes == []
+
+
+class TestCapture:
+    def test_topology_is_captured(self):
+        from repro.pilotcheck import capture_program
+
+        captured = capture_program(fixtures.pc003_bad, 4)
+        assert captured.started
+        assert [p.name for p in captured.processes] == ["PI_MAIN", "P1"]
+        assert len(captured.channels) == 2
+        assert captured.startall_site is not None
+        # The locals snapshot holds main's channel lists.
+        assert "ask" in captured.main_locals
+
+    def test_configuration_errors_surface_as_capture_error(self):
+        from repro.pilotcheck import CaptureError, capture_program
+
+        def bad_config(argv):
+            from repro.pilot import PI_CreateChannel, PI_Configure, PI_MAIN
+
+            PI_Configure(argv)
+            PI_CreateChannel(PI_MAIN, PI_MAIN)  # SELF_CHANNEL
+
+        with pytest.raises(CaptureError, match="SELF_CHANNEL"):
+            capture_program(bad_config, 4)
+
+    def test_capture_does_not_leak_current_run(self):
+        from repro.pilot.errors import PilotError
+        from repro.pilot.program import current_run
+        from repro.pilotcheck import capture_program
+
+        capture_program(fixtures.pc003_near_miss, 4)
+        with pytest.raises(PilotError):
+            current_run()
+
+
+class TestAnalysisNotes:
+    def test_unresolvable_target_degrades_gracefully(self):
+        import os
+
+        from repro.pilot import (
+            PI_MAIN,
+            PI_Configure,
+            PI_CreateChannel,
+            PI_CreateProcess,
+            PI_Read,
+            PI_StartAll,
+            PI_StopMain,
+            PI_Write,
+        )
+
+        chans = []
+
+        def worker(_i, _a):
+            PI_Write(chans[0], "%d", 1)
+            return 0
+
+        def opaque_main(argv):
+            PI_Configure(argv)
+            p = PI_CreateProcess(worker)
+            chans.append(PI_CreateChannel(p, PI_MAIN))
+            PI_StartAll()
+            # The subscript key is an env lookup the walker cannot
+            # resolve, and the container is main's *global* chans.
+            PI_Read(chans[int(os.environ.get("NOPE", "0"))], "%d")
+            PI_StopMain(0)
+
+        analysis = analyze_program(opaque_main, 3)
+        # No false findings; the degraded checks say why they skipped.
+        assert analysis.findings == []
