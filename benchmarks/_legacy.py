@@ -1,0 +1,337 @@
+"""Frozen pre-streaming reference implementations of the hot path.
+
+These are verbatim copies of the eager CLOG2 writer/reader, the
+load-all-then-sort partial merge, and the materialize-everything
+converter as they stood before the streaming pipeline rework.  They
+exist for exactly two purposes:
+
+* the equivalence tests assert the streaming implementations produce
+  **byte-identical** CLOG2/SLOG2 files and identical merge orders;
+* ``benchmarks/test_p1_pipeline.py`` measures the streaming pipeline's
+  records/sec against this baseline and records the ratio in
+  ``BENCH_pipeline.json``.
+
+Do not "fix" or modernise this module: its value is that it does not
+change.  The living implementations are in :mod:`repro.mpe.clog2`,
+:mod:`repro.mpe.salvage` and :mod:`repro.slog2.convert`.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+from repro.mpe.clocksync import CorrectionModel
+from repro.mpe.records import (
+    BareEvent,
+    Definition,
+    EventDef,
+    LogRecord,
+    MsgEvent,
+    RankName,
+    StateDef,
+    definition_key,
+)
+from repro.mpe.clog2 import MAGIC, VERSION, Clog2File, Clog2FormatError
+
+_T_STATEDEF = 0x01
+_T_EVENTDEF = 0x02
+_T_BARE = 0x03
+_T_MSG = 0x04
+_T_RANKNAME = 0x05
+
+_HDR = struct.Struct("<8sHdiI")
+_STATEDEF = struct.Struct("<ii")
+_EVENTDEF = struct.Struct("<i")
+_BARE = struct.Struct("<dii")
+_MSG = struct.Struct("<diBiiq")
+
+
+def _pack_str(out, s: str) -> None:
+    raw = s.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise Clog2FormatError(f"string too long for CLOG2 ({len(raw)} bytes)")
+    out.write(struct.pack("<H", len(raw)))
+    out.write(raw)
+
+
+def _unpack_str(buf) -> str:
+    (n,) = struct.unpack("<H", _read_exact(buf, 2))
+    return _read_exact(buf, n).decode("utf-8")
+
+
+def _read_exact(buf, n: int) -> bytes:
+    data = buf.read(n)
+    if len(data) != n:
+        raise Clog2FormatError("truncated CLOG2 file")
+    return data
+
+
+def legacy_write_items(fh, definitions: list[Definition],
+                       records: list[LogRecord]) -> None:
+    """The pre-streaming writer: one small ``fh.write`` per field."""
+    for d in definitions:
+        if isinstance(d, StateDef):
+            fh.write(bytes([_T_STATEDEF]))
+            fh.write(_STATEDEF.pack(d.start_id, d.end_id))
+            _pack_str(fh, d.name)
+            _pack_str(fh, d.color)
+        elif isinstance(d, EventDef):
+            fh.write(bytes([_T_EVENTDEF]))
+            fh.write(_EVENTDEF.pack(d.event_id))
+            _pack_str(fh, d.name)
+            _pack_str(fh, d.color)
+        else:
+            fh.write(bytes([_T_RANKNAME]))
+            fh.write(_EVENTDEF.pack(d.rank))
+            _pack_str(fh, d.name)
+    for r in records:
+        if isinstance(r, BareEvent):
+            fh.write(bytes([_T_BARE]))
+            fh.write(_BARE.pack(r.timestamp, r.rank, r.event_id))
+            _pack_str(fh, r.text)
+        elif isinstance(r, MsgEvent):
+            fh.write(bytes([_T_MSG]))
+            fh.write(_MSG.pack(r.timestamp, r.rank, r.kind, r.other_rank,
+                               r.tag, r.size))
+        else:  # pragma: no cover - type system prevents this
+            raise Clog2FormatError(f"unknown record {r!r}")
+
+
+def legacy_write_clog2(path: str, log: Clog2File) -> None:
+    with open(path, "wb") as fh:
+        fh.write(_HDR.pack(MAGIC, VERSION, log.clock_resolution,
+                           log.num_ranks, len(log.records)))
+        legacy_write_items(fh, log.definitions, log.records)
+
+
+def legacy_read_one_item(fh):
+    tbyte = fh.read(1)
+    if not tbyte:
+        return None
+    t = tbyte[0]
+    if t == _T_STATEDEF:
+        start, end = _STATEDEF.unpack(_read_exact(fh, _STATEDEF.size))
+        name = _unpack_str(fh)
+        color = _unpack_str(fh)
+        return StateDef(start, end, name, color)
+    if t == _T_EVENTDEF:
+        (eid,) = _EVENTDEF.unpack(_read_exact(fh, _EVENTDEF.size))
+        name = _unpack_str(fh)
+        color = _unpack_str(fh)
+        return EventDef(eid, name, color)
+    if t == _T_BARE:
+        ts, rank, eid = _BARE.unpack(_read_exact(fh, _BARE.size))
+        text = _unpack_str(fh)
+        return BareEvent(ts, rank, eid, text)
+    if t == _T_RANKNAME:
+        (rank,) = _EVENTDEF.unpack(_read_exact(fh, _EVENTDEF.size))
+        name = _unpack_str(fh)
+        return RankName(rank, name)
+    if t == _T_MSG:
+        ts, rank, kind, other, tag, size = _MSG.unpack(
+            _read_exact(fh, _MSG.size))
+        return MsgEvent(ts, rank, kind, other, tag, size)
+    raise Clog2FormatError(f"unknown record type byte 0x{t:02x}")
+
+
+def legacy_read_items(fh) -> tuple[list[Definition], list[LogRecord]]:
+    definitions: list[Definition] = []
+    records: list[LogRecord] = []
+    while True:
+        item = legacy_read_one_item(fh)
+        if item is None:
+            break
+        if isinstance(item, (BareEvent, MsgEvent)):
+            records.append(item)
+        else:
+            definitions.append(item)
+    return definitions, records
+
+
+def legacy_read_clog2(path: str) -> Clog2File:
+    """The pre-streaming reader: BytesIO + per-field ``read`` calls."""
+    with open(path, "rb") as fh:
+        magic, version, resolution, num_ranks, nrecords = _HDR.unpack(
+            _read_exact(fh, _HDR.size))
+        if magic != MAGIC:
+            raise Clog2FormatError(f"bad magic {magic!r}")
+        if version != VERSION:
+            raise Clog2FormatError(f"unsupported CLOG2 version {version}")
+        buffered = io.BytesIO(fh.read())
+        definitions, records = legacy_read_items(buffered)
+        if len(records) != nrecords:
+            raise Clog2FormatError(
+                f"header promised {nrecords} records, found {len(records)}")
+    return Clog2File(resolution, num_ranks, definitions, records)
+
+
+def legacy_merge_partial_objects(partials) -> Clog2File:
+    """The pre-streaming merge: concatenate everything, one global sort."""
+    definitions: list[Definition] = []
+    seen: set[tuple] = set()
+    merged: list[tuple[float, int, LogRecord]] = []
+    num_ranks = 0
+    resolution = partials[0].clock_resolution if partials else 1e-6
+    for part in partials:
+        num_ranks = max(num_ranks, part.rank + 1)
+        for d in part.definitions:
+            key = definition_key(d)
+            if key not in seen:
+                seen.add(key)
+                definitions.append(d)
+        model = CorrectionModel(part.sync_points)
+        for rec in part.records:
+            t = model.correct(rec.timestamp)
+            if isinstance(rec, BareEvent):
+                fixed: LogRecord = BareEvent(t, rec.rank, rec.event_id, rec.text)
+            else:
+                fixed = MsgEvent(t, rec.rank, rec.kind, rec.other_rank,
+                                 rec.tag, rec.size)
+            merged.append((t, part.rank, fixed))
+    merged.sort(key=lambda item: (item[0], item[1]))
+    return Clog2File(resolution, num_ranks, definitions,
+                     [rec for _, _, rec in merged])
+
+
+# ---------------------------------------------------------------------------
+# The pre-streaming converter (materialize everything, then build the doc).
+# Frozen copy of repro.slog2.convert.convert as it stood before the
+# StreamConverter rework; reuses the living ConversionReport/model
+# classes so results compare directly.
+# ---------------------------------------------------------------------------
+
+from collections import Counter, defaultdict, deque  # noqa: E402
+
+from repro.mpe.records import RECV, SEND  # noqa: E402
+from repro.slog2.convert import ARROW_CATEGORY_NAME, ConversionReport  # noqa: E402
+from repro.slog2.model import Arrow, Event, SlogCategory, Slog2Doc, State  # noqa: E402
+
+_ARROW_COLOR = "white"
+
+
+def legacy_convert(clog: Clog2File,
+                   rank_names: dict[int, str] | None = None, *,
+                   recovery=None, crashed_ranks=None):
+    """The pre-streaming clog2TOslog2: whole-file lists in, doc out."""
+    report = ConversionReport(recovery=recovery)
+
+    categories: list[SlogCategory] = []
+    start_of: dict[int, int] = {}
+    end_of: dict[int, int] = {}
+    event_cat: dict[int, int] = {}
+    for d in clog.states:
+        idx = len(categories)
+        categories.append(SlogCategory(idx, d.name, d.color, "state"))
+        start_of[d.start_id] = idx
+        end_of[d.end_id] = idx
+    for d in clog.events:
+        idx = len(categories)
+        categories.append(SlogCategory(idx, d.name, d.color, "event"))
+        event_cat[d.event_id] = idx
+    arrow_idx = len(categories)
+    categories.append(SlogCategory(arrow_idx, ARROW_CATEGORY_NAME,
+                                   _ARROW_COLOR, "arrow"))
+
+    states: list[State] = []
+    events: list[Event] = []
+    arrows: list[Arrow] = []
+    stacks: dict[int, list[tuple[int, float, str]]] = defaultdict(list)
+    pending_sends: dict[tuple, deque] = defaultdict(deque)
+    pending_recvs: dict[tuple, deque] = defaultdict(deque)
+
+    for rec in clog.records:
+        if isinstance(rec, BareEvent):
+            if rec.event_id in start_of:
+                stacks[rec.rank].append((start_of[rec.event_id],
+                                         rec.timestamp, rec.text))
+            elif rec.event_id in end_of:
+                _legacy_close_state(rec, end_of[rec.event_id],
+                                    stacks[rec.rank], states, report)
+            elif rec.event_id in event_cat:
+                events.append(Event(event_cat[rec.event_id], rec.rank,
+                                    rec.timestamp, rec.text))
+            else:
+                report.unknown_event_ids += 1
+        elif isinstance(rec, MsgEvent):
+            if rec.kind == SEND:
+                key = (rec.rank, rec.other_rank, rec.tag)
+                waiting = pending_recvs[key]
+                if waiting:
+                    recv = waiting.popleft()
+                    _legacy_emit_arrow(rec, recv, arrow_idx, arrows, report)
+                else:
+                    pending_sends[key].append(rec)
+            elif rec.kind == RECV:
+                key = (rec.other_rank, rec.rank, rec.tag)
+                waiting = pending_sends[key]
+                if waiting:
+                    send = waiting.popleft()
+                    _legacy_emit_arrow(send, rec, arrow_idx, arrows, report)
+                else:
+                    pending_recvs[key].append(rec)
+
+    for stack in stacks.values():
+        report.dangling_states += len(stack)
+    report.unmatched_sends = sum(len(q) for q in pending_sends.values())
+    report.unmatched_receives = sum(len(q) for q in pending_recvs.values())
+
+    names = dict(clog.rank_names)
+    names.update(rank_names or {})
+    crashes: dict[int, float | None] = {}
+    if recovery is not None:
+        crashes.update(getattr(recovery, "crashed_ranks", {}) or {})
+    crashes.update(crashed_ranks or {})
+    doc = Slog2Doc(categories=categories, states=states, events=events,
+                   arrows=arrows, num_ranks=clog.num_ranks,
+                   clock_resolution=clog.clock_resolution,
+                   rank_names=names, salvaged=recovery,
+                   crashed_ranks=crashes)
+    _legacy_detect_equal_drawables(doc, report)
+    return doc, report
+
+
+def _legacy_close_state(rec, cat, stack, states, report) -> None:
+    for i in range(len(stack) - 1, -1, -1):
+        if stack[i][0] == cat:
+            if i != len(stack) - 1:
+                report.improper_nesting += 1
+            _, start_t, start_text = stack.pop(i)
+            states.append(State(cat, rec.rank, start_t, rec.timestamp,
+                                depth=i, start_text=start_text,
+                                end_text=rec.text))
+            return
+    report.improper_nesting += 1
+
+
+def _legacy_emit_arrow(send, recv, cat, arrows, report) -> None:
+    arrow = Arrow(cat, send.rank, recv.rank, send.timestamp, recv.timestamp,
+                  send.tag, send.size)
+    if recv.timestamp < send.timestamp:
+        report.causality_violations.append(
+            f"arrow {send.rank}->{recv.rank} tag={send.tag} received at "
+            f"{recv.timestamp:.9f} before sent at {send.timestamp:.9f}")
+    arrows.append(arrow)
+
+
+def _legacy_detect_equal_drawables(doc, report) -> None:
+    state_keys = Counter((s.category, s.rank, s.start, s.end)
+                         for s in doc.states)
+    event_keys = Counter((e.category, e.rank, e.time) for e in doc.events)
+    arrow_keys = Counter((a.src_rank, a.dst_rank, a.start, a.end)
+                         for a in doc.arrows)
+    for (cat, rank, start, end), n in sorted(state_keys.items()):
+        if n > 1:
+            name = doc.categories[cat].name
+            report.equal_drawables.append(
+                f"{n} equal '{name}' states on rank {rank} at "
+                f"[{start:.9f}, {end:.9f}]")
+    for (cat, rank, t), n in sorted(event_keys.items()):
+        if n > 1:
+            name = doc.categories[cat].name
+            report.equal_drawables.append(
+                f"{n} equal '{name}' events on rank {rank} at {t:.9f}")
+    for (src, dst, start, end), n in sorted(arrow_keys.items()):
+        if n > 1:
+            report.equal_drawables.append(
+                f"{n} equal arrows {src}->{dst} at [{start:.9f}, {end:.9f}]")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.mpe import read_clog2
+from repro.mpe import read_log
 from repro.pilot import PilotOptions, run_pilot
 from repro.slog2 import convert
 
@@ -14,7 +14,7 @@ def run_logged(main, nprocs, tmp_path, *, argv=("-pisvc=j",), name="run",
     options = PilotOptions(mpe_log_path=clog_path)
     result = run_pilot(main, nprocs, argv=argv, options=options,
                        mpe_options=jopts, **kw)
-    doc, report = convert(read_clog2(clog_path),
+    doc, report = convert(read_log(clog_path).log,
                           {p.rank: p.name for p in result.run.processes})
     return result, doc, report
 

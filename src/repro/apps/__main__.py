@@ -143,9 +143,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     from repro import jumpshot, slog2
-    from repro.mpe import read_clog2
+    from repro.mpe import read_log
 
-    doc, report = slog2.convert(read_clog2(args.clog))
+    doc, report = slog2.convert(read_log(args.clog).log)
     print(report.summary())
     os.makedirs(args.out_dir, exist_ok=True)
     base = os.path.join(args.out_dir, args.app)
@@ -162,7 +162,7 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(slog2.critical_path(doc).summary(doc))
     if args.diff_against:
-        old_doc, _ = slog2.convert(read_clog2(args.diff_against))
+        old_doc, _ = slog2.convert(read_log(args.diff_against).log)
         diff = slog2.diff_logs(old_doc, doc, label_a=args.diff_against,
                                label_b=args.clog)
         print()

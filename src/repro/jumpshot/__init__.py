@@ -10,7 +10,7 @@ Typical use::
 
     from repro import jumpshot, slog2, mpe
 
-    doc, report = slog2.convert(mpe.read_clog2("run.clog2"))
+    doc, report = slog2.convert(mpe.read_log("run.clog2").log)
     view = jumpshot.View(doc)
     jumpshot.render_svg(view, "run.svg")
     print(jumpshot.render_ascii(view, width=120))

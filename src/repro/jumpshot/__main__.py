@@ -19,7 +19,7 @@ from repro._util.text import format_seconds
 from repro.jumpshot.ascii import render_ascii
 from repro.jumpshot.svg import render_svg
 from repro.jumpshot.viewer import View
-from repro.mpe.clog2 import Clog2FormatError, read_clog2
+from repro.mpe.clog2 import Clog2FormatError, read_log
 from repro.slog2.convert import convert
 from repro.slog2.file import Slog2FormatError, read_slog2
 
@@ -35,7 +35,7 @@ def open_log(path: str):
     except Slog2FormatError:
         pass
     try:
-        doc, _report = convert(read_clog2(path))
+        doc, _report = convert(read_log(path).log)
         return doc
     except Clog2FormatError:
         raise SystemExit(

@@ -31,14 +31,28 @@ CRASH = "#ff5252"  # crashed-rank markers
 
 def render_svg(view: View, path: str | None = None, *, width: int = 1100,
                row_height: int = 36, legend: bool = True,
-               highlight_path=None) -> str:
+               highlight_path=None, perf=None) -> str:
     """Render the view's current window; optionally write to ``path``.
 
     ``highlight_path`` takes a :class:`repro.slog2.CriticalPath`: its
     activity segments are traced in gold on top of the timeline and its
     message hops drawn as thick gold arrows, so the chain that
-    determined the finish time is visible at a glance.
+    determined the finish time is visible at a glance.  ``perf`` takes
+    a :class:`repro.perf.PerfRecorder` and accounts a ``render-svg``
+    stage (wall time + drawable count).
     """
+    if perf is not None:
+        with perf.stage("render-svg") as timer:
+            svg = _render_svg(view, path, width=width, row_height=row_height,
+                              legend=legend, highlight_path=highlight_path)
+            timer.count(bytes=len(svg))
+        return svg
+    return _render_svg(view, path, width=width, row_height=row_height,
+                       legend=legend, highlight_path=highlight_path)
+
+
+def _render_svg(view: View, path: str | None, *, width: int,
+                row_height: int, legend: bool, highlight_path) -> str:
     legend_width = 330 if legend else 0
     canvas = Canvas(view.t0, view.t1, view.rows, view.row_weights,
                     width - legend_width, row_height=row_height)

@@ -12,17 +12,25 @@ from repro.mpe.api import MergeReport, MpeLogger, MpeOptions, RankLog
 from repro.mpe.clocksync import CorrectionModel, SyncPoint, sync_clocks
 from repro.mpe.clog2 import (
     Clog2File,
+    Clog2ReadResult,
     Clog2FormatError,
+    Clog2Writer,
+    iter_clog2,
     read_clog2,
     read_clog2_tolerant,
+    read_log,
     read_one_item,
     write_clog2,
 )
 from repro.mpe.recovery import DroppedRange, RecoveryReport
 from repro.mpe.salvage import (
+    MergeResult,
+    PartialReadResult,
+    merge_partial_logs,
     merge_partials,
     merge_partials_tolerant,
     read_partial,
+    read_partial_log,
     read_partial_tolerant,
 )
 from repro.mpe.records import (
@@ -44,25 +52,33 @@ __all__ = [
     "BareEvent",
     "Clog2File",
     "Clog2FormatError",
+    "Clog2ReadResult",
+    "Clog2Writer",
     "CorrectionModel",
     "DroppedRange",
     "EventDef",
     "MergeReport",
+    "MergeResult",
     "MpeLogger",
     "MpeOptions",
     "MsgEvent",
+    "PartialReadResult",
     "RankLog",
     "RankName",
     "RecoveryReport",
     "StateDef",
     "SyncPoint",
     "definition_key",
+    "iter_clog2",
+    "merge_partial_logs",
     "merge_partials",
     "merge_partials_tolerant",
     "read_clog2",
     "read_clog2_tolerant",
+    "read_log",
     "read_one_item",
     "read_partial",
+    "read_partial_log",
     "read_partial_tolerant",
     "sync_clocks",
     "write_clog2",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.mpe.clog2 import read_clog2
+from repro.mpe.clog2 import read_log
 from repro.mpe.records import BareEvent, EventDef, MsgEvent, RankName, StateDef
 
 
@@ -55,7 +55,7 @@ def format_record(r) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    log = read_clog2(args.clog2)
+    log = read_log(args.clog2).log
     print(f"{args.clog2}: {len(log.records)} records over "
           f"{log.num_ranks} ranks, clock resolution "
           f"{log.clock_resolution:g}s")

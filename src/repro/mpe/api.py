@@ -14,10 +14,11 @@ apart from configuration, exactly like :class:`~repro.vmpi.comm.Communicator`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro._util.ids import IdAllocator
-from repro.mpe import clocksync
-from repro.mpe.clog2 import Clog2File, write_clog2
+from repro.mpe import clocksync, merge
+from repro.mpe.clog2 import Clog2Writer
 from repro.mpe.records import (
     RECV,
     SEND,
@@ -28,11 +29,13 @@ from repro.mpe.records import (
     MsgEvent,
     RankName,
     StateDef,
-    definition_key,
 )
 from repro.vmpi import collectives
 from repro.vmpi.comm import Communicator
 from repro.vmpi.engine import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perf import PerfRecorder
 
 
 @dataclass(frozen=True)
@@ -168,13 +171,16 @@ class MpeLogger:
         point = clocksync.sync_clocks(self.comm, self.options.sync_rounds)
         self._state().sync_points.append(point)
 
-    def finish_log(self, path: str) -> MergeReport | None:
+    def finish_log(self, path: str, *,
+                   perf: "PerfRecorder | None" = None) -> MergeReport | None:
         """Collective: gather all rank buffers to rank 0, correct
-        timestamps, merge-sort, and write one CLOG2 file.
+        timestamps, k-way merge, and write one CLOG2 file.
 
         The gather uses real (virtual) messages and rank 0 pays a
         per-record merge cost, so the wrap-up time the paper measures
-        falls out of the model.
+        falls out of the model.  The merge itself is a heap over
+        time-sorted per-rank streams (:mod:`repro.mpe.merge`) — same
+        output order as a global sort, O(N log ranks) work.
         """
         started = self.comm.engine.now
         log = self._state()
@@ -182,38 +188,49 @@ class MpeLogger:
         gathered = collectives.gather(self.comm, payload, root=0)
         if self.comm.rank != 0:
             return None
-        definitions: list[Definition] = []
-        seen_ids: set[tuple] = set()
-        corrected: list[tuple[float, int, LogRecord]] = []
         assert gathered is not None
-        for rank, defs, records, sync_points in gathered:
-            for d in defs:
-                key = definition_key(d)
-                if key not in seen_ids:
-                    seen_ids.add(key)
-                    definitions.append(d)
-            model = clocksync.CorrectionModel(sync_points)
-            for rec in records:
-                t = model.correct(rec.timestamp)
-                if isinstance(rec, BareEvent):
-                    fixed: LogRecord = BareEvent(t, rec.rank, rec.event_id, rec.text)
-                else:
-                    fixed = MsgEvent(t, rec.rank, rec.kind, rec.other_rank,
-                                     rec.tag, rec.size)
-                corrected.append((t, rank, fixed))
-        # Stable sort: by corrected time, ties broken by rank then buffer
-        # order (the list is already in per-rank order).
-        corrected.sort(key=lambda item: (item[0], item[1]))
-        merge_cost = (self.options.merge_cost_per_record * len(corrected)
+        definitions = merge.dedup_definitions(
+            defs for _, defs, _, _ in gathered)
+        # The merge drops no records, so its virtual cost is known up
+        # front — and must be charged *before* the file exists: a crash
+        # fault landing inside the merge window leaves no output, same
+        # as the pre-streaming implementation.
+        nrecords = sum(len(records) for _, _, records, _ in gathered)
+        merge_cost = (self.options.merge_cost_per_record * nrecords
                       + self.options.per_rank_merge_cost * len(gathered))
         if merge_cost > 0:
             self.comm.engine.advance(merge_cost, "mpe merge")
-        merged = Clog2File(
-            clock_resolution=self.comm.engine.clock_resolution,
-            num_ranks=self.comm.size,
-            definitions=definitions,
-            records=[rec for _, _, rec in corrected],
-        )
-        write_clog2(path, merged)
-        return MergeReport(path, len(corrected), len(gathered),
+        if perf is not None:
+            with perf.stage("merge"):
+                streams = self._correct_gathered(gathered)
+            with perf.stage("clog2-write"):
+                self._write_merged(path, definitions, streams, perf=perf)
+            perf.count("merge", records=nrecords)
+        else:
+            streams = self._correct_gathered(gathered)
+            self._write_merged(path, definitions, streams)
+        return MergeReport(path, nrecords, len(gathered),
                            started, self.comm.engine.now)
+
+    @staticmethod
+    def _correct_gathered(gathered) -> "list[list[tuple[float, int, LogRecord]]]":
+        """Per-rank merge streams, timestamps corrected onto the
+        reference timebase."""
+        return [merge.rank_stream(rank, records, sync_points)
+                for rank, _, records, sync_points in gathered]
+
+    def _write_merged(self, path: str, definitions: list[Definition],
+                      streams, *,
+                      perf: "PerfRecorder | None" = None) -> int:
+        """Fused merge→write: the k-way merge is consumed directly by
+        the CLOG2 writer, which packs corrected timestamps in place of
+        the originals — no merged record list, no rebuilt record
+        objects.  (The heap merge therefore runs lazily inside the
+        write loop; the ``merge`` perf stage covers stream correction,
+        ``clog2-write`` the merge-consume-and-pack pass.)  Returns the
+        number of records written."""
+        with Clog2Writer(path, self.comm.engine.clock_resolution,
+                         self.comm.size, perf=perf) as writer:
+            writer.write_definitions(definitions)
+            writer.write_retimed_records(merge.merge_rank_streams(streams))
+        return writer.records_written

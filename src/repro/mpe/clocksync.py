@@ -41,6 +41,9 @@ class CorrectionModel:
 
     def __init__(self, points: list[SyncPoint]) -> None:
         self.points = sorted(points, key=lambda p: p.local_time)
+        # correct() runs once per record on the merge hot path; the
+        # bisect keys must not be rebuilt per call.
+        self._times = [p.local_time for p in self.points]
 
     def correct(self, local_time: float) -> float:
         pts = self.points
@@ -52,7 +55,7 @@ class CorrectionModel:
             # Extrapolate with the slope of the last segment.
             a, b = pts[-2], pts[-1]
         else:
-            i = bisect_right([p.local_time for p in pts], local_time)
+            i = bisect_right(self._times, local_time)
             a, b = pts[i - 1], pts[i]
         span = b.local_time - a.local_time
         if span <= 0:

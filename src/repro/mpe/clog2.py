@@ -1,4 +1,4 @@
-"""CLOG2 binary file format: writer and reader.
+"""CLOG2 binary file format: streaming writer and reader.
 
 A real on-disk format, struct-packed, with a round-trippable reader —
 the paper's workflow keeps CLOG2 as an inspectable intermediate
@@ -21,13 +21,39 @@ byte   kind        payload
 =====  ==========  =======================================================
 
 Strings are u16 length-prefixed UTF-8.  All integers little-endian.
+
+The I/O layer is the pipeline's hot path, so it is streaming and
+batched:
+
+* every ``struct`` format is precompiled at import time, and the type
+  byte is fused into the record pack (one C call per record instead of
+  two-to-four Python-level writes);
+* :func:`write_items` packs into an in-memory batch and flushes in
+  ~256 KiB slabs; :class:`Clog2Writer` streams records to disk without
+  ever holding the whole log (the header's record count is patched on
+  close);
+* :func:`iter_items` / :func:`iter_clog2` parse out of a refillable
+  chunk buffer with ``unpack_from`` — a log never needs to be fully
+  resident to read it either.
+
+Byte-for-byte output compatibility with the original eager writer is a
+contract (see ``benchmarks/_legacy.py`` and the equivalence tests).
+
+The one reader entry point is :func:`read_log` with
+``errors="strict"`` (raise on damage) or ``errors="salvage"``
+(skip torn spans, account them in a RecoveryReport); it always returns
+a :class:`Clog2ReadResult` ``(log, recovery)`` pair.  The historical
+names :func:`read_clog2` / :func:`read_clog2_tolerant` survive as thin
+deprecated aliases.
 """
 
 from __future__ import annotations
 
 import io
 import struct
+import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple
 
 from repro.mpe.records import (
     BareEvent,
@@ -38,6 +64,10 @@ from repro.mpe.records import (
     RankName,
     StateDef,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpe.recovery import RecoveryReport
+    from repro.perf import PerfRecorder
 
 MAGIC = b"CLOG2PY1"
 VERSION = 1
@@ -53,6 +83,23 @@ _STATEDEF = struct.Struct("<ii")
 _EVENTDEF = struct.Struct("<i")
 _BARE = struct.Struct("<dii")
 _MSG = struct.Struct("<diBiiq")
+_U16 = struct.Struct("<H")
+
+# Fused type-byte + payload formats ("<" means no padding, so packing
+# the type byte together with the fields yields exactly the same bytes
+# as writing them separately — the equivalence tests hold us to it).
+_BARE_FULL = struct.Struct("<Bdii")
+_MSG_FULL = struct.Struct("<BdiBiiq")
+_STATEDEF_FULL = struct.Struct("<Bii")
+_IDONLY_FULL = struct.Struct("<Bi")  # EventDef / RankName heads
+# BareEvent head with the text's u16 length prefix fused in as well:
+# one pack call covers everything but the text bytes themselves.
+_BARE_FULL_U16 = struct.Struct("<BdiiH")
+
+#: Flush threshold for the batched writer (bytes of packed parts).
+_WRITE_BATCH = 256 * 1024
+#: Refill chunk size for the streaming reader.
+_READ_CHUNK = 1 << 20
 
 
 class Clog2FormatError(ValueError):
@@ -63,12 +110,19 @@ def _pack_str(out: io.BufferedIOBase, s: str) -> None:
     raw = s.encode("utf-8")
     if len(raw) > 0xFFFF:
         raise Clog2FormatError(f"string too long for CLOG2 ({len(raw)} bytes)")
-    out.write(struct.pack("<H", len(raw)))
+    out.write(_U16.pack(len(raw)))
     out.write(raw)
 
 
+def _str_bytes(s: str) -> bytes:
+    raw = s.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise Clog2FormatError(f"string too long for CLOG2 ({len(raw)} bytes)")
+    return _U16.pack(len(raw)) + raw
+
+
 def _unpack_str(buf: io.BufferedIOBase) -> str:
-    (n,) = struct.unpack("<H", _read_exact(buf, 2))
+    (n,) = _U16.unpack(_read_exact(buf, 2))
     return _read_exact(buf, n).decode("utf-8")
 
 
@@ -102,64 +156,519 @@ class Clog2File:
                 if isinstance(d, RankName)}
 
 
-def write_clog2(path: str, log: Clog2File) -> None:
-    """Serialise definitions + merged records to ``path``."""
-    with open(path, "wb") as fh:
-        fh.write(_HDR.pack(MAGIC, VERSION, log.clock_resolution,
-                           log.num_ranks, len(log.records)))
-        write_items(fh, log.definitions, log.records)
+class Clog2ReadResult(NamedTuple):
+    """What :func:`read_log` hands back: the log plus the recovery
+    accounting (``None`` under ``errors="strict"``, where damage raises
+    instead of being accounted)."""
+
+    log: Clog2File
+    recovery: "RecoveryReport | None"
 
 
-def write_items(fh, definitions: list[Definition],
-                records: list[LogRecord]) -> None:
+# ---------------------------------------------------------------------------
+# writing
+# ---------------------------------------------------------------------------
+
+
+def _pack_definition(d: Definition) -> bytes:
+    if isinstance(d, StateDef):
+        return (_STATEDEF_FULL.pack(_T_STATEDEF, d.start_id, d.end_id)
+                + _str_bytes(d.name) + _str_bytes(d.color))
+    if isinstance(d, EventDef):
+        return (_IDONLY_FULL.pack(_T_EVENTDEF, d.event_id)
+                + _str_bytes(d.name) + _str_bytes(d.color))
+    return _IDONLY_FULL.pack(_T_RANKNAME, d.rank) + _str_bytes(d.name)
+
+
+def write_items(fh, definitions: Iterable[Definition],
+                records: Iterable[LogRecord], *,
+                perf: "PerfRecorder | None" = None) -> int:
     """Serialise a headerless definition+record stream (shared by the
-    file writer and the salvage partials)."""
+    file writer and the salvage partials).
+
+    Accepts any iterables; packs into an in-memory batch flushed in
+    slabs so the caller pays one ``write`` per ~256 KiB instead of per
+    field.  Returns the number of records written.
+    """
+    parts: list[bytes] = []
+    append = parts.append
+    pending = 0
+    total = 0
+    nrecords = 0
+    bare_pack = _BARE_FULL_U16.pack
+    msg_pack = _MSG_FULL.pack
+    msg_size = _MSG_FULL.size
+    bare_head = _BARE_FULL_U16.size
+    batch = _WRITE_BATCH
+    write = fh.write
+    join = b"".join
     for d in definitions:
-        if isinstance(d, StateDef):
-            fh.write(bytes([_T_STATEDEF]))
-            fh.write(_STATEDEF.pack(d.start_id, d.end_id))
-            _pack_str(fh, d.name)
-            _pack_str(fh, d.color)
-        elif isinstance(d, EventDef):
-            fh.write(bytes([_T_EVENTDEF]))
-            fh.write(_EVENTDEF.pack(d.event_id))
-            _pack_str(fh, d.name)
-            _pack_str(fh, d.color)
-        else:
-            fh.write(bytes([_T_RANKNAME]))
-            fh.write(_EVENTDEF.pack(d.rank))
-            _pack_str(fh, d.name)
+        piece = _pack_definition(d)
+        append(piece)
+        pending += len(piece)
     for r in records:
-        if isinstance(r, BareEvent):
-            fh.write(bytes([_T_BARE]))
-            fh.write(_BARE.pack(r.timestamp, r.rank, r.event_id))
-            _pack_str(fh, r.text)
-        elif isinstance(r, MsgEvent):
-            fh.write(bytes([_T_MSG]))
-            fh.write(_MSG.pack(r.timestamp, r.rank, r.kind, r.other_rank,
-                               r.tag, r.size))
-        else:  # pragma: no cover - type system prevents this
+        nrecords += 1
+        if type(r) is MsgEvent:
+            append(msg_pack(_T_MSG, r.timestamp, r.rank, r.kind,
+                            r.other_rank, r.tag, r.size))
+            pending += msg_size
+        elif type(r) is BareEvent:
+            raw = r.text.encode("utf-8")
+            n = len(raw)
+            if n > 0xFFFF:
+                raise Clog2FormatError(
+                    f"string too long for CLOG2 ({n} bytes)")
+            append(bare_pack(_T_BARE, r.timestamp, r.rank, r.event_id, n))
+            append(raw)
+            pending += bare_head + n
+        else:
             raise Clog2FormatError(f"unknown record {r!r}")
+        if pending >= batch:
+            write(join(parts))
+            parts.clear()
+            total += pending
+            pending = 0
+    if parts:
+        write(join(parts))
+        total += pending
+    if perf is not None:
+        perf.count("clog2-write", records=nrecords, bytes=total)
+    return nrecords
+
+
+class Clog2Writer:
+    """Stream a CLOG2 file to disk without holding the whole log.
+
+    The header's record count is not known until the stream ends, so a
+    placeholder is written up front and patched in :meth:`close` — the
+    finished file is byte-identical to an eager :func:`write_clog2` of
+    the same items.
+
+    Usable as a context manager::
+
+        with Clog2Writer(path, resolution, num_ranks) as w:
+            w.write_definitions(defs)
+            for rec in stream:
+                w.write_record(rec)
+    """
+
+    def __init__(self, path: str, clock_resolution: float, num_ranks: int, *,
+                 perf: "PerfRecorder | None" = None) -> None:
+        self.path = path
+        self.records_written = 0
+        self.bytes_written = 0
+        self._perf = perf
+        self._fh = open(path, "wb")
+        self._fh.write(_HDR.pack(MAGIC, VERSION, clock_resolution,
+                                 num_ranks, 0))
+        self._parts: list[bytes] = []
+        self._pending = 0
+
+    def _push(self, piece: bytes) -> None:
+        self._parts.append(piece)
+        self._pending += len(piece)
+        if self._pending >= _WRITE_BATCH:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._parts:
+            self._fh.write(b"".join(self._parts))
+            self.bytes_written += self._pending
+            self._parts.clear()
+            self._pending = 0
+
+    def write_definition(self, d: Definition) -> None:
+        self._push(_pack_definition(d))
+
+    def write_definitions(self, definitions: Iterable[Definition]) -> None:
+        for d in definitions:
+            self._push(_pack_definition(d))
+
+    def write_record(self, r: LogRecord) -> None:
+        if type(r) is MsgEvent:
+            piece = _MSG_FULL.pack(_T_MSG, r.timestamp, r.rank, r.kind,
+                                   r.other_rank, r.tag, r.size)
+        elif type(r) is BareEvent:
+            piece = (_BARE_FULL.pack(_T_BARE, r.timestamp, r.rank, r.event_id)
+                     + _str_bytes(r.text))
+        else:
+            raise Clog2FormatError(f"unknown record {r!r}")
+        self._push(piece)
+        self.records_written += 1
+
+    def write_records(self, records: Iterable[LogRecord]) -> None:
+        for r in records:
+            self.write_record(r)
+
+    def write_retimed_records(
+            self, items: "Iterable[tuple[float, int, LogRecord]]") -> None:
+        """Serialise merge tuples ``(corrected time, rank, record)``
+        directly, packing the corrected time in place of the record's
+        own timestamp.
+
+        This is the fused merge→write hot path: the k-way merge
+        (:mod:`repro.mpe.merge`) hands over original record objects
+        plus corrected times, and nothing is ever rebuilt just to be
+        serialised — the bytes are identical to writing the corrected
+        records one by one.
+        """
+        parts = self._parts
+        append = parts.append
+        pending = self._pending
+        nrecords = 0
+        bare_pack = _BARE_FULL_U16.pack
+        msg_pack = _MSG_FULL.pack
+        msg_size = _MSG_FULL.size
+        bare_head = _BARE_FULL_U16.size
+        batch = _WRITE_BATCH
+        write = self._fh.write
+        join = b"".join
+        total = 0
+        for t, _rank, r in items:
+            nrecords += 1
+            if type(r) is MsgEvent:
+                append(msg_pack(_T_MSG, t, r.rank, r.kind,
+                                r.other_rank, r.tag, r.size))
+                pending += msg_size
+            elif type(r) is BareEvent:
+                raw = r.text.encode("utf-8")
+                n = len(raw)
+                if n > 0xFFFF:
+                    raise Clog2FormatError(
+                        f"string too long for CLOG2 ({n} bytes)")
+                append(bare_pack(_T_BARE, t, r.rank, r.event_id, n))
+                append(raw)
+                pending += bare_head + n
+            else:
+                raise Clog2FormatError(f"unknown record {r!r}")
+            if pending >= batch:
+                write(join(parts))
+                parts.clear()
+                total += pending
+                pending = 0
+        self._pending = pending
+        self.bytes_written += total
+        self.records_written += nrecords
+
+    def close(self) -> None:
+        if self._fh.closed:
+            return
+        self._flush()
+        # Patch the record count into the header (offset of the trailing
+        # u32 in "<8sHdiI").
+        self._fh.seek(_HDR.size - 4)
+        self._fh.write(struct.pack("<I", self.records_written))
+        self._fh.close()
+        if self._perf is not None:
+            self._perf.count("clog2-write", records=self.records_written,
+                             bytes=self.bytes_written)
+
+    def __enter__(self) -> "Clog2Writer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_clog2_to(fh, log: Clog2File, *,
+                   perf: "PerfRecorder | None" = None) -> None:
+    """Serialise a whole CLOG2 image (header + items) to an open binary
+    stream — the same bytes :func:`write_clog2` puts in a file.  The
+    salvage partials embed CLOG2 bodies this way."""
+    fh.write(_HDR.pack(MAGIC, VERSION, log.clock_resolution,
+                       log.num_ranks, len(log.records)))
+    write_items(fh, log.definitions, log.records, perf=perf)
+
+
+def write_clog2(path: str, log: Clog2File, *,
+                perf: "PerfRecorder | None" = None) -> None:
+    """Serialise definitions + merged records to ``path``."""
+    if perf is not None:
+        with perf.stage("clog2-write"):
+            with open(path, "wb") as fh:
+                write_clog2_to(fh, log, perf=perf)
+    else:
+        with open(path, "wb") as fh:
+            write_clog2_to(fh, log)
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+
+
+def _parse_item_at(data, pos: int, end: int):
+    """Parse one item out of ``data[pos:end]``.
+
+    Returns ``(item, next_pos)``, or ``None`` when the remaining bytes
+    cannot hold the whole item (the streaming reader refills and
+    retries; the eager reader treats it as truncation).  Raises
+    :class:`Clog2FormatError` on an unknown type byte.
+    """
+    t = data[pos]
+    if t == _T_MSG:
+        if pos + 1 + _MSG.size > end:
+            return None
+        ts, rank, kind, other, tag, size = _MSG.unpack_from(data, pos + 1)
+        return MsgEvent(ts, rank, kind, other, tag, size), pos + 1 + _MSG.size
+    if t == _T_BARE:
+        cursor = pos + 1 + _BARE.size
+        if cursor + 2 > end:
+            return None
+        ts, rank, eid = _BARE.unpack_from(data, pos + 1)
+        (n,) = _U16.unpack_from(data, cursor)
+        cursor += 2
+        if cursor + n > end:
+            return None
+        text = bytes(data[cursor:cursor + n]).decode("utf-8")
+        return BareEvent(ts, rank, eid, text), cursor + n
+    if t == _T_STATEDEF:
+        cursor = pos + 1 + _STATEDEF.size
+        if cursor > end:
+            return None
+        start, sto = _STATEDEF.unpack_from(data, pos + 1)
+        parsed = _parse_strs(data, cursor, end, 2)
+        if parsed is None:
+            return None
+        (name, color), cursor = parsed
+        return StateDef(start, sto, name, color), cursor
+    if t == _T_EVENTDEF:
+        cursor = pos + 1 + _EVENTDEF.size
+        if cursor > end:
+            return None
+        (eid,) = _EVENTDEF.unpack_from(data, pos + 1)
+        parsed = _parse_strs(data, cursor, end, 2)
+        if parsed is None:
+            return None
+        (name, color), cursor = parsed
+        return EventDef(eid, name, color), cursor
+    if t == _T_RANKNAME:
+        cursor = pos + 1 + _EVENTDEF.size
+        if cursor > end:
+            return None
+        (rank,) = _EVENTDEF.unpack_from(data, pos + 1)
+        parsed = _parse_strs(data, cursor, end, 1)
+        if parsed is None:
+            return None
+        (name,), cursor = parsed
+        return RankName(rank, name), cursor
+    raise Clog2FormatError(f"unknown record type byte 0x{t:02x}")
+
+
+def _parse_strs(data, pos: int, end: int, count: int):
+    """Parse ``count`` length-prefixed strings; None if bytes run out."""
+    out = []
+    for _ in range(count):
+        if pos + 2 > end:
+            return None
+        (n,) = _U16.unpack_from(data, pos)
+        pos += 2
+        if pos + n > end:
+            return None
+        out.append(bytes(data[pos:pos + n]).decode("utf-8"))
+        pos += n
+    return out, pos
+
+
+def iter_items(fh) -> Iterator[Definition | LogRecord]:
+    """Lazily parse a headerless item stream from a binary file object.
+
+    Reads in ~1 MiB chunks and keeps only the unparsed tail resident, so
+    arbitrarily large streams cost constant memory.  Raises
+    :class:`Clog2FormatError` on a record torn at EOF or an unknown
+    type byte, exactly like the eager reader.
+    """
+    buf = b""
+    pos = 0
+    eof = False
+    while True:
+        end = len(buf)
+        while pos < end:
+            parsed = _parse_item_at(buf, pos, end)
+            if parsed is None:
+                break
+            item, pos = parsed
+            yield item
+        if pos >= end and eof:
+            return
+        chunk = fh.read(_READ_CHUNK)
+        if chunk:
+            buf = buf[pos:] + chunk
+            pos = 0
+        elif eof or pos >= len(buf):
+            # No growth possible and a partial item remains.
+            if pos < len(buf):
+                raise Clog2FormatError("truncated CLOG2 file")
+            return
+        else:
+            eof = True
+
+
+class Clog2Header(NamedTuple):
+    """The fixed header of a CLOG2 file."""
+
+    clock_resolution: float
+    num_ranks: int
+    num_records: int
+
+
+def read_header(fh) -> Clog2Header:
+    """Parse and validate the CLOG2 header from an open binary file."""
+    magic, version, resolution, num_ranks, nrecords = _HDR.unpack(
+        _read_exact(fh, _HDR.size))
+    if magic != MAGIC:
+        raise Clog2FormatError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise Clog2FormatError(f"unsupported CLOG2 version {version}")
+    return Clog2Header(resolution, num_ranks, nrecords)
+
+
+def iter_clog2(path: str) -> tuple[Clog2Header, Iterator[Definition | LogRecord]]:
+    """Open a CLOG2 file for streaming: ``(header, item iterator)``.
+
+    The iterator owns the file handle and closes it on exhaustion,
+    error, or garbage collection.  Item order is exactly file order
+    (definitions first, as the writers emit them).
+    """
+    fh = open(path, "rb")
+    try:
+        header = read_header(fh)
+    except Exception:
+        fh.close()
+        raise
+
+    def _gen():
+        try:
+            yield from iter_items(fh)
+        finally:
+            fh.close()
+
+    return header, _gen()
+
+
+def read_log(path: str, *, errors: str = "strict",
+             perf: "PerfRecorder | None" = None) -> Clog2ReadResult:
+    """Parse a CLOG2 file — the one reader entry point.
+
+    ``errors="strict"`` raises :class:`Clog2FormatError` on any damage
+    and returns ``(log, None)``; ``errors="salvage"`` skips torn and
+    corrupt spans, never raises on damage, and returns ``(log, report)``
+    with a byte-accurate :class:`~repro.mpe.recovery.RecoveryReport`.
+    Strict remains the right mode for logs that are supposed to be
+    intact — silent tolerance of a writer bug would be a regression,
+    not robustness.
+    """
+    _check_errors_mode(errors)
+    if errors == "salvage":
+        return _read_log_salvage(path)
+    if perf is not None:
+        with perf.stage("clog2-read"):
+            log = _read_log_strict(path, perf)
+    else:
+        log = _read_log_strict(path, None)
+    return Clog2ReadResult(log, None)
+
+
+def _check_errors_mode(errors: str) -> None:
+    if errors not in ("strict", "salvage"):
+        raise ValueError(
+            f"errors must be 'strict' or 'salvage', got {errors!r}")
+
+
+def _read_log_strict(path: str, perf: "PerfRecorder | None") -> Clog2File:
+    with open(path, "rb") as fh:
+        data = fh.read()
+    log = parse_clog2_bytes(data)
+    if perf is not None:
+        perf.count("clog2-read", records=len(log.records), bytes=len(data))
+    return log
+
+
+def parse_clog2_bytes(data: bytes) -> Clog2File:
+    """Strictly parse a complete CLOG2 image (header + items) held in
+    memory.  Raises :class:`Clog2FormatError` on any damage.
+
+    BareEvent/MsgEvent (the overwhelming bulk of any log) are decoded
+    inline with pre-bound ``unpack_from``; definitions fall through to
+    :func:`_parse_item_at`.
+    """
+    header = read_header(io.BytesIO(data[:_HDR.size]))
+    definitions: list[Definition] = []
+    records: list[LogRecord] = []
+    drec = definitions.append
+    rrec = records.append
+    pos = _HDR.size
+    end = len(data)
+    bare_unpack = _BARE.unpack_from
+    msg_unpack = _MSG.unpack_from
+    u16_unpack = _U16.unpack_from
+    bare_size = _BARE.size
+    msg_size = _MSG.size
+    try:
+        while pos < end:
+            t = data[pos]
+            if t == _T_BARE:
+                ts, rank, eid = bare_unpack(data, pos + 1)
+                cursor = pos + 1 + bare_size
+                (n,) = u16_unpack(data, cursor)
+                cursor += 2
+                tail = cursor + n
+                if tail > end:
+                    raise Clog2FormatError("truncated CLOG2 file")
+                rrec(BareEvent(ts, rank, eid,
+                               data[cursor:tail].decode("utf-8")))
+                pos = tail
+            elif t == _T_MSG:
+                ts, rank, kind, other, tag, size = msg_unpack(data, pos + 1)
+                rrec(MsgEvent(ts, rank, kind, other, tag, size))
+                pos += 1 + msg_size
+            else:
+                parsed = _parse_item_at(data, pos, end)
+                if parsed is None:
+                    raise Clog2FormatError("truncated CLOG2 file")
+                item, pos = parsed
+                drec(item)
+    except struct.error:
+        # unpack_from ran past the buffer: a record torn at EOF.
+        raise Clog2FormatError("truncated CLOG2 file") from None
+    if len(records) != header.num_records:
+        raise Clog2FormatError(
+            f"header promised {header.num_records} records, "
+            f"found {len(records)}")
+    return Clog2File(header.clock_resolution, header.num_ranks,
+                     definitions, records)
+
+
+def _read_log_salvage(path: str) -> Clog2ReadResult:
+    import os
+
+    from repro.mpe.recovery import RecoveryReport
+
+    report = RecoveryReport(source=os.path.basename(path))
+    with open(path, "rb") as fh:
+        data = fh.read()
+    log = parse_clog2_bytes_tolerant(data, report, report.source)
+    return Clog2ReadResult(log, report)
+
+
+# -- deprecated aliases ------------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(f"{old} is deprecated; use {new}",
+                  DeprecationWarning, stacklevel=3)
 
 
 def read_clog2(path: str) -> Clog2File:
-    """Parse a CLOG2 file back into records (exact round-trip)."""
-    with open(path, "rb") as fh:
-        magic, version, resolution, num_ranks, nrecords = _HDR.unpack(
-            _read_exact(fh, _HDR.size))
-        if magic != MAGIC:
-            raise Clog2FormatError(f"bad magic {magic!r}")
-        if version != VERSION:
-            raise Clog2FormatError(f"unsupported CLOG2 version {version}")
-        definitions, records = read_items(fh)
-        if len(records) != nrecords:
-            raise Clog2FormatError(
-                f"header promised {nrecords} records, found {len(records)}")
-    return Clog2File(resolution, num_ranks, definitions, records)
+    """Deprecated alias for ``read_log(path).log``."""
+    _deprecated("read_clog2", "read_log(path)")
+    return read_log(path).log
 
 
-_VALID_TYPE_BYTES = frozenset(
-    (_T_STATEDEF, _T_EVENTDEF, _T_BARE, _T_MSG, _T_RANKNAME))
+def read_clog2_tolerant(path: str):
+    """Deprecated alias for ``read_log(path, errors='salvage')``."""
+    _deprecated("read_clog2_tolerant", "read_log(path, errors='salvage')")
+    return tuple(read_log(path, errors="salvage"))
 
 
 def read_one_item(fh) -> Definition | LogRecord | None:
@@ -201,10 +710,7 @@ def read_items(fh) -> tuple[list[Definition], list[LogRecord]]:
     """Parse a headerless definition+record stream until EOF."""
     definitions: list[Definition] = []
     records: list[LogRecord] = []
-    while True:
-        item = read_one_item(fh)
-        if item is None:
-            break
+    for item in iter_items(fh):
         if isinstance(item, (BareEvent, MsgEvent)):
             records.append(item)
         else:
@@ -214,26 +720,31 @@ def read_items(fh) -> tuple[list[Definition], list[LogRecord]]:
 
 # -- tolerant reading (the crash-tolerant pipeline) -------------------------
 
-_PARSE_ERRORS = (Clog2FormatError, struct.error, UnicodeDecodeError)
+_PARSE_ERRORS = (Clog2FormatError, struct.error, UnicodeDecodeError,
+                 IndexError)
+
+_VALID_TYPE_BYTES = frozenset(
+    (_T_STATEDEF, _T_EVENTDEF, _T_BARE, _T_MSG, _T_RANKNAME))
 
 
 def _resync_offset(data: bytes, start: int) -> int:
     """First offset >= ``start`` where a whole item parses and is
     followed by EOF or another plausible item start; ``len(data)`` when
     no such point exists (the rest of the file is unrecoverable)."""
-    for off in range(start, len(data)):
+    end = len(data)
+    for off in range(start, end):
         if data[off] not in _VALID_TYPE_BYTES:
             continue
-        probe = io.BytesIO(data)
-        probe.seek(off)
         try:
-            read_one_item(probe)
+            parsed = _parse_item_at(data, off, end)
         except _PARSE_ERRORS:
             continue
-        pos = probe.tell()
-        if pos >= len(data) or data[pos] in _VALID_TYPE_BYTES:
+        if parsed is None:
+            continue
+        pos = parsed[1]
+        if pos >= end or data[pos] in _VALID_TYPE_BYTES:
             return off
-    return len(data)
+    return end
 
 
 def read_items_tolerant(data: bytes, report, source: str,
@@ -247,21 +758,22 @@ def read_items_tolerant(data: bytes, report, source: str,
     """
     definitions: list[Definition] = []
     records: list[LogRecord] = []
-    buf = io.BytesIO(data)
-    while True:
-        pos = buf.tell()
+    pos = 0
+    end = len(data)
+    while pos < end:
         try:
-            item = read_one_item(buf)
+            parsed = _parse_item_at(data, pos, end)
+            if parsed is None:
+                raise Clog2FormatError("truncated CLOG2 file")
         except _PARSE_ERRORS as exc:
             skip_to = _resync_offset(data, pos + 1)
             report.drop(source, base_offset + pos, base_offset + skip_to,
                         f"unparseable record ({exc})")
-            if skip_to >= len(data):
+            if skip_to >= end:
                 break
-            buf.seek(skip_to)
+            pos = skip_to
             continue
-        if item is None:
-            break
+        item, pos = parsed
         if isinstance(item, (BareEvent, MsgEvent)):
             records.append(item)
         else:
@@ -272,8 +784,8 @@ def read_items_tolerant(data: bytes, report, source: str,
 def parse_clog2_bytes_tolerant(data: bytes, report, source: str,
                                base_offset: int = 0) -> Clog2File:
     """Tolerantly parse a complete CLOG2 image (header + items) held in
-    memory, accounting losses into ``report``.  Shared by
-    :func:`read_clog2_tolerant` and the salvage partial reader (whose
+    memory, accounting losses into ``report``.  Shared by the salvage
+    modes of :func:`read_log` and the partial reader (whose
     rewrite-mode partials embed a whole CLOG2 body)."""
     empty = Clog2File(1e-6, 0, [], [])
     if len(data) < _HDR.size:
@@ -302,25 +814,3 @@ def parse_clog2_bytes_tolerant(data: bytes, report, source: str,
         report.note(f"{source}: header promised {nrecords} records, "
                     f"salvaged {len(records)}")
     return Clog2File(resolution, num_ranks, definitions, records)
-
-
-def read_clog2_tolerant(path: str):
-    """Parse a CLOG2 file, salvaging what the strict reader would
-    reject.
-
-    Returns ``(Clog2File, RecoveryReport)``.  Torn and corrupt spans
-    are skipped with a byte-accurate account in the report; a file too
-    damaged to carry even a header yields an empty log rather than an
-    exception.  The strict :func:`read_clog2` remains the right tool
-    for logs that are supposed to be intact — silent tolerance of a
-    writer bug would be a regression, not robustness.
-    """
-    import os
-
-    from repro.mpe.recovery import RecoveryReport
-
-    report = RecoveryReport(source=os.path.basename(path))
-    with open(path, "rb") as fh:
-        data = fh.read()
-    log = parse_clog2_bytes_tolerant(data, report, report.source)
-    return log, report

@@ -3,9 +3,10 @@
 Faults leave torn and corrupt artifacts behind: a partial file
 truncated mid-chunk by an abort, a CLOG2 with garbage bytes in the
 middle, a rank whose partial never made it to disk at all.  The
-tolerant readers (:func:`repro.mpe.clog2.read_clog2_tolerant`,
-:func:`repro.mpe.salvage.read_partial_tolerant`,
-:func:`repro.mpe.salvage.merge_partials_tolerant`) degrade gracefully
+salvage modes of the readers (:func:`repro.mpe.clog2.read_log`,
+:func:`repro.mpe.salvage.read_partial_log` and
+:func:`repro.mpe.salvage.merge_partial_logs`, each with
+``errors="salvage"``) degrade gracefully
 instead of raising — but "gracefully" must never mean "silently".
 Every one of them returns a :class:`RecoveryReport` stating exactly
 which records were kept, which byte ranges were dropped and why, and

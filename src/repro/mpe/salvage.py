@@ -13,9 +13,9 @@ sidesteps messaging entirely:
   file** (rank-local disk I/O needs no messages — the same property
   that makes Pilot's native log abort-proof);
 * on abort, whatever was checkpointed survives;
-* an offline tool, :func:`merge_partials`, later collects the partial
-  files into one CLOG2 — including timestamp correction from whatever
-  sync points were checkpointed.
+* an offline tool, :func:`merge_partial_logs`, later collects the
+  partial files into one CLOG2 — including timestamp correction from
+  whatever sync points were checkpointed.
 
 The cost is the paper's trade-off in reverse: buffering stays cheap,
 but every checkpoint pays a disk write during the run (measured in
@@ -32,7 +32,19 @@ Two partial-file layouts exist:
   checkpoint.  A torn final chunk (the abort can land mid-write) is
   detected by its length frame and dropped.
 
-:func:`read_partial` and :func:`merge_partials` accept both layouts.
+Reading and merging go through two entry points, each taking
+``errors="strict"`` (damage raises) or ``errors="salvage"`` (damage is
+skipped and accounted):
+
+* :func:`read_partial_log` parses one partial of either layout and
+  returns ``(Partial, RecoveryReport | None)``;
+* :func:`merge_partial_logs` collects every rank's partial into one
+  CLOG2 via a heap-based k-way merge (see :mod:`repro.mpe.merge`) and
+  returns ``(Clog2File, RecoveryReport | None)``.
+
+The historical names (:func:`read_partial`,
+:func:`read_partial_tolerant`, :func:`merge_partials`,
+:func:`merge_partials_tolerant`) survive as thin deprecated aliases.
 
 Rewrite layout: magic ``CLOGPART``, sync section, one CLOG2 body.
 Append layout: magic ``CLOGPARA``, then framed chunks — each chunk is
@@ -46,23 +58,25 @@ from __future__ import annotations
 import glob
 import os
 import struct
+import warnings
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, NamedTuple
 
 from repro.mpe.api import RankLog
-from repro.mpe.clocksync import CorrectionModel, SyncPoint
+from repro.mpe.clocksync import SyncPoint
 from repro.mpe.clog2 import (
     Clog2File,
     Clog2FormatError,
-    read_clog2,
+    parse_clog2_bytes,
     write_clog2,
+    write_clog2_to,
 )
-from repro.mpe.records import (
-    BareEvent,
-    Definition,
-    LogRecord,
-    MsgEvent,
-    definition_key,
-)
+from repro.mpe.merge import dedup_definitions, merged_records, rank_stream
+from repro.mpe.records import Definition, LogRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpe.recovery import RecoveryReport
+    from repro.perf import PerfRecorder
 
 PARTIAL_MAGIC = b"CLOGPART"
 APPEND_MAGIC = b"CLOGPARA"
@@ -88,14 +102,11 @@ def write_partial(path: str, rank: int, log: RankLog,
         fh.write(_PHDR.pack(PARTIAL_MAGIC, rank, len(log.sync_points)))
         for p in log.sync_points:
             fh.write(_SYNC.pack(p.local_time, p.offset))
-    # Reuse the CLOG2 serialiser for the payload, appended after the
-    # partial header.
-    body = path + ".body"
-    write_clog2(body, Clog2File(clock_resolution, rank + 1,
-                                list(log.definitions), list(log.records)))
-    with open(tmp, "ab") as fh, open(body, "rb") as src:
-        fh.write(src.read())
-    os.remove(body)
+        # The payload is a complete CLOG2 image, streamed straight after
+        # the partial header.
+        write_clog2_to(fh, Clog2File(clock_resolution, rank + 1,
+                                     list(log.definitions),
+                                     list(log.records)))
     os.replace(tmp, path)
 
 
@@ -154,6 +165,26 @@ class Partial:
     clock_resolution: float
 
 
+class PartialReadResult(NamedTuple):
+    """What :func:`read_partial_log` hands back."""
+
+    partial: Partial
+    recovery: "RecoveryReport | None"
+
+
+class MergeResult(NamedTuple):
+    """What :func:`merge_partial_logs` hands back."""
+
+    log: Clog2File
+    recovery: "RecoveryReport | None"
+
+
+def _check_errors_mode(errors: str) -> None:
+    if errors not in ("strict", "salvage"):
+        raise ValueError(
+            f"errors must be 'strict' or 'salvage', got {errors!r}")
+
+
 def _read_append_partial(path: str) -> Partial:
     import io
 
@@ -186,99 +217,104 @@ def _read_append_partial(path: str) -> Partial:
     return Partial(rank, sync_points, definitions, records, resolution)
 
 
-def read_partial(path: str) -> Partial:
-    """Parse either partial layout (rewrite or append mode)."""
+def read_partial_log(path: str, *, errors: str = "strict"
+                     ) -> PartialReadResult:
+    """Parse one partial of either layout — the one entry point.
+
+    ``errors="strict"`` raises on damage and returns
+    ``(partial, None)``; ``errors="salvage"`` skips torn/corrupt spans
+    and returns ``(partial, report)``.  Under salvage a file too
+    damaged to identify (no readable header) yields a ``Partial`` with
+    ``rank == -1`` and everything accounted as dropped.
+    """
+    _check_errors_mode(errors)
+    if errors == "salvage":
+        return PartialReadResult(*_read_partial_salvage(path))
     with open(path, "rb") as fh:
         head = fh.read(_PHDR.size)
         if len(head) != _PHDR.size:
             raise Clog2FormatError("truncated partial header")
         magic, rank, nsync = _PHDR.unpack(head)
         if magic == APPEND_MAGIC:
-            return _read_append_partial(path)
+            return PartialReadResult(_read_append_partial(path), None)
         if magic != PARTIAL_MAGIC:
             raise Clog2FormatError(f"bad partial magic {magic!r}")
         points = []
         for _ in range(nsync):
             local_time, offset = _SYNC.unpack(fh.read(_SYNC.size))
             points.append(SyncPoint(local_time, offset))
-        rest = fh.read()
-    body = path + ".read"
-    try:
-        with open(body, "wb") as fh:
-            fh.write(rest)
-        clog = read_clog2(body)
-    finally:
-        if os.path.exists(body):
-            os.remove(body)
-    return Partial(rank, points, clog.definitions, clog.records,
-                   clog.clock_resolution)
+        clog = parse_clog2_bytes(fh.read())
+    return PartialReadResult(
+        Partial(rank, points, clog.definitions, clog.records,
+                clog.clock_resolution), None)
 
 
 def find_partials(base_path: str) -> list[str]:
     return sorted(glob.glob(f"{base_path}.rank[0-9][0-9][0-9][0-9].part"))
 
 
-def _merge_partial_objects(partials: list[Partial]) -> Clog2File:
-    """Dedup definitions, correct timestamps, and merge-sort records
-    from already-parsed partials (shared strict/tolerant merge core)."""
-    definitions: list[Definition] = []
-    seen: set[tuple] = set()
-    merged: list[tuple[float, int, LogRecord]] = []
-    num_ranks = 0
+def _merge_partial_objects(partials: list[Partial], *,
+                           perf: "PerfRecorder | None" = None) -> Clog2File:
+    """Dedup definitions, correct timestamps, and k-way merge records
+    from already-parsed partials (shared strict/salvage merge core)."""
+    definitions = dedup_definitions(p.definitions for p in partials)
+    num_ranks = max((p.rank + 1 for p in partials), default=0)
     resolution = partials[0].clock_resolution if partials else 1e-6
-    for part in partials:
-        num_ranks = max(num_ranks, part.rank + 1)
-        for d in part.definitions:
-            key = definition_key(d)
-            if key not in seen:
-                seen.add(key)
-                definitions.append(d)
-        model = CorrectionModel(part.sync_points)
-        for rec in part.records:
-            t = model.correct(rec.timestamp)
-            if isinstance(rec, BareEvent):
-                fixed: LogRecord = BareEvent(t, rec.rank, rec.event_id, rec.text)
-            else:
-                fixed = MsgEvent(t, rec.rank, rec.kind, rec.other_rank,
-                                 rec.tag, rec.size)
-            merged.append((t, part.rank, fixed))
-    merged.sort(key=lambda item: (item[0], item[1]))
-    return Clog2File(resolution, num_ranks, definitions,
-                     [rec for _, _, rec in merged])
+    streams = [rank_stream(p.rank, p.records, p.sync_points)
+               for p in partials]
+    records = list(merged_records(streams))
+    if perf is not None:
+        perf.count("merge", records=len(records))
+    return Clog2File(resolution, num_ranks, definitions, records)
 
 
-def merge_partials(base_path: str, out_path: str | None = None) -> Clog2File:
-    """Post-mortem merge of per-rank partials into one CLOG2.
+def merge_partial_logs(base_path: str, out_path: str | None = None, *,
+                       errors: str = "strict",
+                       expected_ranks: int | None = None,
+                       crashed_ranks: "dict[int, float | None] | None" = None,
+                       perf: "PerfRecorder | None" = None) -> MergeResult:
+    """Post-mortem merge of per-rank partials into one CLOG2 — the one
+    entry point.
 
     Equivalent to what ``MPE_Finish_log`` would have produced up to the
     last checkpoint before the abort.  Writes ``out_path`` (default:
-    the base path itself) and returns the merged log.
+    the base path itself).
 
-    This is the *strict* merge: a corrupt partial raises.  Use
-    :func:`merge_partials_tolerant` to salvage whatever survives a
-    messy crash.
+    ``errors="strict"`` raises on a missing or corrupt partial and
+    returns ``(log, None)``.  ``errors="salvage"`` salvages every
+    readable partial, skips the unreadable, and returns
+    ``(log, report)`` saying exactly what happened; ``expected_ranks``
+    widens the missing-rank check beyond the highest rank seen (an
+    all-ranks-crashed run may have no partial for the top ranks at
+    all), and ``crashed_ranks`` annotates the report with crash times
+    from a fault plan or an :class:`~repro.vmpi.errors.AbortedError`
+    so the viewers can mark the timelines.
     """
+    _check_errors_mode(errors)
+    if errors == "salvage":
+        return MergeResult(*_merge_partials_salvage(
+            base_path, out_path, expected_ranks=expected_ranks,
+            crashed_ranks=crashed_ranks, perf=perf))
     paths = find_partials(base_path)
     if not paths:
         raise FileNotFoundError(
             f"no partial logs found for {base_path!r} "
             f"(pattern {base_path}.rankNNNN.part)")
-    partials = [read_partial(p) for p in paths]
-    log = _merge_partial_objects(partials)
-    write_clog2(out_path or base_path, log)
-    return log
+    if perf is not None:
+        with perf.stage("merge"):
+            partials = [read_partial_log(p).partial for p in paths]
+            log = _merge_partial_objects(partials, perf=perf)
+    else:
+        partials = [read_partial_log(p).partial for p in paths]
+        log = _merge_partial_objects(partials)
+    write_clog2(out_path or base_path, log, perf=perf)
+    return MergeResult(log, None)
 
 
 # -- tolerant salvage (the crash-tolerant pipeline) -------------------------
 
 
-def read_partial_tolerant(path: str) -> "tuple[Partial, object]":
-    """Parse either partial layout, skipping torn/corrupt spans.
-
-    Returns ``(Partial, RecoveryReport)``.  A file too damaged to
-    identify (no readable header) yields a ``Partial`` with
-    ``rank == -1`` and everything accounted as dropped.
-    """
+def _read_partial_salvage(path: str) -> "tuple[Partial, RecoveryReport]":
     from repro.mpe.clog2 import parse_clog2_bytes_tolerant
     from repro.mpe.recovery import RecoveryReport
 
@@ -313,7 +349,8 @@ def read_partial_tolerant(path: str) -> "tuple[Partial, object]":
                     clog.clock_resolution), report)
 
 
-def _read_append_partial_tolerant(data: bytes, report, source: str) -> "tuple[Partial, object]":
+def _read_append_partial_tolerant(data: bytes, report, source: str
+                                  ) -> "tuple[Partial, RecoveryReport]":
     from repro.mpe.clog2 import read_items_tolerant
 
     if len(data) < _AHDR.size:
@@ -369,21 +406,11 @@ def _read_append_partial_tolerant(data: bytes, report, source: str) -> "tuple[Pa
     return Partial(rank, sync_points, definitions, records, resolution), report
 
 
-def merge_partials_tolerant(base_path: str, out_path: str | None = None, *,
-                            expected_ranks: int | None = None,
-                            crashed_ranks: "dict[int, float | None] | None" = None
-                            ) -> "tuple[Clog2File, object]":
-    """Best-effort post-mortem merge: salvage every readable partial,
-    skip the unreadable, and say exactly what happened.
-
-    Returns ``(Clog2File, RecoveryReport)`` and writes the merged log
-    to ``out_path`` (default: the base path).  ``expected_ranks``
-    widens the missing-rank check beyond the highest rank seen (an
-    all-ranks-crashed run may have no partial for the top ranks at
-    all); ``crashed_ranks`` annotates the report with crash times from
-    a fault plan or an :class:`~repro.vmpi.errors.AbortedError` so the
-    viewers can mark the timelines.
-    """
+def _merge_partials_salvage(base_path: str, out_path: str | None, *,
+                            expected_ranks: int | None,
+                            crashed_ranks: "dict[int, float | None] | None",
+                            perf: "PerfRecorder | None" = None
+                            ) -> "tuple[Clog2File, RecoveryReport]":
     from repro.mpe.recovery import RecoveryReport
 
     report = RecoveryReport(source=os.path.basename(base_path))
@@ -395,7 +422,7 @@ def merge_partials_tolerant(base_path: str, out_path: str | None = None, *,
     usable: list[Partial] = []
     for p in paths:
         try:
-            part, sub = read_partial_tolerant(p)
+            part, sub = _read_partial_salvage(p)
         except OSError as exc:
             report.note(f"{os.path.basename(p)}: unreadable ({exc})")
             continue
@@ -407,7 +434,11 @@ def merge_partials_tolerant(base_path: str, out_path: str | None = None, *,
         report.note(f"{os.path.basename(p)}: rank {part.rank}, "
                     f"{len(part.records)} records, "
                     f"{len(part.sync_points)} sync points")
-    log = _merge_partial_objects(usable)
+    if perf is not None:
+        with perf.stage("merge"):
+            log = _merge_partial_objects(usable, perf=perf)
+    else:
+        log = _merge_partial_objects(usable)
     have = {part.rank for part in usable}
     width = max(expected_ranks or 0, (max(have) + 1) if have else 0)
     for rank in range(width):
@@ -418,8 +449,48 @@ def merge_partials_tolerant(base_path: str, out_path: str | None = None, *,
                         log.records)
     for rank, at in (crashed_ranks or {}).items():
         report.mark_crashed(rank, at)
-    write_clog2(out_path or base_path, log)
+    write_clog2(out_path or base_path, log, perf=perf)
     return log, report
+
+
+# -- deprecated aliases ------------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(f"{old} is deprecated; use {new}",
+                  DeprecationWarning, stacklevel=3)
+
+
+def read_partial(path: str) -> Partial:
+    """Deprecated alias for ``read_partial_log(path).partial``."""
+    _deprecated("read_partial", "read_partial_log(path)")
+    return read_partial_log(path).partial
+
+
+def read_partial_tolerant(path: str) -> "tuple[Partial, RecoveryReport]":
+    """Deprecated alias for ``read_partial_log(path, errors='salvage')``."""
+    _deprecated("read_partial_tolerant",
+                "read_partial_log(path, errors='salvage')")
+    return tuple(read_partial_log(path, errors="salvage"))
+
+
+def merge_partials(base_path: str, out_path: str | None = None) -> Clog2File:
+    """Deprecated alias for ``merge_partial_logs(...).log``."""
+    _deprecated("merge_partials", "merge_partial_logs(base_path)")
+    return merge_partial_logs(base_path, out_path).log
+
+
+def merge_partials_tolerant(base_path: str, out_path: str | None = None, *,
+                            expected_ranks: int | None = None,
+                            crashed_ranks: "dict[int, float | None] | None" = None
+                            ) -> "tuple[Clog2File, RecoveryReport]":
+    """Deprecated alias for
+    ``merge_partial_logs(..., errors='salvage')``."""
+    _deprecated("merge_partials_tolerant",
+                "merge_partial_logs(base_path, errors='salvage')")
+    return tuple(merge_partial_logs(
+        base_path, out_path, errors="salvage",
+        expected_ranks=expected_ranks, crashed_ranks=crashed_ranks))
 
 
 def cleanup_partials(base_path: str) -> int:

@@ -69,6 +69,7 @@ from repro.pilot.errors import (
 from repro.pilot.objects import PI_BUNDLE, PI_CHANNEL, PI_PROCESS
 from repro.pilot.program import PilotCosts, PilotOptions, PilotRun, current_run
 from repro.pilot.runner import PilotResult, run_pilot
+from repro.pilot.services import ServiceOptions, load_fault_plan
 
 __all__ = [
     "PI_MAIN",
@@ -86,6 +87,7 @@ __all__ = [
     "PilotOptions",
     "PilotResult",
     "PilotRun",
+    "ServiceOptions",
     "PI_Abort",
     "PI_Broadcast",
     "PI_ChannelHasData",
@@ -113,5 +115,6 @@ __all__ = [
     "PI_TrySelect",
     "PI_Write",
     "current_run",
+    "load_fault_plan",
     "run_pilot",
 ]

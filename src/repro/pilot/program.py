@@ -28,6 +28,7 @@ from repro.pilot.objects import (
     PI_PROCESS,
     _MainHandle,
 )
+from repro.pilot.services import ServiceOptions, parse_service_letters
 from repro.vmpi.comm import INTERNAL_TAG_BASE, Communicator
 
 # Tag used by the service-rank feed (native log, deadlock events, DONE).
@@ -61,9 +62,15 @@ class PilotOptions:
     ``-pisvc=<letters>`` selects services: ``c`` native call log, ``d``
     deadlock detection, ``j`` Jumpshot (MPE) logging — combinable, e.g.
     ``-pisvc=cj`` (paper Section III.C).  ``s`` runs the pilotcheck
-    static analyzer before launch (this repo's addition; ``c`` was
-    already taken by the native call log).  ``-picheck=<0..3>`` selects
-    the error-check level.
+    static analyzer before launch and ``p`` records pipeline perf
+    counters (this repo's additions; ``c`` was already taken by the
+    native call log).  ``-picheck=<0..3>`` selects the error-check
+    level; ``-pifault-plan=PATH`` loads a JSON fault plan.
+
+    The letter set is kept as the ``services`` frozenset for
+    compatibility; :attr:`service_options` exposes the same selection
+    as named :class:`~repro.pilot.services.ServiceOptions` flags, which
+    is what the runner and the logging hooks consume.
     """
 
     services: frozenset[str] = frozenset()
@@ -71,13 +78,19 @@ class PilotOptions:
     native_log_path: str = "pilot_native.log"
     mpe_log_path: str = "pilot_mpe.clog2"
     mpe_available: bool = True  # "built with MPE" (conditional compilation)
+    fault_plan_path: str | None = None
+
+    @property
+    def service_options(self) -> ServiceOptions:
+        return ServiceOptions.from_letters(
+            self.services, fault_plan_path=self.fault_plan_path)
 
     @property
     def needs_service_rank(self) -> bool:
         """The native log and deadlock detector share one dedicated rank
         (paper Section I: the central logging process is "the same one
         running the deadlock detector")."""
-        return bool(self.services & {"c", "d"})
+        return self.service_options.needs_service_rank
 
     @property
     def mpe_requested(self) -> bool:
@@ -86,6 +99,15 @@ class PilotOptions:
     @property
     def mpe_enabled(self) -> bool:
         return self.mpe_requested and self.mpe_available
+
+    @property
+    def perf_requested(self) -> bool:
+        return "p" in self.services
+
+    @property
+    def perf_snapshot_path(self) -> str:
+        """Where the ``p`` service dumps its counters (next to the MPE log)."""
+        return self.mpe_log_path + ".perf.json"
 
 
 def parse_argv(argv: list[str] | tuple[str, ...],
@@ -98,15 +120,13 @@ def parse_argv(argv: list[str] | tuple[str, ...],
     opts = base or PilotOptions()
     services = set(opts.services)
     check = opts.check_level
+    fault_plan = opts.fault_plan_path
     leftover: list[str] = []
     for arg in argv:
         if arg.startswith("-pisvc="):
-            letters = arg.split("=", 1)[1]
-            bad = set(letters) - {"c", "d", "j", "s"}
-            if bad:
-                raise PilotError(Diagnostic(
-                    "BAD_OPTION", f"unknown -pisvc letters {sorted(bad)}", None, -1))
-            services |= set(letters)
+            services |= parse_service_letters(arg.split("=", 1)[1])
+        elif arg.startswith("-pifault-plan="):
+            fault_plan = arg.split("=", 1)[1]
         elif arg.startswith("-picheck="):
             try:
                 check = int(arg.split("=", 1)[1])
@@ -121,7 +141,7 @@ def parse_argv(argv: list[str] | tuple[str, ...],
     new_opts = PilotOptions(
         services=frozenset(services), check_level=check,
         native_log_path=opts.native_log_path, mpe_log_path=opts.mpe_log_path,
-        mpe_available=opts.mpe_available)
+        mpe_available=opts.mpe_available, fault_plan_path=fault_plan)
     return new_opts, leftover
 
 

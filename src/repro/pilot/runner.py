@@ -36,6 +36,7 @@ class PilotResult:
 
     run: PilotRun
     vmpi: RunResult
+    perf: "Any | None" = None  # PerfRecorder when -pisvc=p was on
 
     @property
     def ok(self) -> bool:
@@ -99,16 +100,30 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
     ``faults`` takes a :class:`repro.vmpi.faults.FaultPlan`: the run is
     then subjected to its seeded message faults, injected crashes and
     clock skews — the chaos harness under ``tests/chaos`` drives every
-    example app this way.
+    example app this way.  ``-pifault-plan=PATH`` loads the same thing
+    from JSON when no plan is passed in code.
     """
     opts, app_argv = parse_argv(argv, options)
+    svc = opts.service_options
+
+    if faults is None and svc.fault_plan_path is not None:
+        from repro.pilot.services import load_fault_plan
+
+        faults = load_fault_plan(svc.fault_plan_path)
+
+    perf = None
+    if svc.perf:
+        from repro.perf import PerfRecorder
+
+        perf = PerfRecorder(meta={"nprocs": nprocs,
+                                  "services": "".join(sorted(svc.letters))})
 
     # -pisvc=s: run the static analyzer over main before launching.
     # Advisory only — findings are printed (and kept on the result's
     # run object), never fatal: the analyzer must not break a run it
     # cannot understand.
     static_findings: list = []
-    if "s" in opts.services:
+    if svc.static_check:
         try:
             from repro.pilotcheck import analyze_program
 
@@ -127,14 +142,14 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
     run.app_argv = app_argv
     run.static_findings = static_findings  # type: ignore[attr-defined]
 
-    if opts.needs_service_rank:
+    if svc.needs_service_rank:
         run.hooks.add(ServiceFeedHook(run))
-    if opts.mpe_requested:
+    if svc.jumpshot:
         if opts.mpe_available:
             # Imported lazily: pilotlog builds on pilot, not vice versa.
             from repro.pilotlog.integration import JumpshotLoggerHook
 
-            run.hooks.add(JumpshotLoggerHook(run, mpe_options))
+            run.hooks.add(JumpshotLoggerHook(run, mpe_options, perf=perf))
         else:
             # Paper Section III.C: requesting -pisvc=j without MPE built
             # in produces a warning, not an error.
@@ -164,4 +179,6 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
                 print("PILOT CHECK: predicted this deadlock: "
                       f"{finding.render()}", file=sys.stderr)
         raise
-    return PilotResult(run, vres)
+    if perf is not None:
+        perf.dump(opts.perf_snapshot_path)
+    return PilotResult(run, vres, perf)

@@ -1,0 +1,156 @@
+"""Structured service selection: the one ``-pisvc`` parser.
+
+Pilot selects optional services with ``-pisvc=<letters>`` (paper
+Section III.C).  Historically each consumer re-derived meaning from the
+raw letter set; this module is now the single place where letters are
+validated and given names.  Everything that needs to know *which*
+services are on — the runner, the Jumpshot logging hook, the
+pilotcheck integration — works from a :class:`ServiceOptions` value,
+and every unknown letter produces the same one error message, raised
+here and nowhere else.
+
+=======  ==================  ============================================
+letter   flag                service
+=======  ==================  ============================================
+``c``    ``native_log``      native call log on a dedicated service rank
+``d``    ``deadlock``        deadlock detection on the same rank
+``j``    ``jumpshot``        MPE logging for Jumpshot
+``s``    ``static_check``    pilotcheck static analysis before launch
+``p``    ``perf``            pipeline perf counters (written as JSON
+                             next to the MPE log)
+=======  ==================  ============================================
+
+A deterministic fault plan can ride along via
+``-pifault-plan=PATH`` pointing at a JSON file (see
+:func:`load_fault_plan`), so chaos runs are launchable from the
+command line without code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.pilot.errors import Diagnostic, PilotError
+
+#: letter -> ServiceOptions flag name, in canonical display order.
+SERVICE_LETTERS: dict[str, str] = {
+    "c": "native_log",
+    "d": "deadlock",
+    "j": "jumpshot",
+    "s": "static_check",
+    "p": "perf",
+}
+
+
+def parse_service_letters(letters: Iterable[str]) -> frozenset[str]:
+    """Validate ``-pisvc`` letters; THE unknown-letter error lives here."""
+    letter_set = set(letters)
+    bad = letter_set - set(SERVICE_LETTERS)
+    if bad:
+        raise PilotError(Diagnostic(
+            "BAD_OPTION", f"unknown -pisvc letters {sorted(bad)}", None, -1))
+    return frozenset(letter_set)
+
+
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Which Pilot services a run has switched on, by name.
+
+    Built from letters with :meth:`from_letters`; converted back with
+    :attr:`letters` (which is how the compatibility
+    ``PilotOptions.services`` frozenset is fed).
+    """
+
+    native_log: bool = False
+    deadlock: bool = False
+    jumpshot: bool = False
+    static_check: bool = False
+    perf: bool = False
+    fault_plan_path: str | None = None
+
+    @classmethod
+    def from_letters(cls, letters: Iterable[str], *,
+                     fault_plan_path: str | None = None) -> "ServiceOptions":
+        valid = parse_service_letters(letters)
+        flags = {flag: (letter in valid)
+                 for letter, flag in SERVICE_LETTERS.items()}
+        return cls(fault_plan_path=fault_plan_path, **flags)
+
+    def with_letters(self, letters: Iterable[str]) -> "ServiceOptions":
+        """A copy with the given letters additionally switched on."""
+        valid = parse_service_letters(letters)
+        on = {SERVICE_LETTERS[letter]: True for letter in valid}
+        return replace(self, **on)
+
+    @property
+    def letters(self) -> frozenset[str]:
+        return frozenset(letter for letter, flag in SERVICE_LETTERS.items()
+                         if getattr(self, flag))
+
+    @property
+    def needs_service_rank(self) -> bool:
+        """The native log and deadlock detector share one dedicated rank
+        (paper Section I: the central logging process is "the same one
+        running the deadlock detector")."""
+        return self.native_log or self.deadlock
+
+    def __str__(self) -> str:
+        on = "".join(sorted(self.letters))
+        return f"-pisvc={on}" if on else "(no services)"
+
+
+def load_fault_plan(path: str):
+    """Load a :class:`repro.vmpi.faults.FaultPlan` from a JSON file.
+
+    Schema::
+
+        {"seed": 7,
+         "rules": [
+           {"kind": "message", "action": "drop", "src": 0, ...},
+           {"kind": "crash", "rank": 1, "at": 0.5, ...},
+           {"kind": "clock", "rank": 2, "offset": 1e-3, ...}]}
+
+    Rule fields beyond ``kind`` map 1:1 onto the dataclass fields of
+    :class:`~repro.vmpi.faults.MessageFault`,
+    :class:`~repro.vmpi.faults.CrashFault` and
+    :class:`~repro.vmpi.faults.ClockFault`; their own validation
+    applies.  Raises :class:`~repro.vmpi.faults.FaultPlanError` on a
+    malformed plan.
+    """
+    import json
+
+    from repro.vmpi.faults import (
+        ClockFault,
+        CrashFault,
+        FaultPlan,
+        FaultPlanError,
+        MessageFault,
+    )
+
+    kinds = {"message": MessageFault, "crash": CrashFault,
+             "clock": ClockFault}
+    with open(path) as fh:
+        try:
+            data = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(data, dict):
+        raise FaultPlanError(f"{path}: fault plan must be a JSON object")
+    rules = []
+    for i, raw in enumerate(data.get("rules", [])):
+        if not isinstance(raw, dict) or "kind" not in raw:
+            raise FaultPlanError(
+                f"{path}: rule #{i} must be an object with a 'kind'")
+        kind = raw["kind"]
+        cls = kinds.get(kind)
+        if cls is None:
+            raise FaultPlanError(
+                f"{path}: rule #{i} has unknown kind {kind!r} "
+                f"(expected one of {sorted(kinds)})")
+        fields = {k: v for k, v in raw.items() if k != "kind"}
+        try:
+            rules.append(cls(**fields))
+        except TypeError as exc:
+            raise FaultPlanError(f"{path}: rule #{i}: {exc}") from None
+    return FaultPlan(seed=int(data.get("seed", 0)), rules=rules)

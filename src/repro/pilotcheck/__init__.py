@@ -25,6 +25,7 @@ from repro.pilotcheck.capture import (
     capture_program,
 )
 from repro.pilotcheck.findings import CODES, Finding, render_findings
+from repro.pilotcheck.sarif import sarif_json, to_sarif
 from repro.pilotcheck.integrate import (
     annotate_doc,
     annotation_lines,
@@ -57,4 +58,6 @@ __all__ = [
     "lint_slog2_doc",
     "match_deadlock",
     "render_findings",
+    "sarif_json",
+    "to_sarif",
 ]

@@ -2,12 +2,14 @@
 
 Subcommands::
 
-    analyze MODULE:CALLABLE [--nprocs N] [--pilot-arg ARG]...
-    lint-trace FILE [FILE...] [--strict]
+    analyze MODULE:CALLABLE [--nprocs N] [--pilot-arg ARG]... [--format F]
+    lint-trace FILE [FILE...] [--strict] [--format F]
     codes
 
-Exit status: 0 clean, 1 warnings only (or any finding under
-``--strict``), 2 errors.
+``--format sarif`` prints findings as a SARIF 2.1.0 log on stdout (for
+CI ingestion); the default ``text`` keeps the human rendering.  Exit
+status: 0 clean, 1 warnings only (or any finding under ``--strict``),
+2 errors — identical in both formats.
 """
 
 from __future__ import annotations
@@ -63,9 +65,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"configuration phase failed: {exc.args[0].render()}",
               file=sys.stderr)
         return 2
-    print(analysis.render())
-    for note in analysis.notes:
-        print(f"  note: {note}")
+    if args.format == "sarif":
+        from repro.pilotcheck.sarif import sarif_json
+
+        print(sarif_json(analysis.findings), end="")
+    else:
+        print(analysis.render())
+        for note in analysis.notes:
+            print(f"  note: {note}")
     return _exit_code(analysis.findings, args.strict)
 
 
@@ -73,6 +80,22 @@ def _cmd_lint_trace(args: argparse.Namespace) -> int:
     from repro.pilotcheck.tracelint import lint_path
 
     worst = 0
+    if args.format == "sarif":
+        import json
+
+        from repro.pilotcheck.sarif import to_sarif
+
+        log = None
+        for path in args.files:
+            findings = lint_path(path)
+            one = to_sarif(findings, artifact=path)
+            if log is None:
+                log = one
+            else:
+                log["runs"][0]["results"] += one["runs"][0]["results"]
+            worst = max(worst, _exit_code(findings, args.strict))
+        print(json.dumps(log, indent=2, sort_keys=True))
+        return worst
     for path in args.files:
         findings = lint_path(path)
         if findings:
@@ -107,6 +130,9 @@ def main(argv: list[str] | None = None) -> int:
                            "(repeatable; e.g. --pilot-arg=-pisvc=d)")
     p_an.add_argument("--strict", action="store_true",
                       help="non-zero exit on warnings too")
+    p_an.add_argument("--format", choices=("text", "sarif"),
+                      default="text",
+                      help="output format (sarif = SARIF 2.1.0 JSON)")
     p_an.set_defaults(func=_cmd_analyze)
 
     p_lt = sub.add_parser("lint-trace",
@@ -114,6 +140,9 @@ def main(argv: list[str] | None = None) -> int:
     p_lt.add_argument("files", nargs="+", metavar="FILE")
     p_lt.add_argument("--strict", action="store_true",
                       help="non-zero exit on warnings too")
+    p_lt.add_argument("--format", choices=("text", "sarif"),
+                      default="text",
+                      help="output format (sarif = SARIF 2.1.0 JSON)")
     p_lt.set_defaults(func=_cmd_lint_trace)
 
     p_codes = sub.add_parser("codes",

@@ -191,11 +191,13 @@ def _check_formats(captured: CapturedProgram, rank_ops: dict[int, RankOps],
             wildcard_write = wildcard_read = True
         for op in ro.ops:
             if op.fmt_error is not None:
+                pos = getattr(op.fmt_error, "pos", None)
                 findings.append(Finding(
                     "PC001",
                     f"malformed format string passed to {op.func}: "
                     f"{op.fmt_error}",
-                    callsite=op.callsite, rank=op.rank))
+                    callsite=op.callsite, rank=op.rank,
+                    char_range=None if pos is None else (pos, pos + 1)))
                 continue
             if op.kind == "write" and op.channels is None:
                 wildcard_write = True
@@ -233,30 +235,38 @@ def _check_formats(captured: CapturedProgram, rank_ops: dict[int, RankOps],
             continue
         wop, wsig = writes[cid][0]
         rop, rsig = reads[cid][0]
-        detail = _mismatch_detail(wop, rop)
+        detail, span = _mismatch_detail(wop, rop)
         findings.append(Finding(
             "PC001",
             f"write end sends {sorted(wsigs)} but read end expects "
             f"{sorted(rsigs)} — no format in common{detail}; "
             f"write at {wop.callsite}, read at {rop.callsite}",
-            callsite=rop.callsite, obj=_chan_desc(chan)))
+            callsite=rop.callsite, obj=_chan_desc(chan), char_range=span))
     return findings
 
 
-def _mismatch_detail(wop: CommOp, rop: CommOp) -> str:
-    """Pinpoint the first differing conversion using parse offsets."""
+def _mismatch_detail(wop: CommOp,
+                     rop: CommOp) -> tuple[str, tuple[int, int] | None]:
+    """Pinpoint the first differing conversion using parse offsets.
+
+    Returns the human-readable detail plus the character span of the
+    offending item in the *read* format string (the finding's anchor),
+    so SARIF output can point at the exact conversion.
+    """
     if not wop.items or not rop.items:
-        return ""
+        return "", None
     for wi, ri in zip(wop.items, rop.items):
         if wi.signature() != ri.signature():
-            return (f" (first mismatch: wrote %{wi.signature()} at offset "
+            text = (f" (first mismatch: wrote %{wi.signature()} at offset "
                     f"{wi.pos} of {wop.fmt!r}, read %{ri.signature()} at "
                     f"offset {ri.pos} of {rop.fmt!r})")
+            return text, (ri.pos, ri.pos + len(ri.signature()))
     shorter = "write" if len(wop.items) < len(rop.items) else "read"
     longer_items = (rop.items if shorter == "write" else wop.items)
     extra = longer_items[min(len(wop.items), len(rop.items))]
-    return (f" (the {shorter} format ends before the %{extra.signature()} "
+    text = (f" (the {shorter} format ends before the %{extra.signature()} "
             f"item at offset {extra.pos})")
+    return text, (extra.pos, extra.pos + len(extra.signature()))
 
 
 # ---------------------------------------------------------------------------

@@ -45,6 +45,10 @@ class Finding:
     rank: int | None = None
     obj: str | None = None  # channel/process/bundle display name
     ranks: tuple[int, ...] = field(default=())  # PC003 cycle members
+    # Character span inside the offending format string (from
+    # FormatItem.pos / FormatError.pos); machine-readable twin of the
+    # "at offset N" phrasing in the message.  SARIF regions reuse it.
+    char_range: tuple[int, int] | None = None
 
     def render(self) -> str:
         parts = [self.code]

@@ -1,0 +1,117 @@
+"""SARIF 2.1.0 output for pilotcheck findings.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what CI platforms ingest to annotate pull requests with analyzer
+results.  This module turns :class:`~repro.pilotcheck.findings.Finding`
+lists into a single-run SARIF log: the stable ``PCnnn``/``TRnnn``
+catalogue becomes the rule table, callsites become physical locations,
+and the character offsets the format checker already tracks
+(``FormatItem.pos`` / ``FormatError.pos``, surfaced as
+``Finding.char_range``) become character regions, so a viewer can
+highlight the exact conversion spec that mismatched.
+
+Nothing here is pilot-specific beyond the catalogue: plain dicts in,
+``json.dumps`` out, no dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.pilotcheck.findings import CODES, Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+_TOOL_URI = "https://github.com/anl/pilot-log-visualization"
+
+
+def _rules() -> list[dict]:
+    """The code catalogue as SARIF reportingDescriptors, sorted by id."""
+    rules = []
+    for code, (meaning, severity) in sorted(CODES.items()):
+        rules.append({
+            "id": code,
+            "shortDescription": {"text": meaning},
+            "defaultConfiguration": {"level": severity},
+        })
+    return rules
+
+
+def _location(finding: Finding, artifact: str | None) -> dict | None:
+    """Physical location: the callsite when there is one, else the
+    analyzed artifact (e.g. the trace file lint-trace was pointed at)."""
+    region: dict = {}
+    if finding.callsite is not None:
+        uri = finding.callsite.filename
+        if finding.callsite.lineno > 0:
+            region["startLine"] = finding.callsite.lineno
+    elif artifact is not None:
+        uri = artifact
+    else:
+        return None
+    if finding.char_range is not None:
+        start, end = finding.char_range
+        # SARIF charOffset is 0-based, charLength a count — exactly the
+        # FormatItem.pos convention.
+        region["charOffset"] = start
+        region["charLength"] = max(1, end - start)
+    loc: dict = {"physicalLocation": {"artifactLocation": {"uri": uri}}}
+    if region:
+        loc["physicalLocation"]["region"] = region
+    return loc
+
+
+def _result(finding: Finding, rule_index: dict[str, int],
+            artifact: str | None) -> dict:
+    result: dict = {
+        "ruleId": finding.code,
+        "level": finding.severity,
+        "message": {"text": finding.render()},
+    }
+    if finding.code in rule_index:
+        result["ruleIndex"] = rule_index[finding.code]
+    loc = _location(finding, artifact)
+    if loc is not None:
+        result["locations"] = [loc]
+    props: dict = {}
+    if finding.rank is not None:
+        props["rank"] = finding.rank
+    if finding.ranks:
+        props["ranks"] = list(finding.ranks)
+    if finding.obj:
+        props["object"] = finding.obj
+    if props:
+        result["properties"] = props
+    return result
+
+
+def to_sarif(findings: list[Finding], *,
+             artifact: str | None = None) -> dict:
+    """Build one SARIF 2.1.0 log dict from a finding list.
+
+    ``artifact`` names the analyzed file (a trace, say) and anchors
+    findings that carry no callsite of their own.
+    """
+    rules = _rules()
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "pilotcheck",
+                "informationUri": _TOOL_URI,
+                "rules": rules,
+            }},
+            "results": [_result(f, rule_index, artifact)
+                        for f in findings],
+        }],
+    }
+
+
+def sarif_json(findings: list[Finding], *,
+               artifact: str | None = None) -> str:
+    """:func:`to_sarif` serialized, trailing newline included."""
+    return json.dumps(to_sarif(findings, artifact=artifact),
+                      indent=2, sort_keys=True) + "\n"

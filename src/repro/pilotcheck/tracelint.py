@@ -15,12 +15,7 @@ from __future__ import annotations
 import os
 from collections import defaultdict, deque
 
-from repro.mpe.clog2 import (
-    Clog2File,
-    Clog2FormatError,
-    read_clog2,
-    read_clog2_tolerant,
-)
+from repro.mpe.clog2 import Clog2File, Clog2FormatError, read_log
 from repro.mpe.records import RECV, SEND, BareEvent, EventDef, MsgEvent, StateDef
 from repro.pilotcheck.findings import Finding
 
@@ -210,14 +205,14 @@ def lint_clog2(path: str) -> list[Finding]:
     findings: list[Finding] = []
     crashed: dict[int, float | None] = {}
     try:
-        log = read_clog2(path)
+        log = read_log(path).log
     except FileNotFoundError:
         return [Finding("TR005", f"{path}: no such file")]
     except Clog2FormatError as exc:
         findings.append(Finding(
             "TR005",
             f"strict parse failed ({exc}); file is damaged or truncated"))
-        log, report = read_clog2_tolerant(path)
+        log, report = read_log(path, errors="salvage")
         findings.extend(lint_recovery(log, report))
         crashed = dict(report.crashed_ranks)
     findings.extend(lint_clog2_records(log, crashed_ranks=crashed))
@@ -301,16 +296,15 @@ def lint_path(path: str) -> list[Finding]:
     if magic == b"SLOG2PY1":
         return lint_slog2(path)
     if magic in (b"CLOGPART", b"CLOGPARA"):
-        from repro.mpe.recovery import RecoveryReport
-        from repro.mpe.salvage import read_partial_tolerant
+        from repro.mpe.salvage import read_partial_log
 
-        report = RecoveryReport(source=os.path.basename(path))
-        partial = read_partial_tolerant(path, report)
+        partial, report = read_partial_log(path, errors="salvage")
+        assert report is not None
         findings = [Finding(
             "TR005",
             f"{rng.source}: bytes {rng.start}..{rng.end} dropped "
             f"({rng.reason})") for rng in report.dropped_ranges]
-        if partial is None:
+        if partial.rank < 0:
             findings.append(Finding(
                 "TR005", f"{path}: partial log unrecoverable"))
         return findings

@@ -37,6 +37,7 @@ from repro.pilotlog.taxonomy import DrawStyle, spec_for, solo_specs, state_specs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro._util.callsite import CallSite
+    from repro.perf import PerfRecorder
 
 
 @dataclass(frozen=True)
@@ -77,11 +78,13 @@ class _RankIds:
 class JumpshotLoggerHook(PilotHooks):
     """The ``-pisvc=j`` facility."""
 
-    def __init__(self, run: PilotRun, options: JumpshotOptions | None = None) -> None:
+    def __init__(self, run: PilotRun, options: JumpshotOptions | None = None,
+                 perf: "PerfRecorder | None" = None) -> None:
         self.run = run
         self.options = options or JumpshotOptions()
         self.mpe = MpeLogger(run.comm, self.options.mpe)
         self.report: MergeReport | None = None
+        self.perf = perf
         if self.options.salvage:
             # A crash is a world abort: every rank's buffer dies, not
             # just the aborting rank's.  The engine fires these hooks
@@ -295,7 +298,8 @@ class JumpshotLoggerHook(PilotHooks):
         self._ids()
         if self.options.sync_at_end:
             self.mpe.log_sync_clocks()
-        report = self.mpe.finish_log(self.run.options.mpe_log_path)
+        report = self.mpe.finish_log(self.run.options.mpe_log_path,
+                                     perf=self.perf)
         if self.options.salvage and rank == 0:
             # Normal finalize succeeded: the partials are redundant.
             from repro.mpe.salvage import cleanup_partials

@@ -10,7 +10,13 @@ Drawables, causality violations, unmatched halves), the byte-budgeted
 ``.slog2`` container.
 """
 
-from repro.slog2.convert import ARROW_CATEGORY_NAME, ConversionReport, convert
+from repro.slog2.convert import (
+    ARROW_CATEGORY_NAME,
+    ConversionReport,
+    StreamConverter,
+    convert,
+    convert_with_tree,
+)
 from repro.slog2.critical_path import CriticalPath, PathSegment, critical_path
 from repro.slog2.diff import CategoryDelta, LogDiff, diff_logs
 from repro.slog2.file import Slog2FormatError, read_slog2, write_slog2
@@ -46,8 +52,10 @@ __all__ = [
     "Slog2Doc",
     "Slog2FormatError",
     "State",
+    "StreamConverter",
     "compute_stats",
     "convert",
+    "convert_with_tree",
     "critical_path",
     "diff_logs",
     "drawable_span",

@@ -17,10 +17,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.mpe.clog2 import read_clog2
-from repro.slog2.convert import convert
+from repro.mpe.clog2 import read_log
+from repro.slog2.convert import convert_with_tree
 from repro.slog2.file import write_slog2
-from repro.slog2.frames import DEFAULT_FRAME_SIZE, FrameTree
+from repro.slog2.frames import DEFAULT_FRAME_SIZE
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,11 +44,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     out_path = args.output or _default_output(args.clog2)
-    clog = read_clog2(args.clog2)
-    doc, report = convert(clog)
-    # Exercise the frame tree now so a bad --frame-size fails here, in
-    # the conversion step, not later in the viewer.
-    tree = FrameTree(doc, frame_size=args.frame_size)
+    clog = read_log(args.clog2).log
+    # Conversion feeds the frame tree incrementally, so a bad
+    # --frame-size fails here, in the conversion step, not later in the
+    # viewer.
+    doc, report, tree = convert_with_tree(clog, frame_size=args.frame_size)
     write_slog2(out_path, doc)
 
     print(f"{args.clog2}: {len(doc.states)} states, {len(doc.events)} "

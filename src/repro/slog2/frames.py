@@ -84,7 +84,20 @@ class FrameNode:
 
 
 class FrameTree:
-    """Build and query the frame tree for one document."""
+    """Build and query the frame tree for one document.
+
+    Two construction paths produce the same queryable structure:
+
+    * ``FrameTree(doc)`` — eager: insert every drawable the document
+      already holds, then build previews.
+    * :meth:`for_span` + :meth:`insert` + :meth:`finalize` — streaming:
+      the converter pushes drawables in as it emits them (see
+      :func:`repro.slog2.convert.convert_with_tree`), so the tree never
+      needs the concatenated ``doc.drawables`` list.  ``for_span``
+      takes explicit time bounds because the root's extent must be
+      known before the first insert; a drawable outside the bounds is
+      still kept (it lives at the root, the straddle rule).
+    """
 
     def __init__(self, doc: Slog2Doc, frame_size: int = DEFAULT_FRAME_SIZE,
                  max_depth: int = 16) -> None:
@@ -102,6 +115,35 @@ class FrameTree:
         self._build_previews(self.root)
 
     # -- construction ------------------------------------------------------
+
+    @classmethod
+    def for_span(cls, t0: float, t1: float, *,
+                 frame_size: int = DEFAULT_FRAME_SIZE,
+                 max_depth: int = 16) -> "FrameTree":
+        """An empty tree over ``[t0, t1]``, ready for streaming
+        :meth:`insert` calls; call :meth:`finalize` when done."""
+        if frame_size < 256:
+            raise ValueError(f"frame_size must be >= 256 bytes, got {frame_size}")
+        tree = cls.__new__(cls)
+        tree.doc = None  # type: ignore[assignment]  # attached by finalize()
+        tree.frame_size = frame_size
+        tree.max_depth = max_depth
+        if t1 <= t0:
+            t1 = t0 + 1e-9
+        tree.root = FrameNode(t0, t1, 0)
+        return tree
+
+    def insert(self, drawable: Drawable) -> None:
+        """Place one drawable (streaming construction)."""
+        self._insert(self.root, drawable)
+
+    def finalize(self, doc: Slog2Doc | None = None) -> "FrameTree":
+        """Build previews after streaming inserts; optionally attach the
+        finished document."""
+        if doc is not None:
+            self.doc = doc
+        self._build_previews(self.root)
+        return self
 
     def _insert(self, node: FrameNode, drawable: Drawable) -> None:
         lo, hi = drawable_span(drawable)
