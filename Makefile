@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench chaos examples figures clean check lint
+.PHONY: install test bench chaos chaos-resume fsck examples figures clean check lint
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -28,6 +28,15 @@ bench:
 # (crash -> salvage -> merge -> convert -> render); see docs/robustness.md.
 chaos:
 	$(PY) -m pytest tests/chaos -q
+
+# Crash -> restart -> byte-identical recovery: the journal/checkpoint
+# round trip (see "Durability & recovery" in docs/robustness.md).
+chaos-resume:
+	$(PY) -m pytest tests/chaos/test_resume.py -q
+
+# Scan (and optionally repair) a log: make fsck FILE=run.clog2
+fsck:
+	$(PY) -m repro.mpe fsck $(FILE)
 
 # The five example scripts, end to end (artifacts under examples/out/).
 examples:

@@ -259,3 +259,68 @@ def test_p1_streaming_pipeline(comparison, tmp_path, artifacts_dir):
         f"streaming pipeline only {bench['largest_path_ratio']:.2f}x "
         f"faster on the w+m+c path at {LARGEST}; contract is "
         f">={MIN_PATH_RATIO}x")
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_p1_pipeline_with_crc_framing(comparison, tmp_path, artifacts_dir):
+    """The speed gate must survive durability: with version-2 CRC block
+    framing enabled on the streaming side, the write + merge + convert
+    path still beats the (un-framed) legacy path by the same ratio bar.
+    CRC32 over ~256 KiB flush slabs is nearly free; this pins that down
+    so the checksum option never silently becomes a perf regression."""
+    name, main, nprocs = next(s for s in SCALES if s[0] == LARGEST)
+    clog_path = str(tmp_path / f"{name}.clog2")
+    run_pilot(main, nprocs, argv=("-pisvc=j",),
+              options=PilotOptions(mpe_log_path=clog_path))
+    log = read_log(clog_path).log
+    records = len(log.records)
+    partials = _partials_from(log)
+
+    legacy_clog = str(tmp_path / f"{name}-legacy.clog2")
+    crc_clog = str(tmp_path / f"{name}-crc.clog2")
+
+    def merge_legacy():
+        legacy_write_clog2(legacy_clog, legacy_merge_partial_objects(partials))
+
+    def merge_streaming_crc():
+        streams = [rank_stream(p.rank, p.records, p.sync_points)
+                   for p in partials]
+        defs = dedup_definitions(p.definitions for p in partials)
+        with Clog2Writer(crc_clog, log.clock_resolution, len(partials),
+                         checksum=True) as writer:
+            writer.write_definitions(defs)
+            writer.write_retimed_records(merge_rank_streams(streams))
+
+    t_ml = _best(merge_legacy)
+    t_mn = _best(merge_streaming_crc)
+    merged = legacy_merge_partial_objects(partials)
+    t_cl = _best(lambda: legacy_convert(merged))
+    t_cn = _best(lambda: convert(merged))
+
+    # Byte identity cannot hold across format versions; the contract is
+    # record identity: the CRC-framed file de-frames to the same items
+    # the legacy merge produced.
+    framed = read_log(crc_clog).log
+    assert framed.definitions == merged.definitions
+    assert framed.records == merged.records
+
+    path = _stage(t_ml + t_cl, t_mn + t_cn, records)
+    table = comparison("P1-crc: w+m+c with CRC framing vs legacy "
+                       f"(best of {ROUNDS})")
+    table.add(f"{name} ({records} rec) w+m+c crc",
+              f">={MIN_PATH_RATIO}x",
+              f"{path['ratio']:.2f}x "
+              f"({path['records_per_s']['streaming']:,.0f} rec/s)")
+
+    out = os.path.join(artifacts_dir, "BENCH_pipeline_crc.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump({"benchmark": "P1 streaming pipeline, CRC framing",
+                   "rounds": ROUNDS, "scale": name, "records": records,
+                   "framed_bytes": os.path.getsize(crc_clog),
+                   "plain_bytes": os.path.getsize(legacy_clog),
+                   "path_write_merge_convert": path}, fh, indent=2)
+    print(f"\nwrote {out}")
+
+    assert path["ratio"] >= MIN_PATH_RATIO, (
+        f"CRC-framed streaming path only {path['ratio']:.2f}x faster at "
+        f"{name}; contract is >={MIN_PATH_RATIO}x")

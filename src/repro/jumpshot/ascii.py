@@ -29,8 +29,17 @@ DEFAULT_GLYPHS = {
 
 
 def render_ascii(view: View, width: int = 100, *, show_legend: bool = True,
-                 glyphs: dict[str, str] | None = None) -> str:
-    """Render the current window as fixed-width text."""
+                 glyphs: dict[str, str] | None = None,
+                 checkpoints: "list[float] | None" = None,
+                 replay_boundary: float | None = None) -> str:
+    """Render the current window as fixed-width text.
+
+    ``checkpoints`` adds a ruler row marking journal checkpoint
+    barriers with ``^``; ``replay_boundary`` marks the end of a resumed
+    run's journaled prefix with ``‖`` on the same ruler (and a caption).
+    Both default off, keeping the output byte-identical to earlier
+    versions.
+    """
     if width < 20:
         raise ValueError(f"width must be >= 20, got {width}")
     glyph_map = dict(DEFAULT_GLYPHS)
@@ -104,6 +113,26 @@ def render_ascii(view: View, width: int = 100, *, show_legend: bool = True,
             else:
                 row.append(".")
         lines.append(f"{view.rank_label(rank):>{label_w}}|{''.join(row)}")
+
+    if checkpoints or replay_boundary is not None:
+        ruler = ["."] * width
+        marked = 0
+        for t in checkpoints or []:
+            c = int((t - view.t0) / cell)
+            if 0 <= c < width:
+                ruler[c] = "^"
+                marked += 1
+        caption = f"journal: {marked} checkpoint(s)"
+        if replay_boundary is not None:
+            # Clamp into the window (see the SVG overlay): the boundary
+            # commonly lands just past the final drawable.
+            c = min(max(int((replay_boundary - view.t0) / cell), 0),
+                    width - 1)
+            ruler[c] = "‖"
+            caption += (f", replay boundary at "
+                        f"{format_seconds(replay_boundary)}")
+        lines.append(f"{'':>{label_w}}|{''.join(ruler)}")
+        lines.append(f"{'':>{label_w}}|{caption}")
 
     arrows = [d for d in drawables if isinstance(d, Arrow)]
     lines.append(f"{'':>{label_w}}|arrows in window: {len(arrows)}")

@@ -27,11 +27,14 @@ AXIS = "#c0c0c0"
 GRID = "#2a2a2a"
 SALVAGE = "#ffb300"  # amber warning banner for salvaged logs
 CRASH = "#ff5252"  # crashed-rank markers
+JOURNAL = "#00e5ff"  # checkpoint ticks and the replay-boundary line
 
 
 def render_svg(view: View, path: str | None = None, *, width: int = 1100,
                row_height: int = 36, legend: bool = True,
-               highlight_path=None, perf=None) -> str:
+               highlight_path=None, perf=None,
+               checkpoints: "list[float] | None" = None,
+               replay_boundary: float | None = None) -> str:
     """Render the view's current window; optionally write to ``path``.
 
     ``highlight_path`` takes a :class:`repro.slog2.CriticalPath`: its
@@ -40,19 +43,32 @@ def render_svg(view: View, path: str | None = None, *, width: int = 1100,
     determined the finish time is visible at a glance.  ``perf`` takes
     a :class:`repro.perf.PerfRecorder` and accounts a ``render-svg``
     stage (wall time + drawable count).
+
+    ``checkpoints`` (times from a run's journal checkpoint barriers)
+    draws a small cyan tick at the top of the plot for each; a resumed
+    run passes ``replay_boundary`` — the end of the journaled prefix —
+    which is drawn as a full-height cyan dashed line splitting the
+    timeline into its replayed and regenerated halves.  Both default
+    off, leaving the output byte-identical to earlier versions.
     """
     if perf is not None:
         with perf.stage("render-svg") as timer:
             svg = _render_svg(view, path, width=width, row_height=row_height,
-                              legend=legend, highlight_path=highlight_path)
+                              legend=legend, highlight_path=highlight_path,
+                              checkpoints=checkpoints,
+                              replay_boundary=replay_boundary)
             timer.count(bytes=len(svg))
         return svg
     return _render_svg(view, path, width=width, row_height=row_height,
-                       legend=legend, highlight_path=highlight_path)
+                       legend=legend, highlight_path=highlight_path,
+                       checkpoints=checkpoints,
+                       replay_boundary=replay_boundary)
 
 
 def _render_svg(view: View, path: str | None, *, width: int,
-                row_height: int, legend: bool, highlight_path) -> str:
+                row_height: int, legend: bool, highlight_path,
+                checkpoints: "list[float] | None" = None,
+                replay_boundary: float | None = None) -> str:
     legend_width = 330 if legend else 0
     canvas = Canvas(view.t0, view.t1, view.rows, view.row_weights,
                     width - legend_width, row_height=row_height)
@@ -77,6 +93,9 @@ def _render_svg(view: View, path: str | None, *, width: int,
     if highlight_path is not None:
         parts.append(_critical_overlay(view, canvas, highlight_path))
     parts.append(_salvage_overlay(view, canvas))
+    if checkpoints or replay_boundary is not None:
+        parts.append(_journal_overlay(view, canvas, checkpoints or [],
+                                      replay_boundary))
     parts.append(_annotation_overlay(view, canvas))
     if legend:
         parts.append(_legend_panel(view, width - legend_width + 10, total_h))
@@ -264,6 +283,41 @@ def _salvage_overlay(view: View, canvas: Canvas) -> str:
         parts.append(f'<text x="{x + 3:.2f}" y="{row.y_center + 4:.2f}" '
                      f'fill="{CRASH}" font-weight="bold">✕'
                      f'<title>{escape(label)}</title></text>')
+    return "\n".join(parts)
+
+
+def _journal_overlay(view: View, canvas: Canvas, checkpoints: list[float],
+                     replay_boundary: float | None) -> str:
+    """Durability annotations: a cyan tick per checkpoint barrier, and a
+    full-height dashed line where a resumed run's journaled prefix ends
+    (left of it the timeline was verified replay, right of it it was
+    regenerated)."""
+    parts: list[str] = []
+    top = canvas.margin_top - 6
+    bottom = canvas.height - 18
+    for t in sorted(checkpoints):
+        if not view.t0 <= t <= view.t1:
+            continue
+        x = canvas.x(t)
+        parts.append(f'<line x1="{x:.2f}" y1="{top}" x2="{x:.2f}" '
+                     f'y2="{top + 8}" stroke="{JOURNAL}" stroke-width="1.6">'
+                     f'<title>checkpoint at {t:.9f}s</title></line>')
+    if replay_boundary is not None:
+        # The journaled prefix often ends a hair past the final drawable
+        # (the last delivery outlives the last logged record), so clamp
+        # the marker into the window rather than dropping it — pinned at
+        # an edge it still says "everything you see was replayed" /
+        # "...was regenerated".
+        x = canvas.x(min(max(replay_boundary, view.t0), view.t1))
+        parts.append(f'<line x1="{x:.2f}" y1="{top}" x2="{x:.2f}" '
+                     f'y2="{bottom:.1f}" stroke="{JOURNAL}" '
+                     'stroke-width="1.2" stroke-dasharray="6,3" '
+                     'opacity="0.8"/>')
+        parts.append(f'<text x="{x + 4:.2f}" y="{top + 20}" '
+                     f'fill="{JOURNAL}">replay boundary'
+                     f'<title>journaled prefix ends at '
+                     f'{replay_boundary:.9f}s; the timeline to the right '
+                     'was regenerated by the resumed run</title></text>')
     return "\n".join(parts)
 
 

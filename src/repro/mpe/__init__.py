@@ -11,6 +11,7 @@ exactly as the paper laments.
 from repro.mpe.api import MergeReport, MpeLogger, MpeOptions, RankLog
 from repro.mpe.clocksync import CorrectionModel, SyncPoint, sync_clocks
 from repro.mpe.clog2 import (
+    Clog2ChecksumError,
     Clog2File,
     Clog2ReadResult,
     Clog2FormatError,
@@ -22,6 +23,7 @@ from repro.mpe.clog2 import (
     read_one_item,
     write_clog2,
 )
+from repro.mpe.fsck import FsckIssue, FsckReport, fsck_path
 from repro.mpe.recovery import DroppedRange, RecoveryReport
 from repro.mpe.salvage import (
     MergeResult,
@@ -50,6 +52,7 @@ __all__ = [
     "SEND",
     "TEXT_LIMIT",
     "BareEvent",
+    "Clog2ChecksumError",
     "Clog2File",
     "Clog2FormatError",
     "Clog2ReadResult",
@@ -57,6 +60,8 @@ __all__ = [
     "CorrectionModel",
     "DroppedRange",
     "EventDef",
+    "FsckIssue",
+    "FsckReport",
     "MergeReport",
     "MergeResult",
     "MpeLogger",
@@ -69,6 +74,7 @@ __all__ = [
     "StateDef",
     "SyncPoint",
     "definition_key",
+    "fsck_path",
     "iter_clog2",
     "merge_partial_logs",
     "merge_partials",

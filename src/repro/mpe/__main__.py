@@ -1,33 +1,61 @@
-"""``clog2_print`` — dump a CLOG2 file as text.
+"""CLOG2 maintenance CLI: ``print`` (clog2_print) and ``fsck``.
 
 Real MPE ships a ``clog2_print`` utility; the paper's preferred
 workflow leans on inspecting the CLOG2 intermediate when something
 looks wrong ("diagnosing problems with the log contents", Section
 II.A).  Usage::
 
-    python -m repro.mpe run.clog2 [--limit N] [--rank R] [--defs-only]
+    python -m repro.mpe print run.clog2 [--limit N] [--rank R] [--defs-only]
+    python -m repro.mpe fsck run.clog2 [--repair OUT] [--quarantine OUT]
+                                       [--json] [--perf]
+
+For compatibility with the original single-purpose CLI, a bare path
+still means ``print``: ``python -m repro.mpe run.clog2`` keeps working.
+``fsck`` exits 0 on a clean file and 1 when damage was found (repaired
+or not), so scripts can gate on it.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.mpe.clog2 import read_log
+from repro.mpe.fsck import fsck_path
 from repro.mpe.records import BareEvent, EventDef, MsgEvent, RankName, StateDef
+
+_COMMANDS = ("print", "fsck")
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.mpe",
-        description="Print a CLOG2 logfile (clog2_print).")
-    parser.add_argument("clog2", help="input .clog2 file")
-    parser.add_argument("--limit", type=int, default=None,
-                        help="print at most N records")
-    parser.add_argument("--rank", type=int, default=None,
-                        help="only records from this rank")
-    parser.add_argument("--defs-only", action="store_true",
-                        help="print the definition table and stop")
+        description="Inspect and repair CLOG2 logfiles.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("print",
+                       help="dump a CLOG2 logfile as text (clog2_print)")
+    p.add_argument("clog2", help="input .clog2 file")
+    p.add_argument("--limit", type=int, default=None,
+                   help="print at most N records")
+    p.add_argument("--rank", type=int, default=None,
+                   help="only records from this rank")
+    p.add_argument("--defs-only", action="store_true",
+                   help="print the definition table and stop")
+
+    f = sub.add_parser("fsck",
+                       help="scan/verify/repair a CLOG2 or partial log")
+    f.add_argument("path", help="input .clog2 or .part file")
+    f.add_argument("--repair", metavar="OUT", default=None,
+                   help="re-emit the surviving items as a clean log")
+    f.add_argument("--quarantine", metavar="OUT", default=None,
+                   help="copy damaged byte spans verbatim to a sidecar")
+    f.add_argument("--json", action="store_true",
+                   help="print the full report as JSON")
+    f.add_argument("--perf", action="store_true",
+                   help="write scan timings next to the input "
+                        "(<path>.fsck.perf.json)")
     return parser
 
 
@@ -53,8 +81,43 @@ def format_record(r) -> str:
             f"tag={r.tag} size={r.size}")
 
 
+def run_fsck(args) -> int:
+    perf = None
+    if args.perf:
+        from repro.perf import PerfRecorder
+
+        perf = PerfRecorder(meta={"tool": "fsck", "path": args.path})
+    report = fsck_path(args.path, repair_to=args.repair,
+                       quarantine_to=args.quarantine, perf=perf)
+    if perf is not None:
+        perf.dump(args.path + ".fsck.perf.json")
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        for issue in report.issues:
+            print(f"  {issue}")
+        for note in report.notes:
+            print(f"  note: {note}")
+        if report.repaired_to:
+            print(f"  repaired -> {report.repaired_to}")
+        if report.quarantined_to:
+            print(f"  quarantined -> {report.quarantined_to}")
+    return 0 if report.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Historical CLI compatibility: a bare path (or bare flags) means
+    # the original print command.
+    if not argv or argv[0] not in _COMMANDS:
+        if not (argv and argv[0] in ("-h", "--help")):
+            argv = ["print", *argv]
     args = build_parser().parse_args(argv)
+    if args.command == "fsck":
+        return run_fsck(args)
     log = read_log(args.clog2).log
     print(f"{args.clog2}: {len(log.records)} records over "
           f"{log.num_ranks} ranks, clock resolution "

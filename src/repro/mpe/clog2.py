@@ -8,6 +8,17 @@ we.  Layout:
 ``header`` — magic ``CLOG2PY1``, version u16, clock resolution f64,
 rank count i32, record count u32.
 
+Version 1 stores the item stream raw after the header.  Version 2
+(``checksum=True`` on the writers) frames the same item stream into
+CRC32-checked blocks: each block is ``length u32, crc32 u32`` followed
+by ``length`` bytes holding whole items (a block boundary never splits
+an item — blocks are exactly the writer's flush slabs).  The framing
+makes silent corruption detectable: a flipped byte anywhere in a block
+fails that block's checksum instead of decoding into a plausible but
+wrong record, and the salvage reader drops *exactly* the damaged block
+because the frame lengths tell it where the next one starts.  Old
+version-1 files remain readable byte-for-byte.
+
 Each record starts with a type byte:
 
 =====  ==========  =======================================================
@@ -52,6 +63,7 @@ from __future__ import annotations
 import io
 import struct
 import warnings
+import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, NamedTuple
 
@@ -71,6 +83,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 MAGIC = b"CLOG2PY1"
 VERSION = 1
+#: Header version of CRC32-block-framed files (``checksum=True``).
+CHECKSUM_VERSION = 2
+_KNOWN_VERSIONS = (VERSION, CHECKSUM_VERSION)
 
 _T_STATEDEF = 0x01
 _T_EVENTDEF = 0x02
@@ -79,6 +94,8 @@ _T_MSG = 0x04
 _T_RANKNAME = 0x05
 
 _HDR = struct.Struct("<8sHdiI")
+#: Version-2 block frame: payload length u32, crc32-of-payload u32.
+_BLOCK = struct.Struct("<II")
 _STATEDEF = struct.Struct("<ii")
 _EVENTDEF = struct.Struct("<i")
 _BARE = struct.Struct("<dii")
@@ -104,6 +121,31 @@ _READ_CHUNK = 1 << 20
 
 class Clog2FormatError(ValueError):
     """The bytes do not look like a CLOG2 file we wrote."""
+
+
+class Clog2ChecksumError(Clog2FormatError):
+    """A version-2 block's CRC32 does not match its payload."""
+
+
+class _BlockWriter:
+    """File-like adapter that frames every ``write`` as one CRC block.
+
+    The batched writers already call ``write`` only at item boundaries
+    (a flush slab always ends on a whole item), so one write = one
+    valid version-2 block.  Empty writes emit nothing.
+    """
+
+    __slots__ = ("_out",)
+
+    def __init__(self, out) -> None:
+        self._out = out
+
+    def write(self, data) -> int:
+        if not data:
+            return 0
+        self._out.write(_BLOCK.pack(len(data), zlib.crc32(data)))
+        self._out.write(data)
+        return len(data)
 
 
 def _pack_str(out: io.BufferedIOBase, s: str) -> None:
@@ -253,14 +295,18 @@ class Clog2Writer:
     """
 
     def __init__(self, path: str, clock_resolution: float, num_ranks: int, *,
+                 checksum: bool = False,
                  perf: "PerfRecorder | None" = None) -> None:
         self.path = path
+        self.checksum = checksum
         self.records_written = 0
         self.bytes_written = 0
         self._perf = perf
-        self._fh = open(path, "wb")
-        self._fh.write(_HDR.pack(MAGIC, VERSION, clock_resolution,
-                                 num_ranks, 0))
+        self._raw = open(path, "wb")
+        version = CHECKSUM_VERSION if checksum else VERSION
+        self._raw.write(_HDR.pack(MAGIC, version, clock_resolution,
+                                  num_ranks, 0))
+        self._fh = _BlockWriter(self._raw) if checksum else self._raw
         self._parts: list[bytes] = []
         self._pending = 0
 
@@ -351,14 +397,15 @@ class Clog2Writer:
         self.records_written += nrecords
 
     def close(self) -> None:
-        if self._fh.closed:
+        if self._raw.closed:
             return
         self._flush()
         # Patch the record count into the header (offset of the trailing
-        # u32 in "<8sHdiI").
-        self._fh.seek(_HDR.size - 4)
-        self._fh.write(struct.pack("<I", self.records_written))
-        self._fh.close()
+        # u32 in "<8sHdiI").  The header is never block-framed, so the
+        # patch goes straight to the file in both versions.
+        self._raw.seek(_HDR.size - 4)
+        self._raw.write(struct.pack("<I", self.records_written))
+        self._raw.close()
         if self._perf is not None:
             self._perf.count("clog2-write", records=self.records_written,
                              bytes=self.bytes_written)
@@ -370,26 +417,33 @@ class Clog2Writer:
         self.close()
 
 
-def write_clog2_to(fh, log: Clog2File, *,
+def write_clog2_to(fh, log: Clog2File, *, checksum: bool = False,
                    perf: "PerfRecorder | None" = None) -> None:
     """Serialise a whole CLOG2 image (header + items) to an open binary
     stream — the same bytes :func:`write_clog2` puts in a file.  The
     salvage partials embed CLOG2 bodies this way."""
-    fh.write(_HDR.pack(MAGIC, VERSION, log.clock_resolution,
+    version = CHECKSUM_VERSION if checksum else VERSION
+    fh.write(_HDR.pack(MAGIC, version, log.clock_resolution,
                        log.num_ranks, len(log.records)))
-    write_items(fh, log.definitions, log.records, perf=perf)
+    body = _BlockWriter(fh) if checksum else fh
+    write_items(body, log.definitions, log.records, perf=perf)
 
 
-def write_clog2(path: str, log: Clog2File, *,
+def write_clog2(path: str, log: Clog2File, *, checksum: bool = False,
                 perf: "PerfRecorder | None" = None) -> None:
-    """Serialise definitions + merged records to ``path``."""
+    """Serialise definitions + merged records to ``path``.
+
+    ``checksum=True`` writes version-2 CRC32 block framing (see the
+    module docstring); the default stays version 1 so existing logs and
+    golden hashes are bit-stable.
+    """
     if perf is not None:
         with perf.stage("clog2-write"):
             with open(path, "wb") as fh:
-                write_clog2_to(fh, log, perf=perf)
+                write_clog2_to(fh, log, checksum=checksum, perf=perf)
     else:
         with open(path, "wb") as fh:
-            write_clog2_to(fh, log)
+            write_clog2_to(fh, log, checksum=checksum)
 
 
 # ---------------------------------------------------------------------------
@@ -510,6 +564,11 @@ class Clog2Header(NamedTuple):
     clock_resolution: float
     num_ranks: int
     num_records: int
+    version: int = VERSION
+
+    @property
+    def checksummed(self) -> bool:
+        return self.version >= CHECKSUM_VERSION
 
 
 def read_header(fh) -> Clog2Header:
@@ -518,9 +577,45 @@ def read_header(fh) -> Clog2Header:
         _read_exact(fh, _HDR.size))
     if magic != MAGIC:
         raise Clog2FormatError(f"bad magic {magic!r}")
-    if version != VERSION:
+    if version not in _KNOWN_VERSIONS:
         raise Clog2FormatError(f"unsupported CLOG2 version {version}")
-    return Clog2Header(resolution, num_ranks, nrecords)
+    return Clog2Header(resolution, num_ranks, nrecords, version)
+
+
+def iter_framed_items(fh) -> Iterator[Definition | LogRecord]:
+    """Lazily parse a version-2 block-framed item stream.
+
+    One block is read and CRC-verified at a time, so memory stays
+    bounded by the writer's flush slab.  Raises
+    :class:`Clog2ChecksumError` on a CRC mismatch and
+    :class:`Clog2FormatError` on a torn frame.
+    """
+    while True:
+        head = fh.read(_BLOCK.size)
+        if not head:
+            return
+        if len(head) < _BLOCK.size:
+            raise Clog2FormatError("truncated CLOG2 block header")
+        length, crc = _BLOCK.unpack(head)
+        payload = fh.read(length)
+        if len(payload) < length:
+            raise Clog2FormatError(
+                f"truncated CLOG2 block (promised {length} bytes, "
+                f"got {len(payload)})")
+        if zlib.crc32(payload) != crc:
+            raise Clog2ChecksumError(
+                f"block checksum mismatch (stored 0x{crc:08x}, "
+                f"computed 0x{zlib.crc32(payload):08x})")
+        pos = 0
+        end = length
+        while pos < end:
+            parsed = _parse_item_at(payload, pos, end)
+            if parsed is None:
+                # Blocks end on item boundaries by construction; a
+                # partial item inside a CRC-valid block is a writer bug.
+                raise Clog2FormatError("item torn across a block boundary")
+            item, pos = parsed
+            yield item
 
 
 def iter_clog2(path: str) -> tuple[Clog2Header, Iterator[Definition | LogRecord]]:
@@ -528,7 +623,8 @@ def iter_clog2(path: str) -> tuple[Clog2Header, Iterator[Definition | LogRecord]
 
     The iterator owns the file handle and closes it on exhaustion,
     error, or garbage collection.  Item order is exactly file order
-    (definitions first, as the writers emit them).
+    (definitions first, as the writers emit them).  Version-2 files are
+    de-framed and CRC-verified block by block as they stream.
     """
     fh = open(path, "rb")
     try:
@@ -539,7 +635,10 @@ def iter_clog2(path: str) -> tuple[Clog2Header, Iterator[Definition | LogRecord]
 
     def _gen():
         try:
-            yield from iter_items(fh)
+            if header.checksummed:
+                yield from iter_framed_items(fh)
+            else:
+                yield from iter_items(fh)
         finally:
             fh.close()
 
@@ -593,6 +692,8 @@ def parse_clog2_bytes(data: bytes) -> Clog2File:
     :func:`_parse_item_at`.
     """
     header = read_header(io.BytesIO(data[:_HDR.size]))
+    if header.checksummed:
+        data = _deframe_strict(data)
     definitions: list[Definition] = []
     records: list[LogRecord] = []
     drec = definitions.append
@@ -637,6 +738,32 @@ def parse_clog2_bytes(data: bytes) -> Clog2File:
             f"found {len(records)}")
     return Clog2File(header.clock_resolution, header.num_ranks,
                      definitions, records)
+
+
+def _deframe_strict(data: bytes) -> bytes:
+    """Strictly unwrap a version-2 image's blocks into a version-1-shaped
+    image (header + raw item bytes).  Raises on torn frames and CRC
+    mismatches."""
+    parts = [data[:_HDR.size]]
+    pos = _HDR.size
+    end = len(data)
+    while pos < end:
+        if pos + _BLOCK.size > end:
+            raise Clog2FormatError("truncated CLOG2 block header")
+        length, crc = _BLOCK.unpack_from(data, pos)
+        pos += _BLOCK.size
+        if pos + length > end:
+            raise Clog2FormatError(
+                f"truncated CLOG2 block (promised {length} bytes, "
+                f"got {end - pos})")
+        payload = data[pos:pos + length]
+        if zlib.crc32(payload) != crc:
+            raise Clog2ChecksumError(
+                f"block checksum mismatch at offset {pos - _BLOCK.size} "
+                f"(stored 0x{crc:08x}, computed 0x{zlib.crc32(payload):08x})")
+        parts.append(payload)
+        pos += length
+    return b"".join(parts)
 
 
 def _read_log_salvage(path: str) -> Clog2ReadResult:
@@ -781,6 +908,51 @@ def read_items_tolerant(data: bytes, report, source: str,
     return definitions, records
 
 
+def _read_framed_tolerant(data: bytes, report, source: str,
+                          base_offset: int
+                          ) -> tuple[list[Definition], list[LogRecord]]:
+    """Tolerantly walk a version-2 block sequence.
+
+    A CRC mismatch drops *exactly* the damaged block — the frame length
+    tells us where the next one starts, so corruption is localised
+    instead of smeared forward the way the version-1 resync scan has to.
+    A torn frame at EOF drops the tail.
+    """
+    definitions: list[Definition] = []
+    records: list[LogRecord] = []
+    pos = _HDR.size
+    end = len(data)
+    while pos < end:
+        frame_start = pos
+        if pos + _BLOCK.size > end:
+            report.drop(source, base_offset + frame_start, base_offset + end,
+                        "truncated block header")
+            break
+        length, crc = _BLOCK.unpack_from(data, pos)
+        pos += _BLOCK.size
+        if pos + length > end:
+            report.drop(source, base_offset + frame_start, base_offset + end,
+                        f"truncated block (promised {length} bytes, "
+                        f"got {end - pos})")
+            break
+        payload = data[pos:pos + length]
+        pos += length
+        if zlib.crc32(payload) != crc:
+            report.drop(source, base_offset + frame_start, base_offset + pos,
+                        f"block checksum mismatch (stored 0x{crc:08x}, "
+                        f"computed 0x{zlib.crc32(payload):08x})")
+            continue
+        # CRC passed: the payload is exactly what the writer flushed.
+        # Any parse failure inside it would be a writer bug, which the
+        # tolerant item walk still surfaces as a dropped span.
+        defs, recs = read_items_tolerant(
+            payload, report, source,
+            base_offset=base_offset + frame_start + _BLOCK.size)
+        definitions.extend(defs)
+        records.extend(recs)
+    return definitions, records
+
+
 def parse_clog2_bytes_tolerant(data: bytes, report, source: str,
                                base_offset: int = 0) -> Clog2File:
     """Tolerantly parse a complete CLOG2 image (header + items) held in
@@ -798,13 +970,17 @@ def parse_clog2_bytes_tolerant(data: bytes, report, source: str,
         report.drop(source, base_offset, base_offset + len(data),
                     f"bad magic {magic!r}")
         return empty
-    if version != VERSION:
+    if version not in _KNOWN_VERSIONS:
         report.drop(source, base_offset, base_offset + len(data),
                     f"unsupported CLOG2 version {version}")
         return empty
-    definitions, records = read_items_tolerant(
-        data[_HDR.size:], report, source,
-        base_offset=base_offset + _HDR.size)
+    if version >= CHECKSUM_VERSION:
+        definitions, records = _read_framed_tolerant(
+            data, report, source, base_offset)
+    else:
+        definitions, records = read_items_tolerant(
+            data[_HDR.size:], report, source,
+            base_offset=base_offset + _HDR.size)
     report.records_kept += len(records)
     if len(records) < nrecords:
         missing = nrecords - len(records)

@@ -68,7 +68,7 @@ from repro.pilot.errors import (
 )
 from repro.pilot.objects import PI_BUNDLE, PI_CHANNEL, PI_PROCESS
 from repro.pilot.program import PilotCosts, PilotOptions, PilotRun, current_run
-from repro.pilot.runner import PilotResult, run_pilot
+from repro.pilot.runner import PilotResult, resume_pilot, run_pilot
 from repro.pilot.services import ServiceOptions, load_fault_plan
 
 __all__ = [
@@ -116,5 +116,6 @@ __all__ = [
     "PI_Write",
     "current_run",
     "load_fault_plan",
+    "resume_pilot",
     "run_pilot",
 ]

@@ -79,6 +79,13 @@ class PilotOptions:
     mpe_log_path: str = "pilot_mpe.clog2"
     mpe_available: bool = True  # "built with MPE" (conditional compilation)
     fault_plan_path: str | None = None
+    # ``-pijournal=DIR``: durable event journal + periodic checkpoints;
+    # with ``-pisvc=r`` the same directory drives a verified replay.
+    journal_dir: str | None = None
+    journal_checkpoint_interval: float = 1e-3  # virtual seconds
+    # ``-piwatchdog=T[:action]``: virtual-time progress watchdog.
+    watchdog_timeout: float | None = None
+    watchdog_action: str = "abort"  # or "checkpoint"
 
     @property
     def service_options(self) -> ServiceOptions:
@@ -121,12 +128,41 @@ def parse_argv(argv: list[str] | tuple[str, ...],
     services = set(opts.services)
     check = opts.check_level
     fault_plan = opts.fault_plan_path
+    journal_dir = opts.journal_dir
+    watchdog_timeout = opts.watchdog_timeout
+    watchdog_action = opts.watchdog_action
     leftover: list[str] = []
     for arg in argv:
         if arg.startswith("-pisvc="):
             services |= parse_service_letters(arg.split("=", 1)[1])
         elif arg.startswith("-pifault-plan="):
             fault_plan = arg.split("=", 1)[1]
+        elif arg.startswith("-pijournal="):
+            journal_dir = arg.split("=", 1)[1]
+            if not journal_dir:
+                raise PilotError(Diagnostic(
+                    "BAD_OPTION", "-pijournal needs a directory", None, -1))
+        elif arg.startswith("-piwatchdog="):
+            spec = arg.split("=", 1)[1]
+            timeout_text, _, action = spec.partition(":")
+            try:
+                watchdog_timeout = float(timeout_text)
+            except ValueError:
+                raise PilotError(Diagnostic(
+                    "BAD_OPTION", f"bad -piwatchdog timeout in {arg!r}",
+                    None, -1)) from None
+            if watchdog_timeout <= 0:
+                raise PilotError(Diagnostic(
+                    "BAD_OPTION",
+                    f"-piwatchdog timeout must be > 0, got {watchdog_timeout}",
+                    None, -1))
+            if action:
+                if action not in ("abort", "checkpoint"):
+                    raise PilotError(Diagnostic(
+                        "BAD_OPTION",
+                        f"-piwatchdog action must be 'abort' or "
+                        f"'checkpoint', got {action!r}", None, -1))
+                watchdog_action = action
         elif arg.startswith("-picheck="):
             try:
                 check = int(arg.split("=", 1)[1])
@@ -141,7 +177,10 @@ def parse_argv(argv: list[str] | tuple[str, ...],
     new_opts = PilotOptions(
         services=frozenset(services), check_level=check,
         native_log_path=opts.native_log_path, mpe_log_path=opts.mpe_log_path,
-        mpe_available=opts.mpe_available, fault_plan_path=fault_plan)
+        mpe_available=opts.mpe_available, fault_plan_path=fault_plan,
+        journal_dir=journal_dir,
+        journal_checkpoint_interval=opts.journal_checkpoint_interval,
+        watchdog_timeout=watchdog_timeout, watchdog_action=watchdog_action)
     return new_opts, leftover
 
 

@@ -8,12 +8,13 @@ line for line).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import sys
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.pilot.errors import Diagnostic
+from repro.pilot.errors import Diagnostic, PilotError
 from repro.pilot.program import (
     PilotCosts,
     PilotOptions,
@@ -27,6 +28,7 @@ from repro.vmpi.clock import ClockSkew
 from repro.vmpi.comm import NetworkModel
 from repro.vmpi.engine import RunResult
 from repro.vmpi.errors import SimulationDeadlock
+from repro.vmpi.journal import Journal, JournalError, manifest_for_engine
 from repro.vmpi.world import World
 
 
@@ -37,6 +39,8 @@ class PilotResult:
     run: PilotRun
     vmpi: RunResult
     perf: "Any | None" = None  # PerfRecorder when -pisvc=p was on
+    journal: "Journal | None" = None  # when -pijournal= / resume was on
+    watchdog: "Any | None" = None  # ProgressWatchdog when -piwatchdog= was on
 
     @property
     def ok(self) -> bool:
@@ -90,7 +94,9 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
               skews: dict[int, ClockSkew] | None = None,
               mpe_options: "Any | None" = None,
               extra_hooks: list | None = None,
-              faults: "Any | None" = None) -> PilotResult:
+              faults: "Any | None" = None,
+              journal: "Journal | None" = None,
+              suppress_crashes: bool = False) -> PilotResult:
     """Run ``main`` on ``nprocs`` virtual ranks under Pilot.
 
     ``argv`` may carry Pilot's own options (``-pisvc=cdj``,
@@ -102,9 +108,30 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
     clock skews — the chaos harness under ``tests/chaos`` drives every
     example app this way.  ``-pifault-plan=PATH`` loads the same thing
     from JSON when no plan is passed in code.
+
+    ``-pijournal=DIR`` arms a durable write-ahead journal with periodic
+    checkpoints (see :mod:`repro.vmpi.journal`); adding ``-pisvc=r``
+    instead *resumes* from that directory — a verified replay that
+    regenerates the log the crash destroyed (delegates to
+    :func:`resume_pilot`).  ``-piwatchdog=T[:action]`` arms the
+    virtual-time progress watchdog.  ``journal``/``suppress_crashes``
+    are the programmatic face of the same machinery: an explicit
+    journal (record *or* replay) is attached as-is, and
+    ``suppress_crashes`` keeps a plan's message/clock rules while
+    skipping its crash rules — what an uninterrupted reference run or a
+    replay needs to match a crashed run event for event.
     """
     opts, app_argv = parse_argv(argv, options)
     svc = opts.service_options
+
+    if svc.resume:
+        if opts.journal_dir is None:
+            raise PilotError(Diagnostic(
+                "BAD_OPTION", "-pisvc=r needs -pijournal=DIR to resume from",
+                None, -1))
+        return resume_pilot(main, opts.journal_dir, options=options,
+                            costs=costs, network=network,
+                            mpe_options=mpe_options, extra_hooks=extra_hooks)
 
     if faults is None and svc.fault_plan_path is not None:
         from repro.pilot.services import load_fault_plan
@@ -137,7 +164,33 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
 
     world = World(nprocs, network=network, seed=seed,
                   clock_resolution=clock_resolution, skews=skews,
-                  faults=faults)
+                  faults=faults, suppress_crashes=suppress_crashes)
+
+    if journal is None and opts.journal_dir is not None:
+        manifest = manifest_for_engine(world.engine, nprocs=nprocs, extra={
+            "argv": list(argv),
+            "pilot": _pilot_manifest(opts, svc),
+            **({"network": dataclasses.asdict(network)}
+               if network is not None else {}),
+            **({"costs": dataclasses.asdict(costs)}
+               if costs is not None else {}),
+        })
+        journal = Journal.record(
+            opts.journal_dir, manifest,
+            checkpoint_interval=opts.journal_checkpoint_interval, perf=perf)
+    if journal is not None:
+        if journal.perf is None:
+            journal.perf = perf
+        journal.attach(world.engine)
+
+    watchdog = None
+    if opts.watchdog_timeout is not None:
+        from repro.vmpi.watchdog import ProgressWatchdog
+
+        watchdog = ProgressWatchdog(
+            world.engine, timeout=opts.watchdog_timeout,
+            action=opts.watchdog_action, journal=journal).arm()
+
     run = PilotRun(world.comm, opts, costs)
     run.app_argv = app_argv
     run.static_findings = static_findings  # type: ignore[attr-defined]
@@ -179,6 +232,93 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
                 print("PILOT CHECK: predicted this deadlock: "
                       f"{finding.render()}", file=sys.stderr)
         raise
+    finally:
+        if journal is not None:
+            journal.close()
+    if journal is not None and journal.mode == "replay":
+        journal.check()  # raises ReplayDivergence if the rerun disagreed
     if perf is not None:
         perf.dump(opts.perf_snapshot_path)
-    return PilotResult(run, vres, perf)
+    return PilotResult(run, vres, perf, journal=journal, watchdog=watchdog)
+
+
+def _pilot_manifest(opts: PilotOptions, svc: "Any") -> dict:
+    """The PilotOptions a resume must reproduce, as manifest data."""
+    return {
+        "services": "".join(sorted(svc.letters - {"r"})),
+        "check_level": opts.check_level,
+        "native_log_path": opts.native_log_path,
+        "mpe_log_path": opts.mpe_log_path,
+        "mpe_available": opts.mpe_available,
+        "watchdog_timeout": opts.watchdog_timeout,
+        "watchdog_action": opts.watchdog_action,
+    }
+
+
+def resume_pilot(main: Callable[[list[str]], Any], journal_dir: str, *,
+                 options: PilotOptions | None = None,
+                 costs: PilotCosts | None = None,
+                 network: NetworkModel | None = None,
+                 mpe_options: "Any | None" = None,
+                 extra_hooks: list | None = None) -> PilotResult:
+    """Restart a journaled run and recover its complete visualization.
+
+    Rebuilds the launch from ``journal_dir``'s manifest — nprocs, seed,
+    clock resolution, merged skews, the fault plan (crash rules
+    suppressed so the rerun survives the recorded crash), service
+    letters and log paths — then re-executes ``main`` under a replay
+    journal that verifies every delivery and checkpoint barrier against
+    the recorded history.  On success the normal finalize path re-emits
+    the merged CLOG2 at the recorded ``mpe_log_path``, byte-identical
+    to an uninterrupted run; on disagreement it raises
+    :class:`~repro.vmpi.journal.ReplayDivergence` rather than deliver a
+    plausible-but-wrong timeline.
+
+    ``main`` must be the same program the journal recorded (the
+    manifest cannot re-create code); likewise pass the same
+    ``mpe_options`` if the recorded run used non-default ones.
+    ``network`` and ``costs`` fall back to values stored in the
+    manifest when omitted.
+    """
+    journal = Journal.replay(journal_dir)
+    manifest = journal.manifest
+    nprocs = int(manifest.get("nprocs", 0))
+    if nprocs < 1:
+        raise JournalError(
+            f"{journal_dir}: manifest does not record nprocs; this journal "
+            "was not written by run_pilot")
+    pilot_meta = manifest.get("pilot", {})
+    base = options or PilotOptions()
+    watchdog_timeout = pilot_meta.get("watchdog_timeout")
+    opts = PilotOptions(
+        services=frozenset(pilot_meta.get("services", "")),
+        check_level=int(pilot_meta.get("check_level", base.check_level)),
+        native_log_path=pilot_meta.get("native_log_path",
+                                       base.native_log_path),
+        mpe_log_path=pilot_meta.get("mpe_log_path", base.mpe_log_path),
+        mpe_available=bool(pilot_meta.get("mpe_available",
+                                          base.mpe_available)),
+        journal_dir=None,  # the replay journal is passed explicitly below
+        watchdog_timeout=(float(watchdog_timeout)
+                          if watchdog_timeout is not None else None),
+        watchdog_action=pilot_meta.get("watchdog_action",
+                                       base.watchdog_action))
+    skews = {int(rank): ClockSkew(offset=float(s.get("offset", 0.0)),
+                                  drift=float(s.get("drift", 0.0)))
+             for rank, s in manifest.get("skews", {}).items()}
+    plan = None
+    if "fault_plan" in manifest:
+        from repro.vmpi.faults import plan_from_dict
+
+        plan = plan_from_dict(manifest["fault_plan"])
+    if network is None and "network" in manifest:
+        network = NetworkModel(**manifest["network"])
+    if costs is None and "costs" in manifest:
+        costs = PilotCosts(**manifest["costs"])
+    return run_pilot(main, nprocs, argv=(), options=opts, costs=costs,
+                     network=network, seed=int(manifest.get("seed", 0)),
+                     clock_resolution=float(
+                         manifest.get("clock_resolution", 1e-8)),
+                     skews=skews, mpe_options=mpe_options,
+                     extra_hooks=extra_hooks, faults=plan, journal=journal,
+                     suppress_crashes=True)

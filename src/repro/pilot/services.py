@@ -18,6 +18,9 @@ letter   flag                service
 ``s``    ``static_check``    pilotcheck static analysis before launch
 ``p``    ``perf``            pipeline perf counters (written as JSON
                              next to the MPE log)
+``r``    ``resume``          resume from a journal (``-pijournal=DIR``):
+                             verified replay that regenerates the log a
+                             crash destroyed
 =======  ==================  ============================================
 
 A deterministic fault plan can ride along via
@@ -40,6 +43,7 @@ SERVICE_LETTERS: dict[str, str] = {
     "j": "jumpshot",
     "s": "static_check",
     "p": "perf",
+    "r": "resume",
 }
 
 
@@ -67,6 +71,7 @@ class ServiceOptions:
     jumpshot: bool = False
     static_check: bool = False
     perf: bool = False
+    resume: bool = False
     fault_plan_path: str | None = None
 
     @classmethod
@@ -120,16 +125,8 @@ def load_fault_plan(path: str):
     """
     import json
 
-    from repro.vmpi.faults import (
-        ClockFault,
-        CrashFault,
-        FaultPlan,
-        FaultPlanError,
-        MessageFault,
-    )
+    from repro.vmpi.faults import FaultPlanError, plan_from_dict
 
-    kinds = {"message": MessageFault, "crash": CrashFault,
-             "clock": ClockFault}
     with open(path) as fh:
         try:
             data = json.load(fh)
@@ -137,20 +134,7 @@ def load_fault_plan(path: str):
             raise FaultPlanError(f"{path}: not valid JSON ({exc})") from None
     if not isinstance(data, dict):
         raise FaultPlanError(f"{path}: fault plan must be a JSON object")
-    rules = []
-    for i, raw in enumerate(data.get("rules", [])):
-        if not isinstance(raw, dict) or "kind" not in raw:
-            raise FaultPlanError(
-                f"{path}: rule #{i} must be an object with a 'kind'")
-        kind = raw["kind"]
-        cls = kinds.get(kind)
-        if cls is None:
-            raise FaultPlanError(
-                f"{path}: rule #{i} has unknown kind {kind!r} "
-                f"(expected one of {sorted(kinds)})")
-        fields = {k: v for k, v in raw.items() if k != "kind"}
-        try:
-            rules.append(cls(**fields))
-        except TypeError as exc:
-            raise FaultPlanError(f"{path}: rule #{i}: {exc}") from None
-    return FaultPlan(seed=int(data.get("seed", 0)), rules=rules)
+    try:
+        return plan_from_dict(data)
+    except FaultPlanError as exc:
+        raise FaultPlanError(f"{path}: {exc}") from None

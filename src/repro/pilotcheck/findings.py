@@ -31,6 +31,8 @@ CODES: dict[str, tuple[str, str]] = {
     "TR005": ("damaged or truncated log file", "error"),
     "TR006": ("RecoveryReport inconsistent with the salvaged log", "error"),
     "TR007": ("record references an undefined event id", "warning"),
+    "TR008": ("block checksum mismatch: a CRC-framed CLOG2 block's "
+              "stored CRC32 does not match its payload", "error"),
 }
 
 

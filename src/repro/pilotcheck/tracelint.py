@@ -4,8 +4,9 @@
 per-rank timestamps never run backwards (TR001), every send half has a
 receive half and vice versa (TR002), receives never precede their sends
 (TR003), state halves nest properly (TR004), the file itself is intact
-(TR005), and — for salvaged logs — the :class:`RecoveryReport` actually
-accounts for the records that survived (TR006).  The pairing rules
+(TR005), CRC-framed blocks checksum clean (TR008), and — for salvaged
+logs — the :class:`RecoveryReport` actually accounts for the records
+that survived (TR006).  The pairing rules
 mirror :mod:`repro.slog2.convert` exactly, so a log that lints clean
 converts clean.
 """
@@ -15,7 +16,12 @@ from __future__ import annotations
 import os
 from collections import defaultdict, deque
 
-from repro.mpe.clog2 import Clog2File, Clog2FormatError, read_log
+from repro.mpe.clog2 import (
+    Clog2ChecksumError,
+    Clog2File,
+    Clog2FormatError,
+    read_log,
+)
 from repro.mpe.records import RECV, SEND, BareEvent, EventDef, MsgEvent, StateDef
 from repro.pilotcheck.findings import Finding
 
@@ -166,11 +172,16 @@ def lint_clog2_records(log: Clog2File, *,
 
 
 def lint_recovery(log: Clog2File, report) -> list[Finding]:
-    """TR005/TR006: the salvage accounting matches the salvaged log."""
+    """TR005/TR006/TR008: the salvage accounting matches the salvaged
+    log.  Checksum-failing blocks (version-2 CRC framing) get their own
+    code — present-but-wrong bytes are a different failure class from
+    torn tails, and the fsck repair policy treats them differently."""
     findings: list[Finding] = []
     for rng in report.dropped_ranges:
+        code = ("TR008" if "checksum mismatch" in rng.reason.lower()
+                else "TR005")
         findings.append(Finding(
-            "TR005",
+            code,
             f"{rng.source}: bytes {rng.start}..{rng.end} dropped "
             f"({rng.reason})"))
     ranks_present = {rec.rank for rec in log.records}
@@ -209,8 +220,9 @@ def lint_clog2(path: str) -> list[Finding]:
     except FileNotFoundError:
         return [Finding("TR005", f"{path}: no such file")]
     except Clog2FormatError as exc:
+        code = "TR008" if isinstance(exc, Clog2ChecksumError) else "TR005"
         findings.append(Finding(
-            "TR005",
+            code,
             f"strict parse failed ({exc}); file is damaged or truncated"))
         log, report = read_log(path, errors="salvage")
         findings.extend(lint_recovery(log, report))

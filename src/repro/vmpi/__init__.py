@@ -48,8 +48,23 @@ from repro.vmpi.faults import (
     FaultPlanError,
     Injection,
     MessageFault,
+    plan_from_dict,
+    plan_to_dict,
+)
+from repro.vmpi.journal import (
+    Journal,
+    JournalError,
+    ReplayDivergence,
+    WalEntry,
+    read_wal,
 )
 from repro.vmpi.status import Status
+from repro.vmpi.watchdog import (
+    WATCHDOG_ABORT,
+    WATCHDOG_CHECKPOINT,
+    ProgressWatchdog,
+    WatchdogError,
+)
 from repro.vmpi.world import World, compute, mpirun
 
 __all__ = [
@@ -68,12 +83,16 @@ __all__ = [
     "FaultPlan",
     "FaultPlanError",
     "Injection",
+    "Journal",
+    "JournalError",
     "LocalClock",
     "Message",
     "MessageError",
     "MessageFault",
     "NetworkModel",
+    "ProgressWatchdog",
     "RealTimeClock",
+    "ReplayDivergence",
     "Request",
     "Resource",
     "RunResult",
@@ -82,8 +101,15 @@ __all__ = [
     "Task",
     "TaskFailed",
     "VmpiError",
+    "WATCHDOG_ABORT",
+    "WATCHDOG_CHECKPOINT",
+    "WalEntry",
+    "WatchdogError",
     "World",
     "collectives",
     "compute",
     "mpirun",
+    "plan_from_dict",
+    "plan_to_dict",
+    "read_wal",
 ]

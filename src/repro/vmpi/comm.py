@@ -290,6 +290,12 @@ class Communicator:
     def _deliver(self, msg: Message) -> None:
         msg.arrive_time = self.engine.now
         dest_task = self._task_for(msg.dest)
+        if self.engine.journal is not None:
+            # Journal (or, on replay, verify) the delivery before any
+            # receiver can observe it; keyed by *world* rank so
+            # sub-communicator traffic files correctly.
+            self.engine.journal.on_deliver(msg, self.engine.now,
+                                           dest_task.rank)
         mbox = self._mailbox(dest_task)
         mbox.arrivals += 1
         for observer in list(mbox.observers):

@@ -70,6 +70,9 @@ class Task:
         self.fn = fn
         self.state = TaskState.NEW
         self.blocked_reason = ""
+        # Virtual time this task last got the CPU; the progress
+        # watchdog (repro.vmpi.watchdog) reads it to spot hung ranks.
+        self.last_active = 0.0
         self.wake_payload: Any = None
         self.result: Any = None
         self.exc: BaseException | None = None
@@ -230,6 +233,10 @@ class Engine:
         # Installed by repro.vmpi.faults.FaultPlan.install(); when set,
         # Communicator routes delivery scheduling through it.
         self.fault_injector: Any = None
+        # Installed by repro.vmpi.journal.Journal.attach(); when set,
+        # deliveries, injections and aborts are journaled (record mode)
+        # or verified against a recorded run (replay mode).
+        self.journal: Any = None
         # Fired exactly once when the world aborts (any cause: MPI_Abort,
         # rank crash, injected crash, deadlock teardown).  Hooks run
         # before task threads unwind, so crash-tolerant layers (MPE
@@ -327,6 +334,7 @@ class Engine:
         if task.state is TaskState.DONE:
             return
         task.wake_payload = payload
+        task.last_active = self._now
         self.stats["switches"] += 1
         task._switch_to()
 
@@ -358,6 +366,12 @@ class Engine:
         for hook in list(self.on_abort_hooks):
             try:
                 hook(self._aborted)
+            except BaseException as exc:  # noqa: BLE001 - must not mask abort
+                self.abort_hook_errors.append(exc)
+        if self.journal is not None:
+            try:
+                self.journal.on_abort(errorcode, origin_rank, reason,
+                                      self._now)
             except BaseException as exc:  # noqa: BLE001 - must not mask abort
                 self.abort_hook_errors.append(exc)
         # Wake every parked task so its thread can unwind.
@@ -442,6 +456,38 @@ class Engine:
                 task.thread.join(_HANDOFF_TIMEOUT)
                 if task.thread.is_alive():  # pragma: no cover - internal bug
                     raise EngineError(f"task {task.name} failed to wind down")
+
+    # -- restart ----------------------------------------------------------
+
+    @classmethod
+    def resume(cls, journal_dir: str, *, perf: Any = None) -> "Engine":
+        """Rebuild an engine from a journal directory, armed for replay.
+
+        The manifest restores seed, clock resolution and per-rank skews;
+        the fault plan is re-installed with crash rules suppressed (so
+        the replay runs *past* the recorded crash) while message-fault
+        rules keep their indices and decision streams.  The attached
+        replay journal then verifies every delivery, injection and
+        checkpoint barrier against the recorded run.  The caller spawns
+        the same program and calls :meth:`run` as usual.
+        """
+        from repro.vmpi.faults import plan_from_dict
+        from repro.vmpi.journal import Journal
+
+        journal = Journal.replay(journal_dir, perf=perf)
+        manifest = journal.manifest
+        skews = {int(rank): ClockSkew(offset=float(s.get("offset", 0.0)),
+                                      drift=float(s.get("drift", 0.0)))
+                 for rank, s in manifest.get("skews", {}).items()}
+        engine = cls(seed=int(manifest.get("seed", 0)),
+                     clock_resolution=float(
+                         manifest.get("clock_resolution", 1e-8)),
+                     skews=skews)
+        plan_data = manifest.get("fault_plan")
+        if plan_data is not None:
+            plan_from_dict(plan_data).install(engine, suppress_crashes=True)
+        journal.attach(engine)
+        return engine
 
     # -- convenience -----------------------------------------------------
 

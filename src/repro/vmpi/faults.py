@@ -54,9 +54,10 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.vmpi.clock import ClockSkew
@@ -231,19 +232,31 @@ class FaultPlan:
         """rank -> planned crash time (for annotating salvaged views)."""
         return {r.rank: r.at for r in self.crash_rules}
 
-    def install(self, engine: "Engine") -> "FaultInjector":
+    def install(self, engine: "Engine", *,
+                suppress_crashes: bool = False) -> "FaultInjector":
         """Attach an injector to ``engine`` and schedule crash events.
 
         Called by :class:`repro.vmpi.world.World` when a plan is passed
         to a launch; direct engine users can call it themselves before
-        ``run()``.
+        ``run()``.  ``suppress_crashes`` keeps every message/clock rule
+        (with its index, so decision streams stay aligned) but does not
+        schedule the crash events — journal replay uses this to run
+        *past* the recorded crash and regenerate the lost suffix.
         """
         injector = FaultInjector(self, engine)
         engine.fault_injector = injector
         for i, rule in enumerate(self.rules):
             if isinstance(rule, CrashFault):
-                engine.call_at(rule.at,
-                               lambda r=rule, i=i: injector._fire_crash(r, i))
+                if suppress_crashes:
+                    # Schedule a no-op in the crash's slot: it must
+                    # consume the same event-heap sequence number at the
+                    # same time, or same-time tie-breaks would diverge
+                    # between the recorded run and its replay.
+                    engine.call_at(rule.at, lambda: None)
+                else:
+                    engine.call_at(
+                        rule.at,
+                        lambda r=rule, i=i: injector._fire_crash(r, i))
         return injector
 
     def __repr__(self) -> str:
@@ -277,8 +290,8 @@ class FaultInjector:
         if all(t.state is TaskState.DONE for t in self.engine.tasks.values()):
             return  # the job outran the crash; nothing left to kill
         reason = rule.reason or f"injected crash of rank {rule.rank}"
-        self.injections.append(Injection(self.engine.now, "crash", rule_index,
-                                         src=rule.rank, detail=reason))
+        self._log(Injection(self.engine.now, "crash", rule_index,
+                            src=rule.rank, detail=reason))
         self.engine.abort(rule.errorcode, rule.rank, reason)
 
     # -- message path -----------------------------------------------------
@@ -304,10 +317,16 @@ class FaultInjector:
                 chosen = (i, rule)
         return chosen
 
+    def _log(self, injection: Injection) -> None:
+        self.injections.append(injection)
+        journal = self.engine.journal
+        if journal is not None:
+            journal.on_injection(injection)
+
     def _record(self, action: str, rule_index: int, msg: Message,
                 detail: str = "") -> None:
         self._counts[rule_index] = self._counts.get(rule_index, 0) + 1
-        self.injections.append(Injection(
+        self._log(Injection(
             self.engine.now, action, rule_index, src=msg.src, dest=msg.dest,
             tag=msg.tag, seq=msg.seq, detail=detail))
 
@@ -390,3 +409,52 @@ class FaultInjector:
         for inj in self.injections:
             out[inj.action] = out.get(inj.action, 0) + 1
         return out
+
+
+# -- serialisation ---------------------------------------------------------
+#
+# Plans travel: ``-pifault-plan=plan.json`` loads one from disk, and the
+# journal manifest embeds one so ``Engine.resume`` can re-install it.
+# The wire form is kind-tagged dataclass fields; ``math.inf`` survives
+# because Python's JSON emits/accepts ``Infinity``.
+
+_RULE_KINDS: dict[str, type] = {
+    "message": MessageFault,
+    "crash": CrashFault,
+    "clock": ClockFault,
+}
+
+
+def plan_to_dict(plan: FaultPlan) -> dict:
+    """A :class:`FaultPlan` as JSON-ready data (kind-tagged rules)."""
+    rules = []
+    for rule in plan.rules:
+        for kind, cls in _RULE_KINDS.items():
+            if isinstance(rule, cls):
+                entry = {"kind": kind}
+                entry.update(dataclasses.asdict(rule))
+                rules.append(entry)
+                break
+    return {"seed": plan.seed, "rules": rules}
+
+
+def plan_from_dict(data: dict) -> FaultPlan:
+    """Inverse of :func:`plan_to_dict`; raises :class:`FaultPlanError`
+    on unknown rule kinds or parameters."""
+    rules = []
+    for i, entry in enumerate(data.get("rules", ())):
+        if not isinstance(entry, dict):
+            raise FaultPlanError(
+                f"rule #{i}: must be an object with a 'kind', got {entry!r}")
+        entry = dict(entry)
+        kind = entry.pop("kind", None)
+        cls = _RULE_KINDS.get(kind)
+        if cls is None:
+            raise FaultPlanError(
+                f"rule #{i}: unknown kind {kind!r}; "
+                f"expected one of {sorted(_RULE_KINDS)}")
+        try:
+            rules.append(cls(**entry))
+        except TypeError as exc:
+            raise FaultPlanError(f"rule #{i}: {exc}") from None
+    return FaultPlan(seed=int(data.get("seed", 0)), rules=rules)

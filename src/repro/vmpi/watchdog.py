@@ -1,0 +1,145 @@
+"""Virtual-time progress watchdog: flag hung ranks, salvage the run.
+
+The engine's deadlock detector (:class:`~repro.vmpi.errors.SimulationDeadlock`
+via the stall path in :meth:`Engine.run <repro.vmpi.engine.Engine.run>`)
+only fires when the event heap runs *dry* — every rank parked, nothing
+scheduled.  It is blind to the other failure shape: the run is still
+technically moving (timers fire, one rank spins or two ranks ping-pong)
+while some rank has made no progress for ages.  Livelock, a receive
+that will never be posted while its peer busy-waits, a worker stuck in
+an unbounded retry loop — on a real cluster these burn the whole
+allocation before anyone looks at the job.
+
+:class:`ProgressWatchdog` closes that gap in *virtual* time: a periodic
+engine event checks every unfinished task's ``last_active`` stamp (set
+by the scheduler at every resume), and when some rank has not run for
+``timeout`` virtual seconds the watchdog ends the run deliberately
+instead of letting it spin:
+
+``action="abort"``
+    tear the world down (errorcode :data:`WATCHDOG_ABORT`).  The
+    engine's abort hooks fire as usual, so the MPE salvage layer
+    flushes per-rank partials — abort-with-salvage.
+``action="checkpoint"``
+    if a recording journal is attached, force one final checkpoint
+    barrier (making the journaled prefix durable), then abort with
+    :data:`WATCHDOG_CHECKPOINT` — checkpoint-and-stop, the variant to
+    pick when the run should be resumable/diagnosable from its journal.
+
+The watchdog only re-arms while the heap is non-empty, so a *true*
+stall still reaches the engine's deadlock detector rather than being
+masked by watchdog ticks keeping the heap alive.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.vmpi.errors import VmpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.vmpi.engine import Engine
+    from repro.vmpi.journal import Journal
+
+#: Errorcodes the watchdog aborts with — distinct from user aborts (1),
+#: deadlock teardown (2), injected crashes (134) and replay divergence
+#: (96), so post-mortems can tell who pulled the trigger.
+WATCHDOG_ABORT = 97
+WATCHDOG_CHECKPOINT = 98
+
+ACTIONS = ("abort", "checkpoint")
+
+
+class WatchdogError(VmpiError):
+    """Bad watchdog configuration."""
+
+
+class ProgressWatchdog:
+    """Periodic virtual-time liveness check over all unfinished ranks.
+
+    Parameters
+    ----------
+    engine:
+        The engine to guard; :meth:`arm` must be called before ``run()``.
+    timeout:
+        Virtual seconds a rank may go without being scheduled before it
+        counts as hung.
+    action:
+        ``"abort"`` or ``"checkpoint"`` (see module docstring).
+    interval:
+        Tick period; defaults to ``timeout / 4`` so a hang is caught at
+        most 25% late.
+    journal:
+        Recording journal for ``action="checkpoint"``; ignored (with the
+        action degrading to a plain abort) when absent or in replay mode.
+    """
+
+    def __init__(self, engine: "Engine", *, timeout: float,
+                 action: str = "abort", interval: float | None = None,
+                 journal: "Journal | None" = None) -> None:
+        if timeout <= 0:
+            raise WatchdogError(f"timeout must be > 0, got {timeout}")
+        if action not in ACTIONS:
+            raise WatchdogError(
+                f"unknown watchdog action {action!r}; expected one of "
+                f"{ACTIONS}")
+        if interval is not None and interval <= 0:
+            raise WatchdogError(f"interval must be > 0, got {interval}")
+        self.engine = engine
+        self.timeout = timeout
+        self.action = action
+        self.interval = interval if interval is not None else timeout / 4.0
+        self.journal = journal
+        self.fired = False
+        self.hung_ranks: dict[int, float] = {}
+        self._armed = False
+
+    def arm(self) -> "ProgressWatchdog":
+        if not self._armed:
+            self._armed = True
+            self.engine.call_at(self.interval, self._tick)
+        return self
+
+    def _tick(self) -> None:
+        from repro.vmpi.engine import TaskState
+
+        engine = self.engine
+        if engine.aborted is not None or self.fired:
+            return
+        now = engine.now
+        hung: dict[int, float] = {}
+        unfinished = False
+        for rank, task in sorted(engine.tasks.items()):
+            if task.state is TaskState.DONE:
+                continue
+            unfinished = True
+            idle = now - task.last_active
+            if idle > self.timeout:
+                hung[rank] = idle
+        if hung:
+            self._fire(hung)
+            return
+        if unfinished and engine._heap:
+            # Re-arm only while the run is live; an empty heap is the
+            # deadlock detector's jurisdiction, not ours.
+            engine.call_at(now + self.interval, self._tick)
+
+    def _fire(self, hung: dict[int, float]) -> None:
+        engine = self.engine
+        self.fired = True
+        self.hung_ranks = dict(hung)
+        worst = max(hung, key=lambda r: hung[r])
+        detail = ", ".join(f"rank {r} idle {idle:.6f}s"
+                           for r, idle in sorted(hung.items()))
+        reason = (f"progress watchdog: no progress for > {self.timeout:g}s "
+                  f"virtual ({detail})")
+        journal = self.journal
+        if (self.action == "checkpoint" and journal is not None
+                and journal.mode == "record"):
+            # Make the journaled prefix durable before stopping, so the
+            # hung run can be resumed/diagnosed from its journal.
+            journal._take_checkpoint()
+            engine.abort(WATCHDOG_CHECKPOINT, worst,
+                         reason + " [checkpoint-and-stop]")
+            return
+        engine.abort(WATCHDOG_ABORT, worst, reason + " [abort-with-salvage]")

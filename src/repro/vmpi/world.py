@@ -17,6 +17,7 @@ from repro.vmpi.engine import Engine, RunResult
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.vmpi.faults import FaultPlan
+    from repro.vmpi.journal import Journal
 
 
 class World:
@@ -25,7 +26,9 @@ class World:
     def __init__(self, nprocs: int, *, network: NetworkModel | None = None,
                  seed: int = 0, clock_resolution: float = 1e-8,
                  skews: dict[int, ClockSkew] | None = None,
-                 faults: "FaultPlan | None" = None) -> None:
+                 faults: "FaultPlan | None" = None,
+                 suppress_crashes: bool = False,
+                 journal: "Journal | None" = None) -> None:
         if nprocs < 1:
             raise ValueError(f"nprocs must be >= 1, got {nprocs}")
         merged_skews = dict(faults.skews()) if faults is not None else {}
@@ -34,7 +37,9 @@ class World:
                              skews=merged_skews)
         self.comm = Communicator(self.engine, nprocs, network)
         if faults is not None:
-            faults.install(self.engine)
+            faults.install(self.engine, suppress_crashes=suppress_crashes)
+        if journal is not None:
+            journal.attach(self.engine)
 
     def run(self, main: Callable[..., Any], *args: Any) -> RunResult:
         """Spawn ``main(comm, *args)`` on every rank and run to the end."""

@@ -1,0 +1,122 @@
+"""The deprecated reader aliases: warn once, delegate exactly.
+
+The streaming PR folded six readers into two (:func:`read_log` and
+:func:`merge_partial_logs`); the old names survive as aliases.  Each
+must (a) emit a :class:`DeprecationWarning` naming its replacement and
+(b) return exactly what the replacement returns.
+"""
+
+import os
+
+import pytest
+
+from repro.mpe.clog2 import (
+    read_clog2,
+    read_clog2_tolerant,
+    read_log,
+    write_clog2,
+)
+from repro.mpe.salvage import (
+    merge_partial_logs,
+    merge_partials,
+    merge_partials_tolerant,
+    read_partial,
+    read_partial_log,
+    read_partial_tolerant,
+)
+from repro.pilot import PilotOptions, run_pilot
+from repro.pilotlog.integration import JumpshotOptions
+from repro.vmpi.faults import CrashFault, FaultPlan
+
+from tests.chaos.test_chaos import pipeline_app
+from tests.mpe.test_clog2 import sample_log
+
+
+@pytest.fixture()
+def clog2_path(tmp_path):
+    path = str(tmp_path / "x.clog2")
+    write_clog2(path, sample_log())
+    return path
+
+
+@pytest.fixture()
+def torn_clog2_path(clog2_path):
+    with open(clog2_path, "r+b") as fh:
+        fh.truncate(os.path.getsize(clog2_path) - 7)
+    return clog2_path
+
+
+@pytest.fixture()
+def partial_base(tmp_path):
+    """Crash a salvage-enabled run so per-rank partials are left."""
+    base = str(tmp_path / "crashed.clog2")
+    plan = FaultPlan(seed=7, rules=(CrashFault(rank=1, at=4e-3),))
+    run_pilot(pipeline_app(2, 20), 3,
+              options=PilotOptions(services=frozenset("j"),
+                                   mpe_log_path=base),
+              mpe_options=JumpshotOptions(salvage=True), faults=plan)
+    return base
+
+
+class TestClog2Aliases:
+    def test_read_clog2_warns_and_delegates(self, clog2_path):
+        with pytest.warns(DeprecationWarning, match="read_log"):
+            old = read_clog2(clog2_path)
+        new = read_log(clog2_path).log
+        assert old == new
+
+    def test_read_clog2_tolerant_warns_and_delegates(self, torn_clog2_path):
+        with pytest.warns(DeprecationWarning, match="salvage"):
+            old_log, old_report = read_clog2_tolerant(torn_clog2_path)
+        new_log, new_report = read_log(torn_clog2_path, errors="salvage")
+        assert old_log == new_log
+        assert old_report.records_dropped == new_report.records_dropped
+        assert [(r.start, r.end) for r in old_report.dropped_ranges] == \
+            [(r.start, r.end) for r in new_report.dropped_ranges]
+
+
+class TestPartialAliases:
+    def rank1_partial(self, base):
+        from repro.mpe.salvage import find_partials
+
+        paths = find_partials(base)
+        assert paths
+        return paths[0]
+
+    def test_read_partial_warns_and_delegates(self, partial_base):
+        path = self.rank1_partial(partial_base)
+        with pytest.warns(DeprecationWarning, match="read_partial_log"):
+            old = read_partial(path)
+        new = read_partial_log(path).partial
+        assert old.rank == new.rank
+        assert old.records == new.records
+        assert old.definitions == new.definitions
+
+    def test_read_partial_tolerant_warns_and_delegates(self, partial_base):
+        path = self.rank1_partial(partial_base)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 5)
+        with pytest.warns(DeprecationWarning, match="errors='salvage'"):
+            old, old_report = read_partial_tolerant(path)
+        new, new_report = read_partial_log(path, errors="salvage")
+        assert old.records == new.records
+        assert old_report.records_dropped == new_report.records_dropped
+
+    def test_merge_partials_warns_and_delegates(self, partial_base):
+        with pytest.warns(DeprecationWarning, match="merge_partial_logs"):
+            old = merge_partials(partial_base)
+        new = merge_partial_logs(partial_base).log
+        assert old.records == new.records
+        assert old.definitions == new.definitions
+
+    def test_merge_partials_tolerant_warns_and_delegates(self, partial_base):
+        with pytest.warns(DeprecationWarning, match="merge_partial_logs"):
+            old, old_report = merge_partials_tolerant(
+                partial_base, expected_ranks=3,
+                crashed_ranks={1: 4e-3})
+        new, new_report = merge_partial_logs(
+            partial_base, errors="salvage", expected_ranks=3,
+            crashed_ranks={1: 4e-3})
+        assert old.records == new.records
+        assert old_report.crashed_ranks == new_report.crashed_ranks
+        assert old_report.missing_ranks == new_report.missing_ranks
