@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench chaos chaos-resume fsck examples figures clean check lint
+.PHONY: install test bench chaos chaos-resume chaos-recover fsck examples figures clean check lint
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -33,6 +33,12 @@ chaos:
 # round trip (see "Durability & recovery" in docs/robustness.md).
 chaos-resume:
 	$(PY) -m pytest tests/chaos/test_resume.py -q
+
+# Crash -> recover *in-run*: sender-based message logging replays the
+# crashed rank while the survivors keep running (see "In-run localized
+# recovery" in docs/robustness.md).
+chaos-recover:
+	$(PY) -m pytest tests/chaos/test_msglog.py tests/chaos/test_watchdog_recovery.py -q
 
 # Scan (and optionally repair) a log: make fsck FILE=run.clog2
 fsck:

@@ -10,11 +10,13 @@ diffable; the instructor-facing pretty output is the SVG.
 from __future__ import annotations
 
 from repro._util.text import format_seconds
+from repro.jumpshot.markers import RECOVERY_STATE_GLYPHS, marker_cell, rank_markers
 from repro.jumpshot.viewer import View
 from repro.slog2.model import Arrow, Event, State
 
-# Category name -> glyph.  Defaults cover the Pilot scheme; anything
-# else cycles through lowercase letters.
+# Category name -> glyph.  Defaults cover the Pilot scheme (plus the
+# msglog recovery-interval state); anything else cycles through
+# lowercase letters.
 DEFAULT_GLYPHS = {
     "PI_Read": "R",
     "PI_Write": "W",
@@ -25,6 +27,7 @@ DEFAULT_GLYPHS = {
     "PI_Select": "L",
     "Compute": "#",
     "PI_Configure": "=",
+    **RECOVERY_STATE_GLYPHS,
 }
 
 
@@ -54,6 +57,7 @@ def render_ascii(view: View, width: int = 100, *, show_legend: bool = True,
     cell = span / width
     drawables, previews = view.visible()
     hidden = view.legend.hidden_category_indices()
+    markers_by_rank = {m.rank: m for m in rank_markers(view.doc)}
 
     label_w = max((len(view.rank_label(r)) for r in view.rows), default=1) + 1
     lines = [f"{'':>{label_w}}|{format_seconds(view.t0)} .. "
@@ -94,17 +98,14 @@ def render_ascii(view: View, width: int = 100, *, show_legend: bool = True,
                 name = view.doc.categories[cat].name
                 for c in range(c0, c1 + 1):
                     weights[c][name] = weights[c].get(name, 0.0) + dur / ncells
+        marker = markers_by_rank.get(rank)
         crash_cell = None
-        if rank in view.doc.crashed_ranks:
-            at = view.doc.crashed_ranks[rank]
-            if at is not None and view.t0 <= at <= view.t1:
-                crash_cell = min(int((at - view.t0) / cell), width - 1)
-            else:
-                crash_cell = width - 1
+        if marker is not None:
+            crash_cell = marker_cell(marker.at, view.t0, view.t1, width)
         row = []
         for c in range(width):
             if c == crash_cell:
-                row.append("X")
+                row.append(marker.glyph)
             elif bubbles[c]:
                 row.append("o")
             elif weights[c]:

@@ -1,0 +1,119 @@
+"""Shared timeline-marker logic for the SVG and ASCII renderers.
+
+The two renderers each used to reimplement the crashed-rank marker
+placement rule — draw at the crash time when it is known and inside the
+window, clamp to the right plot edge otherwise.  This module is now the
+single definition of that rule, and of the recovery-interval markers
+introduced with :mod:`repro.vmpi.msglog`: what a crashed rank and a
+crashed-then-recovered rank look like is written down exactly once,
+and :mod:`repro.jumpshot.svg` / :mod:`repro.jumpshot.ascii` only map
+the shared anchor onto pixels or character cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+# The state name repro.mpe.recovery_marks emits for the replayed
+# interval of a recovered rank (single source of truth, re-exported
+# here so the renderers never need to import the producing layer
+# directly).
+from repro.mpe.recovery_marks import RECOVERY_STATE_NAME
+
+# Marker colours (SVG) and glyphs (ASCII).
+CRASH_COLOR = "#ff5252"
+RECOVERY_COLOR = "#ce93d8"  # light orchid: healed, not healthy-forever
+CRASH_GLYPH = "X"
+RECOVERY_GLYPH = "@"
+
+# Extra state glyphs the ASCII renderer folds into its defaults: the
+# replayed interval of a recovered rank reads as a striped band.
+RECOVERY_STATE_GLYPHS = {RECOVERY_STATE_NAME: "%"}
+
+# SVG stripe pattern for the MSGLOG_Recovery state — referenced by
+# repro.jumpshot.svg's <defs> and by any state whose category carries
+# RECOVERY_STATE_NAME.
+RECOVERY_PATTERN_ID = "msglog-recovery"
+RECOVERY_PATTERN = (
+    f'<pattern id="{RECOVERY_PATTERN_ID}" width="6" height="6" '
+    'patternUnits="userSpaceOnUse" patternTransform="rotate(45)">'
+    '<rect width="6" height="6" fill="#2a0b33"/>'
+    '<rect width="3" height="6" fill="#9932cc"/></pattern>')
+
+
+@dataclass(frozen=True)
+class RankMarker:
+    """One per-rank timeline marker: a crash, or a crash the run
+    recovered from in place."""
+
+    rank: int
+    kind: str  # "crashed" | "recovered"
+    at: float | None  # virtual crash time, None when unknown
+    label: str  # popup / tooltip text
+
+    @property
+    def color(self) -> str:
+        return RECOVERY_COLOR if self.kind == "recovered" else CRASH_COLOR
+
+    @property
+    def glyph(self) -> str:
+        return RECOVERY_GLYPH if self.kind == "recovered" else CRASH_GLYPH
+
+
+def marker_anchor(at: float | None, t0: float, t1: float) -> float | None:
+    """The one placement rule: the marker sits at ``at`` when the time
+    is known and inside the window, else ``None`` meaning "pin to the
+    right edge" (the crash is off-screen or its time unknown)."""
+    if at is not None and t0 <= at <= t1:
+        return at
+    return None
+
+
+def marker_cell(at: float | None, t0: float, t1: float,
+                width: int) -> int:
+    """:func:`marker_anchor` mapped onto an ASCII cell index."""
+    anchor = marker_anchor(at, t0, t1)
+    if anchor is None:
+        return width - 1
+    cell = (t1 - t0) / width
+    return min(int((anchor - t0) / cell), width - 1)
+
+
+def recovered_ranks(doc: Any) -> dict[int, float]:
+    """rank -> latest crash time, for ranks a message-logging run
+    recovered in place (from the document's RecoveryReport, when it
+    carries episodes)."""
+    report = getattr(doc, "salvaged", None)
+    getter = getattr(report, "recovered_ranks", None)
+    if callable(getter):
+        return dict(getter())
+    return {}
+
+
+def rank_markers(doc: Any) -> list[RankMarker]:
+    """Every per-rank marker the renderers should draw for ``doc``.
+
+    A rank that crashed *and* was recovered in-run gets a single
+    "recovered" marker (at its latest crash time) instead of the dead
+    ✕ — the timeline beyond the crash is real, not missing.
+    """
+    recovered = recovered_ranks(doc)
+    report = getattr(doc, "salvaged", None)
+    episodes = list(getattr(report, "recoveries", []) or [])
+    markers: list[RankMarker] = []
+    for rank in sorted(getattr(doc, "crashed_ranks", {}) or {}):
+        if rank in recovered:
+            continue
+        at = doc.crashed_ranks[rank]
+        label = f"rank {rank} crashed"
+        if at is not None:
+            label += f" at {at:.9f}"
+        markers.append(RankMarker(rank, "crashed", at, label))
+    for rank in sorted(recovered):
+        at = recovered[rank]
+        n = sum(1 for ep in episodes if int(ep.get("rank", -1)) == rank)
+        label = (f"rank {rank} crashed at {at:.9f}, recovered in-run"
+                 + (f" ({n} episode(s))" if n else ""))
+        markers.append(RankMarker(rank, "recovered", at, label))
+    return markers

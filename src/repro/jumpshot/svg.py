@@ -16,6 +16,13 @@ from xml.sax.saxutils import escape
 
 from repro._util.text import format_seconds
 from repro.jumpshot.canvas import Canvas
+from repro.jumpshot.markers import (
+    RECOVERY_PATTERN,
+    RECOVERY_PATTERN_ID,
+    RECOVERY_STATE_NAME,
+    marker_anchor,
+    rank_markers,
+)
 from repro.jumpshot.palette import rgb
 from repro.jumpshot.viewer import View
 from repro.slog2.frames import FrameNode
@@ -26,7 +33,7 @@ PLOT_BG = "#000000"
 AXIS = "#c0c0c0"
 GRID = "#2a2a2a"
 SALVAGE = "#ffb300"  # amber warning banner for salvaged logs
-CRASH = "#ff5252"  # crashed-rank markers
+CRASH = "#ff5252"  # crashed-rank markers (shape logic in jumpshot.markers)
 JOURNAL = "#00e5ff"  # checkpoint ticks and the replay-boundary line
 
 
@@ -111,7 +118,8 @@ def _defs() -> str:
     return (
         '<defs><marker id="arrowhead" markerWidth="7" markerHeight="5" '
         'refX="6" refY="2.5" orient="auto">'
-        '<polygon points="0 0, 7 2.5, 0 5" fill="white"/></marker></defs>')
+        '<polygon points="0 0, 7 2.5, 0 5" fill="white"/></marker>'
+        f'{RECOVERY_PATTERN}</defs>')
 
 
 def _axes(view: View, canvas: Canvas) -> str:
@@ -142,10 +150,17 @@ def _state(view: View, canvas: Canvas, s: State) -> str:
     if box is None:
         return ""
     x, y, w, h = box
-    color = rgb(view.legend.entries[view.doc.categories[s.category].name].color)
+    name = view.doc.categories[s.category].name
+    if name == RECOVERY_STATE_NAME:
+        # Replayed interval of a recovered rank: striped, like
+        # Jumpshot's preview rectangles, so it reads as "reconstructed"
+        # rather than ordinary execution.
+        fill = f"url(#{RECOVERY_PATTERN_ID})"
+    else:
+        fill = rgb(view.legend.entries[name].color)
     title = escape(view.popup(s))
     return (f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" height="{h:.2f}" '
-            f'fill="{color}" stroke="black" stroke-width="0.4">'
+            f'fill="{fill}" stroke="black" stroke-width="0.4">'
             f'<title>{title}</title></rect>')
 
 
@@ -248,9 +263,10 @@ def _critical_overlay(view: View, canvas: Canvas, cpath) -> str:
 
 def _salvage_overlay(view: View, canvas: Canvas) -> str:
     """The degraded-log warnings: an amber banner across the top when
-    the document was salvaged, red ✕ markers with a dashed tick on each
-    crashed rank's timeline (at the crash time when known, at the right
-    edge otherwise)."""
+    the document was salvaged, plus per-rank markers (placement rule in
+    :mod:`repro.jumpshot.markers`) — red ✕ on each crashed rank's
+    timeline, orchid ↻ on each rank that crashed but was recovered
+    in-run by message-logging replay."""
     parts: list[str] = []
     banner = view.salvage_banner
     if banner is not None:
@@ -264,25 +280,23 @@ def _salvage_overlay(view: View, canvas: Canvas) -> str:
             title = f"<title>{escape(report.summary())}</title>"
         parts.append(f'<text x="{bx + 6:.1f}" y="14" fill="{SALVAGE}" '
                      f'font-weight="bold">⚠ {escape(banner)}{title}</text>')
-    for rank in sorted(view.doc.crashed_ranks):
-        row = canvas.row(rank)
+    for marker in rank_markers(view.doc):
+        row = canvas.row(marker.rank)
         if row is None:
             continue
-        at = view.doc.crashed_ranks[rank]
-        if at is not None and view.t0 <= at <= view.t1:
-            x = canvas.x(at)
+        anchor = marker_anchor(marker.at, view.t0, view.t1)
+        if anchor is not None:
+            x = canvas.x(anchor)
         else:
             x = canvas.margin_left + canvas.plot_width
-        label = f"rank {rank} crashed"
-        if at is not None:
-            label += f" at {at:.9f}"
+        glyph = "↻" if marker.kind == "recovered" else "✕"
         parts.append(f'<line x1="{x:.2f}" y1="{row.y_top:.2f}" '
                      f'x2="{x:.2f}" y2="{row.y_bottom:.2f}" '
-                     f'stroke="{CRASH}" stroke-width="1.4" '
+                     f'stroke="{marker.color}" stroke-width="1.4" '
                      'stroke-dasharray="3,2"/>')
         parts.append(f'<text x="{x + 3:.2f}" y="{row.y_center + 4:.2f}" '
-                     f'fill="{CRASH}" font-weight="bold">✕'
-                     f'<title>{escape(label)}</title></text>')
+                     f'fill="{marker.color}" font-weight="bold">{glyph}'
+                     f'<title>{escape(marker.label)}</title></text>')
     return "\n".join(parts)
 
 

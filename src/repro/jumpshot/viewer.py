@@ -106,9 +106,13 @@ class View:
         self.row_weights[rank] = weight
 
     def rank_label(self, rank: int) -> str:
+        from repro.jumpshot.markers import recovered_ranks
+
         name = self.doc.rank_names.get(rank)
         label = f"{rank} {name}" if name else str(rank)
-        if rank in self.doc.crashed_ranks:
+        if rank in recovered_ranks(self.doc):
+            label += " ↻"
+        elif rank in self.doc.crashed_ranks:
             label += " ✕"
         return label
 

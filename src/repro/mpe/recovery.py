@@ -18,6 +18,7 @@ seeing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,11 @@ class RecoveryReport:
     missing_ranks: list[int] = field(default_factory=list)
     crashed_ranks: dict[int, float | None] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    # Localized-recovery episodes (repro.vmpi.msglog), as plain dicts:
+    # rank, crash_time, determinants_replayed, sends_suppressed,
+    # outcome, ... — see RecoveryEpisode.to_dict().  Unlike
+    # crashed_ranks, an episode means the rank came *back*.
+    recoveries: list[dict] = field(default_factory=list)
 
     # -- building ---------------------------------------------------------
 
@@ -81,9 +87,17 @@ class RecoveryReport:
         for r, t in other.crashed_ranks.items():
             self.crashed_ranks.setdefault(r, t)
         self.notes.extend(other.notes)
+        self.recoveries.extend(other.recoveries)
 
     def mark_crashed(self, rank: int, at: float | None = None) -> None:
         self.crashed_ranks.setdefault(rank, at)
+
+    def add_recovery(self, episode: Any) -> None:
+        """Record one localized-recovery episode (a
+        :class:`repro.vmpi.msglog.RecoveryEpisode` or an equivalent
+        dict)."""
+        self.recoveries.append(
+            episode if isinstance(episode, dict) else episode.to_dict())
 
     # -- reading ----------------------------------------------------------
 
@@ -106,7 +120,16 @@ class RecoveryReport:
     def empty(self) -> bool:
         """True when the report says nothing at all."""
         return (self.clean and not self.crashed_ranks and not self.notes
-                and self.records_kept == 0)
+                and not self.recoveries and self.records_kept == 0)
+
+    def recovered_ranks(self) -> dict[int, float]:
+        """rank -> latest crash time it was recovered from."""
+        out: dict[int, float] = {}
+        for ep in self.recoveries:
+            rank = int(ep["rank"])
+            at = float(ep["crash_time"])
+            out[rank] = max(out.get(rank, at), at)
+        return out
 
     def summary(self) -> str:
         parts = [f"kept {self.records_kept} records",
@@ -120,6 +143,10 @@ class RecoveryReport:
         if self.crashed_ranks:
             parts.append("crashed ranks " +
                          ",".join(str(r) for r in sorted(self.crashed_ranks)))
+        if self.recoveries:
+            ranks = ",".join(str(r) for r in sorted(self.recovered_ranks()))
+            parts.append(f"{len(self.recoveries)} recovery episode(s) "
+                         f"(ranks {ranks})")
         label = f"recovery[{self.source}]" if self.source else "recovery"
         return f"{label}: " + ", ".join(parts)
 
@@ -134,4 +161,25 @@ class RecoveryReport:
         if self.crashed_ranks:
             ranks = ",".join(str(r) for r in sorted(self.crashed_ranks))
             bits.append(f"rank(s) {ranks} crashed")
+        if self.recoveries:
+            ranks = ",".join(str(r) for r in sorted(self.recovered_ranks()))
+            bits.append(f"rank(s) {ranks} recovered in-run")
         return " · ".join(bits)
+
+
+def report_from_msglog(msglog: Any, source: str = "") -> RecoveryReport:
+    """A :class:`RecoveryReport` describing a message-logging run.
+
+    Localized recovery is lossless by construction — nothing is
+    dropped, no rank stays dead — so the report carries only the
+    episodes (and a note per episode for human readers).
+    """
+    report = RecoveryReport(source=source)
+    for episode in msglog.episodes:
+        report.add_recovery(episode)
+        report.note(
+            f"rank {episode.rank} recovered at t={episode.crash_time:.6f} "
+            f"({episode.determinants_replayed} deliveries replayed, "
+            f"{episode.sends_suppressed} duplicate sends suppressed, "
+            f"{episode.outcome})")
+    return report

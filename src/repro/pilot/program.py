@@ -86,6 +86,9 @@ class PilotOptions:
     # ``-piwatchdog=T[:action]``: virtual-time progress watchdog.
     watchdog_timeout: float | None = None
     watchdog_action: str = "abort"  # or "checkpoint"
+    # ``-pirecover=msglog``: survive injected rank crashes by sender-
+    # based message logging + localized replay (repro.vmpi.msglog).
+    recover: str | None = None
 
     @property
     def service_options(self) -> ServiceOptions:
@@ -131,6 +134,7 @@ def parse_argv(argv: list[str] | tuple[str, ...],
     journal_dir = opts.journal_dir
     watchdog_timeout = opts.watchdog_timeout
     watchdog_action = opts.watchdog_action
+    recover = opts.recover
     leftover: list[str] = []
     for arg in argv:
         if arg.startswith("-pisvc="):
@@ -163,6 +167,15 @@ def parse_argv(argv: list[str] | tuple[str, ...],
                         f"-piwatchdog action must be 'abort' or "
                         f"'checkpoint', got {action!r}", None, -1))
                 watchdog_action = action
+        elif arg.startswith("-pirecover="):
+            recover = arg.split("=", 1)[1]
+            if recover not in ("msglog", "off"):
+                raise PilotError(Diagnostic(
+                    "BAD_OPTION",
+                    f"-pirecover must be 'msglog' or 'off', got {recover!r}",
+                    None, -1))
+            if recover == "off":
+                recover = None
         elif arg.startswith("-picheck="):
             try:
                 check = int(arg.split("=", 1)[1])
@@ -180,7 +193,8 @@ def parse_argv(argv: list[str] | tuple[str, ...],
         mpe_available=opts.mpe_available, fault_plan_path=fault_plan,
         journal_dir=journal_dir,
         journal_checkpoint_interval=opts.journal_checkpoint_interval,
-        watchdog_timeout=watchdog_timeout, watchdog_action=watchdog_action)
+        watchdog_timeout=watchdog_timeout, watchdog_action=watchdog_action,
+        recover=recover)
     return new_opts, leftover
 
 

@@ -41,6 +41,7 @@ class PilotResult:
     perf: "Any | None" = None  # PerfRecorder when -pisvc=p was on
     journal: "Journal | None" = None  # when -pijournal= / resume was on
     watchdog: "Any | None" = None  # ProgressWatchdog when -piwatchdog= was on
+    msglog: "Any | None" = None  # MessageLogger when -pirecover=msglog was on
 
     @property
     def ok(self) -> bool:
@@ -82,6 +83,17 @@ class PilotResult:
     def mpe_log_path(self) -> str | None:
         path = self.run.options.mpe_log_path
         return path if os.path.exists(path) else None
+
+    @property
+    def recovery_report(self) -> "Any | None":
+        """A :class:`repro.mpe.recovery.RecoveryReport` of this run's
+        localized-recovery episodes; None when recovery was off."""
+        if self.msglog is None:
+            return None
+        from repro.mpe.recovery import report_from_msglog
+
+        return report_from_msglog(self.msglog,
+                                  self.run.options.mpe_log_path)
 
 
 def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
@@ -183,6 +195,17 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
             journal.perf = perf
         journal.attach(world.engine)
 
+    msglog = None
+    if opts.recover == "msglog":
+        from repro.vmpi.msglog import MessageLogger
+
+        msglog = MessageLogger(world.engine, journal_dir=opts.journal_dir,
+                               perf=perf)
+        if svc.jumpshot and opts.mpe_available:
+            from repro.mpe.recovery_marks import install_recovery_marks
+
+            install_recovery_marks(msglog)
+
     watchdog = None
     if opts.watchdog_timeout is not None:
         from repro.vmpi.watchdog import ProgressWatchdog
@@ -235,11 +258,14 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
     finally:
         if journal is not None:
             journal.close()
+        if msglog is not None:
+            msglog.close()
     if journal is not None and journal.mode == "replay":
         journal.check()  # raises ReplayDivergence if the rerun disagreed
     if perf is not None:
         perf.dump(opts.perf_snapshot_path)
-    return PilotResult(run, vres, perf, journal=journal, watchdog=watchdog)
+    return PilotResult(run, vres, perf, journal=journal, watchdog=watchdog,
+                       msglog=msglog)
 
 
 def _pilot_manifest(opts: PilotOptions, svc: "Any") -> dict:
@@ -252,6 +278,7 @@ def _pilot_manifest(opts: PilotOptions, svc: "Any") -> dict:
         "mpe_available": opts.mpe_available,
         "watchdog_timeout": opts.watchdog_timeout,
         "watchdog_action": opts.watchdog_action,
+        "recover": opts.recover,
     }
 
 
@@ -278,7 +305,10 @@ def resume_pilot(main: Callable[[list[str]], Any], journal_dir: str, *,
     manifest cannot re-create code); likewise pass the same
     ``mpe_options`` if the recorded run used non-default ones.
     ``network`` and ``costs`` fall back to values stored in the
-    manifest when omitted.
+    manifest when omitted.  Passing ``options`` with
+    ``watchdog_timeout`` set replaces the recorded watchdog — the way
+    to resume past a checkpoint-and-stop, whose manifest records the
+    very timeout that stopped it.
     """
     journal = Journal.replay(journal_dir)
     manifest = journal.manifest
@@ -289,7 +319,19 @@ def resume_pilot(main: Callable[[list[str]], Any], journal_dir: str, *,
             "was not written by run_pilot")
     pilot_meta = manifest.get("pilot", {})
     base = options or PilotOptions()
-    watchdog_timeout = pilot_meta.get("watchdog_timeout")
+    if base.watchdog_timeout is not None:
+        # An explicit watchdog in ``options`` replaces the recorded
+        # one.  The escape hatch matters after checkpoint-and-stop: the
+        # manifest records the very timeout that stopped the run, and
+        # resuming under it would deterministically stop at the same
+        # virtual instant.
+        watchdog_timeout: float | None = base.watchdog_timeout
+        watchdog_action = base.watchdog_action
+    else:
+        recorded = pilot_meta.get("watchdog_timeout")
+        watchdog_timeout = float(recorded) if recorded is not None else None
+        watchdog_action = pilot_meta.get("watchdog_action",
+                                         base.watchdog_action)
     opts = PilotOptions(
         services=frozenset(pilot_meta.get("services", "")),
         check_level=int(pilot_meta.get("check_level", base.check_level)),
@@ -299,10 +341,9 @@ def resume_pilot(main: Callable[[list[str]], Any], journal_dir: str, *,
         mpe_available=bool(pilot_meta.get("mpe_available",
                                           base.mpe_available)),
         journal_dir=None,  # the replay journal is passed explicitly below
-        watchdog_timeout=(float(watchdog_timeout)
-                          if watchdog_timeout is not None else None),
-        watchdog_action=pilot_meta.get("watchdog_action",
-                                       base.watchdog_action))
+        watchdog_timeout=watchdog_timeout,
+        watchdog_action=watchdog_action,
+        recover=pilot_meta.get("recover", base.recover))
     skews = {int(rank): ClockSkew(offset=float(s.get("offset", 0.0)),
                                   drift=float(s.get("drift", 0.0)))
              for rank, s in manifest.get("skews", {}).items()}

@@ -34,6 +34,8 @@ from repro.pilotcheck.integrate import (
 from repro.pilotcheck.tracelint import (
     lint_clog2,
     lint_clog2_records,
+    lint_determinants,
+    lint_msglog,
     lint_path,
     lint_recovery,
     lint_slog2,
@@ -52,6 +54,8 @@ __all__ = [
     "capture_program",
     "lint_clog2",
     "lint_clog2_records",
+    "lint_determinants",
+    "lint_msglog",
     "lint_path",
     "lint_recovery",
     "lint_slog2",

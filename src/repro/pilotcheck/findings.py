@@ -33,6 +33,10 @@ CODES: dict[str, tuple[str, str]] = {
     "TR007": ("record references an undefined event id", "warning"),
     "TR008": ("block checksum mismatch: a CRC-framed CLOG2 block's "
               "stored CRC32 does not match its payload", "error"),
+    "TR009": ("message-log delivery anomaly: duplicate delivery of a "
+              "logged sequence number, an out-of-order sequence on a "
+              "lane, or a recovery episode whose replay accounting "
+              "disagrees with the determinant log", "error"),
 }
 
 

@@ -9,6 +9,15 @@ logs — the :class:`RecoveryReport` actually accounts for the records
 that survived (TR006).  The pairing rules
 mirror :mod:`repro.slog2.convert` exactly, so a log that lints clean
 converts clean.
+
+Message-logging runs add TR009: the determinant stream a
+:class:`repro.vmpi.msglog.MessageLogger` journals must never show the
+same sequence number delivered twice on a lane (a replay
+double-delivery or a failed duplicate-send suppression), sequence
+regressions are flagged (legitimate only under fault-injected
+reordering), and each :class:`RecoveryReport` episode's replay
+accounting is cross-checked against the determinants that actually
+exist before its crash time.
 """
 
 from __future__ import annotations
@@ -130,12 +139,19 @@ def lint_clog2_records(log: Clog2File, *,
                 f"{len(recvs)} receive(s) {src}->{dst} tag {tag} have "
                 "no matching send", severity="warning"))
 
-    # TR004/TR007: state nesting per rank.
+    # TR004/TR007: state nesting per rank.  Recovery-interval drawables
+    # (reserved-band ids injected by repro.mpe.recovery_marks) are an
+    # overlay spanning the replayed window: they legitimately straddle
+    # ordinary state boundaries, so they are exempt from nesting.
+    from repro.mpe.recovery_marks import RESERVED_EVENT_IDS
+
     stacks: dict[int, list[StateDef]] = defaultdict(list)
     for rec in log.records:
         if not isinstance(rec, BareEvent):
             continue
         eid = rec.event_id
+        if eid in RESERVED_EVENT_IDS:
+            continue
         if eid in start_of:
             stacks[rec.rank].append(start_of[eid])
         elif eid in end_of:
@@ -232,6 +248,84 @@ def lint_clog2(path: str) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# msglog determinants (TR009)
+# ---------------------------------------------------------------------------
+
+
+def lint_determinants(dets, report=None) -> list[Finding]:
+    """TR009: sanity of a message-logging run's delivery stream.
+
+    ``dets`` is the determinant list (delivery order) from
+    :func:`repro.vmpi.msglog.read_determinants`.  Three checks:
+
+    * *duplicate delivery* — the same ``(src, dest, ctx, seq)``
+      delivered twice.  Never legitimate: replayed routings bypass
+      determinant logging, so a duplicate means replay double-delivered
+      or duplicate-send suppression failed.  Error.
+    * *sequence regression* — a lane delivers a seq below one it
+      already delivered.  Legitimate only under fault-injected message
+      reordering, so it is a warning (an excusing note is added when
+      the run recovered ranks in between).
+    * *episode accounting* — a :class:`RecoveryReport` episode must not
+      claim more replayed deliveries than the determinant log actually
+      holds for that rank before its crash time.  Error.
+    """
+    findings: list[Finding] = []
+    episodes = list(getattr(report, "recoveries", []) or [])
+    recovered = {int(ep["rank"]) for ep in episodes}
+    seen: dict[tuple[int, int, int], set[int]] = defaultdict(set)
+    high: dict[tuple[int, int, int], int] = {}
+    for d in dets:
+        lane = (d.src, d.dest, d.ctx)
+        if d.seq in seen[lane]:
+            msg = (f"lane {d.src}->{d.dest} ctx {d.ctx}: seq {d.seq} "
+                   f"delivered twice (t={d.t:.9f})")
+            if d.dest in recovered:
+                msg += (f" — rank {d.dest} was recovered in-run; replay "
+                        "double-delivery or failed send suppression")
+            findings.append(Finding("TR009", msg))
+        else:
+            seen[lane].add(d.seq)
+        h = high.get(lane)
+        if h is not None and d.seq < h:
+            findings.append(Finding(
+                "TR009",
+                f"lane {d.src}->{d.dest} ctx {d.ctx}: seq {d.seq} "
+                f"delivered after seq {h} (out of order; fault-injected "
+                "reordering, or replay misordering)", severity="warning"))
+        high[lane] = d.seq if h is None else max(h, d.seq)
+    for ep in episodes:
+        rank = int(ep["rank"])
+        crash = float(ep["crash_time"])
+        claimed = int(ep.get("determinants_replayed", 0))
+        avail = sum(1 for d in dets
+                    if d.dest == rank and d.t <= crash + 1e-12)
+        if claimed > avail:
+            findings.append(Finding(
+                "TR009",
+                f"recovery episode for rank {rank} claims {claimed} "
+                f"replayed deliveries but the determinant log holds only "
+                f"{avail} before its crash at {crash:.6f}"))
+    return _capped(findings)
+
+
+def lint_msglog(path: str, report=None) -> list[Finding]:
+    """Lint a ``msglog.wal`` determinant journal on disk."""
+    from repro.vmpi.msglog import read_determinants
+
+    if not os.path.exists(path):
+        return [Finding("TR005", f"{path}: no such file")]
+    dets, torn = read_determinants(path)
+    findings: list[Finding] = []
+    if torn:
+        findings.append(Finding(
+            "TR005", f"{path}: {torn} torn byte(s) at the tail",
+            severity="warning"))
+    findings.extend(lint_determinants(dets, report))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # SLOG2
 # ---------------------------------------------------------------------------
 
@@ -301,6 +395,10 @@ def lint_path(path: str) -> list[Finding]:
     """Lint any supported trace file, sniffing the format by magic."""
     if not os.path.exists(path):
         return [Finding("TR005", f"{path}: no such file")]
+    # The determinant WAL carries no magic of its own (journal frames
+    # start straight away); recognise it by its fixed name.
+    if os.path.basename(path) == "msglog.wal":
+        return lint_msglog(path)
     with open(path, "rb") as fh:
         magic = fh.read(8)
     if magic == b"CLOG2PY1":

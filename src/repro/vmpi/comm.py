@@ -276,6 +276,14 @@ class Communicator:
         )
         self.stats["messages"] += 1
         self.stats["bytes"] += nbytes
+        msglog = self.engine.msglog
+        if msglog is not None and msglog.on_isend(self, msg, task):
+            # Replay duplicate-suppression: the original incarnation
+            # already sent this message (the peer holds it, or already
+            # consumed it), so nothing enters the network — and the
+            # injector draws no decisions, keeping its RNG stream
+            # aligned with the fault-free schedule.
+            return Request(self, task, "send")
         injector = self.engine.fault_injector
         if injector is not None:
             # Fault injection (repro.vmpi.faults) owns delivery
@@ -296,6 +304,10 @@ class Communicator:
             # sub-communicator traffic files correctly.
             self.engine.journal.on_deliver(msg, self.engine.now,
                                            dest_task.rank)
+        if self.engine.msglog is not None:
+            # Determinant logging: the receive order every delivery
+            # establishes is what a replayed incarnation must observe.
+            self.engine.msglog.on_deliver(self, msg, dest_task.rank)
         mbox = self._mailbox(dest_task)
         mbox.arrivals += 1
         for observer in list(mbox.observers):

@@ -49,6 +49,17 @@ from repro.vmpi.errors import (
 _HANDOFF_TIMEOUT = 60.0
 
 
+class TaskKilled(BaseException):
+    """Unwinds a single task thread without touching the world.
+
+    Raised inside a task's own thread when message-logging recovery
+    (:mod:`repro.vmpi.msglog`) retires the crashed incarnation of a
+    rank.  Deliberately *not* an ``Exception`` so user-level ``except
+    Exception`` blocks cannot swallow the teardown, and deliberately
+    not :class:`AbortedError`: killing one rank must not abort the run.
+    """
+
+
 class TaskState(enum.Enum):
     NEW = "new"
     READY = "ready"  # wake event scheduled, not yet running
@@ -77,6 +88,12 @@ class Task:
         self.result: Any = None
         self.exc: BaseException | None = None
         self.aborted = False
+        # Set by msglog recovery: ``killed`` retires this incarnation at
+        # its next yield; ``replay`` (a msglog._ReplayState) makes
+        # advance()/wtime() run against replayed virtual time instead of
+        # the live heap while the respawned incarnation catches up.
+        self.killed = False
+        self.replay: Any = None
         # Local wall clock (possibly skewed/drifting) + per-rank RNG.
         self.clock = LocalClock(engine.skew_for(rank), engine.clock_resolution)
         self.rng = random.Random((engine.seed * 1_000_003 + rank) & 0xFFFFFFFF)
@@ -100,6 +117,11 @@ class Task:
         try:
             self.engine._check_abort()
             self.result = self.fn()
+        except TaskKilled:
+            # Retired by recovery: unwind quietly.  The respawned
+            # incarnation owns the rank from here; in particular we must
+            # not call _abort_locked_free.
+            self.killed = True
         except AbortedError:
             self.aborted = True
         except BaseException as exc:  # noqa: BLE001 - deliberate catch-all
@@ -237,6 +259,11 @@ class Engine:
         # deliveries, injections and aborts are journaled (record mode)
         # or verified against a recorded run (replay mode).
         self.journal: Any = None
+        # Installed by repro.vmpi.msglog.MessageLogger(); when set,
+        # sends are retained by the sender, deliveries produce
+        # determinants, and crash faults with recovery enabled are
+        # routed to localized replay instead of MPI_Abort.
+        self.msglog: Any = None
         # Fired exactly once when the world aborts (any cause: MPI_Abort,
         # rank crash, injected crash, deadlock teardown).  Hooks run
         # before task threads unwind, so crash-tolerant layers (MPE
@@ -302,6 +329,29 @@ class Engine:
         if dt < 0:
             raise EngineError(f"advance() needs dt >= 0, got {dt}")
         task = self._require_task()
+        rs = task.replay
+        if rs is not None:
+            target = rs.now + dt
+            if target > self._now:
+                # The replayed incarnation has caught up with the crash
+                # time mid-advance: rejoin live execution by scheduling
+                # the remainder on the real heap, exactly where the old
+                # incarnation's resume event would have landed.
+                task.replay = None
+                self.call_at(target, lambda: self._resume(task, None))
+                task.state = TaskState.READY
+                task.blocked_reason = reason
+                self._yield_current(task)
+                return
+            # Still behind the crash: burn replayed time only and hand
+            # control to the recovery driver, which delivers any
+            # determinants due at or before the new replay clock before
+            # resuming us (preserving what the original run observed).
+            rs.now = target
+            task.state = TaskState.READY
+            task.blocked_reason = reason
+            self._yield_current(task)
+            return
         if dt == 0.0:
             # Even zero-length compute is a scheduling point: it lets
             # same-time events interleave deterministically.
@@ -345,6 +395,8 @@ class Engine:
             mon.notify_all()
             while task.state is not TaskState.RUNNING:
                 mon.wait(_HANDOFF_TIMEOUT)
+        if task.killed:
+            raise TaskKilled(task.rank)
         self._check_abort()
 
     # -- abort ------------------------------------------------------------
@@ -497,4 +549,8 @@ class Engine:
     def wtime(self) -> float:
         """``MPI_Wtime`` for the calling task: skewed, quantised local time."""
         task = self._require_task()
+        if task.replay is not None:
+            # A replaying incarnation reads its replayed clock, so the
+            # records it re-buffers carry the original timestamps.
+            return task.clock.read(task.replay.now)
         return task.clock.read(self._now)

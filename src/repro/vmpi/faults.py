@@ -131,16 +131,28 @@ class MessageFault:
 @dataclass(frozen=True)
 class CrashFault:
     """Kill the job from ``rank`` at virtual time ``at`` (MPI_Abort
-    semantics: one rank dying takes the world down, as mpirun would)."""
+    semantics: one rank dying takes the world down, as mpirun would).
+
+    ``recover`` selects what happens when the engine has a message
+    logger attached (``-pirecover=msglog``): ``None`` defers to the
+    run-level setting, ``"msglog"`` opts this crash into localized
+    sender-based replay, and ``"never"`` forces the legacy
+    world-killing abort even when recovery is available.
+    """
 
     rank: int
     at: float
     errorcode: int = 134  # SIGABRT-flavoured, distinguishable from user aborts
     reason: str = ""
+    recover: str | None = None
 
     def __post_init__(self) -> None:
         if self.at < 0:
             raise FaultPlanError(f"crash time must be >= 0, got {self.at}")
+        if self.recover not in (None, "msglog", "never"):
+            raise FaultPlanError(
+                f"recover must be None, 'msglog' or 'never', "
+                f"got {self.recover!r}")
 
 
 @dataclass(frozen=True)
@@ -290,6 +302,14 @@ class FaultInjector:
         if all(t.state is TaskState.DONE for t in self.engine.tasks.values()):
             return  # the job outran the crash; nothing left to kill
         reason = rule.reason or f"injected crash of rank {rule.rank}"
+        msglog = self.engine.msglog
+        if msglog is not None and rule.recover != "never":
+            # Localized recovery: kill only the targeted rank and replay
+            # it from the peers' send logs — survivors keep running.
+            self._log(Injection(self.engine.now, "recover", rule_index,
+                                src=rule.rank, detail=reason))
+            msglog.recover_rank(rule, rule_index)
+            return
         self._log(Injection(self.engine.now, "crash", rule_index,
                             src=rule.rank, detail=reason))
         self.engine.abort(rule.errorcode, rule.rank, reason)
@@ -456,5 +476,10 @@ def plan_from_dict(data: dict) -> FaultPlan:
         try:
             rules.append(cls(**entry))
         except TypeError as exc:
+            raise FaultPlanError(f"rule #{i}: {exc}") from None
+        except FaultPlanError as exc:
+            # Field validation (__post_init__) knows nothing about its
+            # position in the plan; add it here so a bad `recover` or
+            # probability in rule 7 of a 40-rule file is findable.
             raise FaultPlanError(f"rule #{i}: {exc}") from None
     return FaultPlan(seed=int(data.get("seed", 0)), rules=rules)

@@ -284,6 +284,12 @@ class Journal:
         self._recorded_ckpts: dict[int, dict] = {}
         self._cursors: dict[int, int] = {}
         self._inject_cursor = 0
+        # Interval-barrier checkpoints only, in index order: the stream
+        # a replay's own barrier ticks verify against.  Forced
+        # checkpoints (watchdog checkpoint-and-stop) happen at fire
+        # time, not at a barrier, so a resumed run never re-takes them.
+        self._replay_ckpts: list[dict] = []
+        self._ckpt_cursor = 0
         self._ckpt_times: list[float] = []
         self.torn_bytes = 0
 
@@ -347,6 +353,9 @@ class Journal:
                 except ValueError:
                     continue  # torn checkpoint: the rename never happened
                 self._recorded_ckpts[int(ckpt["index"])] = ckpt
+        self._replay_ckpts = [self._recorded_ckpts[i]
+                              for i in sorted(self._recorded_ckpts)
+                              if not self._recorded_ckpts[i].get("forced")]
         self.torn_bytes = torn
 
     # -- engine attachment ------------------------------------------------
@@ -458,7 +467,15 @@ class Journal:
                 engine.call_at(engine.now + self.checkpoint_interval,
                                self._checkpoint_tick)
 
-    def _take_checkpoint(self) -> None:
+    def _take_checkpoint(self, forced: bool = False) -> None:
+        """Take one checkpoint now.
+
+        ``forced=True`` marks an out-of-band checkpoint (the watchdog's
+        checkpoint-and-stop) taken at fire time rather than at an
+        interval barrier; replay verification skips it, because a
+        resumed run — which by design does not stop there again —
+        never re-takes it.
+        """
         engine = self._require_engine()
         self._ckpt_index += 1
         index = self._ckpt_index
@@ -466,6 +483,8 @@ class Journal:
         for rank, task in sorted(engine.tasks.items()):
             ranks[str(rank)] = self.checkpoint_probe(task)
         data = {"index": index, "t": engine.now, "ranks": ranks}
+        if forced:
+            data["forced"] = True
         if self.mode == "replay":
             self._verify_checkpoint(data)
             return
@@ -476,6 +495,11 @@ class Journal:
             perf.count("checkpoint-write", records=1)
         else:
             self._write_checkpoint(index, data)
+        if engine.msglog is not None:
+            # The checkpoint barrier is the send-log GC point: the
+            # durable prefix it certifies is exactly what makes older
+            # retained payloads reclaimable.
+            engine.msglog.gc()
 
     def _write_checkpoint(self, index: int, data: dict) -> None:
         # WALs first (write-ahead: the checkpoint certifies them), then
@@ -485,8 +509,10 @@ class Journal:
             writer.sync()
         _atomic_write_json(os.path.join(self.path, checkpoint_name(index)),
                            data)
-        self._append(self._world_writer(), K_CKPT,
-                     {"index": index, "t": data["t"]})
+        marker = {"index": index, "t": data["t"]}
+        if data.get("forced"):
+            marker["forced"] = True
+        self._append(self._world_writer(), K_CKPT, marker)
 
     # -- replay verification ----------------------------------------------
 
@@ -534,19 +560,25 @@ class Journal:
                 f"{expected}, replayed {entry}")
 
     def _verify_checkpoint(self, data: dict) -> None:
-        stored = self._recorded_ckpts.get(int(data["index"]))
-        if stored is None:
+        # Match barrier checkpoints by order, not by stored index: a
+        # forced (checkpoint-and-stop) checkpoint in the recording
+        # consumes an index without consuming a barrier, and the replay
+        # does not re-take it.
+        cursor = self._ckpt_cursor
+        if cursor >= len(self._replay_ckpts):
             return  # past the last durable checkpoint: new territory
+        stored = self._replay_ckpts[cursor]
+        self._ckpt_cursor = cursor + 1
         if stored.get("t") != data["t"]:
             self._diverge(
-                f"checkpoint {data['index']} barrier moved: recorded at "
+                f"checkpoint {stored['index']} barrier moved: recorded at "
                 f"t={stored.get('t')!r}, replayed at t={data['t']!r}")
             return
         for rank, probe in data["ranks"].items():
             want = stored.get("ranks", {}).get(rank)
             if want != probe:
                 self._diverge(
-                    f"checkpoint {data['index']}: rank {rank} buffer "
+                    f"checkpoint {stored['index']}: rank {rank} buffer "
                     f"digest mismatch (recorded {want}, replayed {probe})")
 
     # -- reading / lifecycle ----------------------------------------------

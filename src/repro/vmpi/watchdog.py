@@ -12,9 +12,11 @@ allocation before anyone looks at the job.
 
 :class:`ProgressWatchdog` closes that gap in *virtual* time: a periodic
 engine event checks every unfinished task's ``last_active`` stamp (set
-by the scheduler at every resume), and when some rank has not run for
-``timeout`` virtual seconds the watchdog ends the run deliberately
-instead of letting it spin:
+by the scheduler at every resume), and when some rank has sat BLOCKED —
+waiting on input someone else must supply; a rank sleeping through its
+own declared compute is progressing, not hung — for ``timeout``
+virtual seconds the watchdog ends the run deliberately instead of
+letting it spin:
 
 ``action="abort"``
     tear the world down (errorcode :data:`WATCHDOG_ABORT`).  The
@@ -113,6 +115,12 @@ class ProgressWatchdog:
             if task.state is TaskState.DONE:
                 continue
             unfinished = True
+            if task.state is not TaskState.BLOCKED:
+                # READY means a wakeup is already on the heap (a long
+                # ``advance`` — declared compute): the rank is
+                # deterministically progressing, not hung.  Only a
+                # BLOCKED task waits on input someone else must supply.
+                continue
             idle = now - task.last_active
             if idle > self.timeout:
                 hung[rank] = idle
@@ -137,8 +145,11 @@ class ProgressWatchdog:
         if (self.action == "checkpoint" and journal is not None
                 and journal.mode == "record"):
             # Make the journaled prefix durable before stopping, so the
-            # hung run can be resumed/diagnosed from its journal.
-            journal._take_checkpoint()
+            # hung run can be resumed/diagnosed from its journal.  The
+            # checkpoint is marked forced: it sits at fire time, not at
+            # an interval barrier, and a resumed run (which must get
+            # *past* this point) never re-takes it.
+            journal._take_checkpoint(forced=True)
             engine.abort(WATCHDOG_CHECKPOINT, worst,
                          reason + " [checkpoint-and-stop]")
             return
