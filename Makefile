@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench chaos chaos-resume chaos-recover fsck examples figures clean check lint
+.PHONY: install test bench chaos chaos-resume chaos-recover diff-trace fsck examples figures clean check lint
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -39,6 +39,12 @@ chaos-resume:
 # recovery" in docs/robustness.md).
 chaos-recover:
 	$(PY) -m pytest tests/chaos/test_msglog.py tests/chaos/test_watchdog_recovery.py -q
+
+# Fault localization: inject -> replay clean -> diff -> blame matrix
+# (see "Fault localization" in docs/robustness.md).  Ad-hoc use:
+#   pilotcheck diff-trace good.clog2 bad.clog2
+diff-trace:
+	$(PY) -m pytest tests/chaos/test_tracediff.py tests/tracediff -q
 
 # Scan (and optionally repair) a log: make fsck FILE=run.clog2
 fsck:

@@ -1,0 +1,134 @@
+"""DIFF — trace-alignment throughput for the fault localizer.
+
+``pilotcheck diff-trace`` is only useful if diffing two real traces is
+interactive.  This benchmark builds a large synthetic trace pair (many
+ranks, unique-ish per-round message keys, one rank perturbed with a
+mid-run payload fault), times the align/diff/score path best-of-
+``ROUNDS`` through the public :func:`repro.tracediff.diff_traces`
+API, and writes ``benchmarks/out/BENCH_diff.json`` with records/sec per
+stage.  Two gates:
+
+* alignment throughput (both sides' records / wall time) must beat
+  ``DIFF_MIN_RPS`` (env-relaxable for noisy CI runners);
+* the byte-identity fast path must stay much faster than alignment —
+  replay verification should never pay for a diff.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.mpe.clog2 import Clog2File, write_clog2
+from repro.mpe.records import RECV, SEND, BareEvent, MsgEvent, StateDef
+from repro.perf import PerfRecorder
+from repro.tracediff import diff_traces
+
+ROUNDS = 5
+RANKS = 8
+MSG_ROUNDS = 3_000  # per worker: send+recv out, send+recv back
+FAULT_ROUND = 1_700
+
+#: Floor for alignment throughput, in combined records/sec.  Local runs
+#: measure well above this; CI can relax via the env var.
+DIFF_MIN_RPS = float(os.environ.get("DIFF_MIN_RPS", "100000"))
+
+
+def _make_log(perturb: bool) -> Clog2File:
+    defs = [StateDef(1, 2, "Round", "green")]
+    recs = []
+    t = 0.0
+    dt = 1e-5
+    for r in range(MSG_ROUNDS):
+        for w in range(1, RANKS):
+            size = 8
+            if perturb and w == 1 and r >= FAULT_ROUND:
+                size = 40  # the injected fault fattens every later reply
+            recs.append(MsgEvent(t, 0, SEND, w, r, 8))
+            recs.append(MsgEvent(t + dt / 4, w, RECV, 0, r, 8))
+            recs.append(MsgEvent(t + dt / 2, w, SEND, 0, 10_000 + r, size))
+            recs.append(MsgEvent(t + 3 * dt / 4, 0, RECV, w, 10_000 + r,
+                                 size))
+            t += dt
+        recs.append(BareEvent(t, 0, 1, ""))
+        recs.append(BareEvent(t + dt / 8, 0, 2, ""))
+        t += dt
+    recs.sort(key=lambda x: x.timestamp)
+    return Clog2File(1e-6, RANKS, defs, recs)
+
+
+def _best(fn) -> float:
+    floor = float("inf")
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        fn()
+        floor = min(floor, time.perf_counter() - t0)
+    return floor
+
+
+@pytest.mark.benchmark(group="diff")
+def test_diff_alignment_throughput(comparison, tmp_path, artifacts_dir):
+    log_a = _make_log(perturb=False)
+    log_b = _make_log(perturb=True)
+    total = len(log_a.records) + len(log_b.records)
+    path_a = str(tmp_path / "ref.clog2")
+    path_b = str(tmp_path / "fault.clog2")
+    path_a2 = str(tmp_path / "ref-replay.clog2")
+    write_clog2(path_a, log_a)
+    write_clog2(path_b, log_b)
+    write_clog2(path_a2, log_a)
+
+    # Correctness first: the perturbed rank must be blamed.
+    diff = diff_traces(path_a, path_b)
+    assert diff.blamed_rank == 1
+    assert not diff.empty
+
+    t_diff = _best(lambda: diff_traces(log_a, log_b))
+    t_full = _best(lambda: diff_traces(path_a, path_b))
+    t_ident = _best(lambda: diff_traces(path_a, path_a2))
+
+    perf = PerfRecorder()
+    diff_traces(path_a, path_b, perf=perf)
+    snap = perf.snapshot()
+
+    align_rps = total / t_diff
+    full_rps = total / t_full
+    table = comparison(f"DIFF: trace alignment (best of {ROUNDS}, "
+                       f"{total} records, {RANKS} ranks)")
+    table.add("align+score (in-memory)", f">={DIFF_MIN_RPS:,.0f} rec/s",
+              f"{align_rps:,.0f} rec/s ({t_diff * 1e3:.1f} ms)")
+    table.add("load+align+score (files)", "-",
+              f"{full_rps:,.0f} rec/s ({t_full * 1e3:.1f} ms)")
+    table.add("byte-identity fast path", "<< align",
+              f"{t_ident * 1e3:.2f} ms")
+
+    bench = {
+        "benchmark": "DIFF trace alignment throughput",
+        "rounds": ROUNDS,
+        "ranks": RANKS,
+        "records_total": total,
+        "blamed_rank": diff.blamed_rank,
+        "episodes": len(diff.episodes),
+        "align_s": t_diff,
+        "align_records_per_s": align_rps,
+        "load_align_s": t_full,
+        "load_align_records_per_s": full_rps,
+        "identical_fast_path_s": t_ident,
+        "perf_stages": snap["stages"],
+        "min_rps_gate": DIFF_MIN_RPS,
+    }
+    out = os.path.join(artifacts_dir, "BENCH_diff.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=2)
+    print(f"\nwrote {out}")
+
+    for stage in ("diff-load", "diff-align", "diff-score"):
+        assert stage in snap["stages"], f"missing perf stage {stage}"
+    assert align_rps >= DIFF_MIN_RPS, (
+        f"alignment ran at {align_rps:,.0f} records/s; the gate is "
+        f">={DIFF_MIN_RPS:,.0f} (relax with DIFF_MIN_RPS for noisy "
+        f"runners)")
+    assert t_ident < t_diff / 5, (
+        "the byte-identity fast path should be far cheaper than a full "
+        f"alignment (identity {t_ident:.3f}s vs align {t_diff:.3f}s)")

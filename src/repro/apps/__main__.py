@@ -26,9 +26,11 @@ from repro.apps.labs import DYNAMIC, STATIC, Lab3Config, lab1_main, lab3_main
 from repro.apps.thumbnail import ThumbnailConfig, thumbnail_main
 from repro.pilot import PilotOptions, run_pilot
 
-APPS = ("lab1", "lab2", "lab3", "thumbnail", "collisions")
+APPS = ("lab1", "lab2", "lab3", "thumbnail", "collisions",
+        "collisions-buggy-a", "collisions-buggy-b")
 DEFAULT_NPROCS = {"lab1": 5, "lab2": 6, "lab3": 5, "thumbnail": 6,
-                  "collisions": 6}
+                  "collisions": 6, "collisions-buggy-a": 6,
+                  "collisions-buggy-b": 6}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,6 +90,11 @@ def make_main(args):
                               seed=args.seed, stage_states=args.stage_states)
         return lambda argv: thumbnail_main(argv, cfg)
     cfg = CollisionConfig(nrecords=args.records, seed=args.seed or 7)
+    if args.app.startswith("collisions-buggy-"):
+        from repro.apps.collisions_buggy import collisions_buggy_main
+
+        variant = args.app.rsplit("-", 1)[1]
+        return lambda argv: collisions_buggy_main(argv, variant, cfg)
     return lambda argv: collisions_main(argv, args.variant, cfg)
 
 
@@ -167,6 +174,11 @@ def main(argv: list[str] | None = None) -> int:
                                label_b=args.clog)
         print()
         print(diff.summary())
+        from repro.tracediff import diff_traces
+
+        tdiff = diff_traces(args.diff_against, args.clog)
+        print()
+        print(tdiff.summary())
     return 0
 
 

@@ -18,7 +18,12 @@ Typical use::
 
 from repro.jumpshot.ascii import render_ascii
 from repro.jumpshot.canvas import Canvas, RowBox
-from repro.jumpshot.compare import render_comparison_svg
+from repro.jumpshot.compare import (
+    render_comparison_svg,
+    render_diff_ascii,
+    render_diff_svg,
+)
+from repro.jumpshot.markers import divergence_markers
 from repro.jumpshot.html import render_html
 from repro.jumpshot.legend import Legend, LegendEntry
 from repro.jumpshot.palette import PALETTE, rgb
@@ -40,10 +45,13 @@ __all__ = [
     "RowBox",
     "View",
     "annotate_lines",
+    "divergence_markers",
     "imbalance_ratio",
     "per_rank_load",
     "render_ascii",
     "render_comparison_svg",
+    "render_diff_ascii",
+    "render_diff_svg",
     "render_html",
     "render_source_ansi",
     "render_source_html",

@@ -10,9 +10,15 @@ clocks, and annotates each with its makespan; pairs naturally with
 
 from __future__ import annotations
 
+from typing import Any
 from xml.sax.saxutils import escape
 
 from repro._util.text import format_seconds
+from repro.jumpshot.markers import (
+    BLAME_COLOR,
+    EPISODE_GLYPHS,
+    divergence_markers,
+)
 from repro.jumpshot.svg import render_svg
 from repro.jumpshot.viewer import View
 from repro.slog2.model import Slog2Doc
@@ -63,6 +69,148 @@ def render_comparison_svg(doc_a: Slog2Doc, doc_b: Slog2Doc,
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(svg)
     return svg
+
+
+def render_diff_svg(doc_a: Slog2Doc, doc_b: Slog2Doc, diff: Any,
+                    path: str | None = None, *,
+                    label_a: str | None = None,
+                    label_b: str | None = None,
+                    width: int = 1100, row_height: int = 24,
+                    legend: bool = False) -> str:
+    """Two stacked timelines with shared divergence markers.
+
+    ``diff`` is a duck-typed :class:`repro.tracediff.TraceDiff` (this
+    module never imports that layer).  Each rank the localizer flags
+    gets a vertical marker line through both panels at its first
+    divergence time — dashed amber for diverging ranks, solid red for
+    the blamed one — plus a blame banner under the plots.
+    """
+    label_a = label_a or getattr(diff, "label_a", "A")
+    label_b = label_b or getattr(diff, "label_b", "B")
+    view_a = View(doc_a)
+    view_b = View(doc_b)
+    span = max(view_a.span, view_b.span)
+    view_a.set_window(view_a.full_range[0], view_a.full_range[0] + span)
+    view_b.set_window(view_b.full_range[0], view_b.full_range[0] + span)
+
+    svg_a = render_svg(view_a, width=width, row_height=row_height,
+                       legend=legend)
+    svg_b = render_svg(view_b, width=width, row_height=row_height,
+                       legend=legend)
+    height_a = _svg_height(svg_a)
+    height_b = _svg_height(svg_b)
+    header = 26
+    footer = 40
+    total_h = header * 2 + height_a + height_b + 8 + footer
+
+    # Canvas geometry (matches repro.jumpshot.canvas defaults).
+    ml = 90.0
+    pw = width - ml - 12.0
+
+    def lines_for(view: View, y0: float, height: float) -> list[str]:
+        t0 = view.full_range[0]
+        out = []
+        for marker in divergence_markers(diff):
+            if marker.at is None:
+                continue
+            frac = (marker.at - t0) / span
+            x = ml + min(max(frac, 0.0), 1.0) * pw
+            blamed = marker.kind == "blamed"
+            dash = "" if blamed else ' stroke-dasharray="4,3"'
+            stroke = 2.0 if blamed else 1.0
+            out.append(
+                f'<line x1="{x:.1f}" y1="{y0:.0f}" x2="{x:.1f}" '
+                f'y2="{y0 + height:.0f}" stroke="{marker.color}" '
+                f'stroke-width="{stroke}"{dash}>'
+                f'<title>{escape(marker.label)}</title></line>')
+        return out
+
+    def banner(y: float, label: str, view: View) -> str:
+        makespan = view.full_range[1] - view.full_range[0]
+        return (f'<text x="10" y="{y:.0f}" fill="#ffd700" '
+                f'font-weight="bold">{escape(label)} — makespan '
+                f'{escape(format_seconds(makespan))}</text>')
+
+    blamed = getattr(diff, "blamed_rank", None)
+    if blamed is not None:
+        top = next((s for s in diff.scores if s.rank == blamed), None)
+        verdict = (f"diff verdict: rank {blamed} most likely at fault"
+                   + (f" — {top.render()}" if top is not None else ""))
+        verdict_color = BLAME_COLOR
+    elif getattr(diff, "identical", False):
+        verdict, verdict_color = "diff verdict: traces are byte-identical", "#9ccc65"
+    elif getattr(diff, "empty", False):
+        verdict, verdict_color = "diff verdict: no divergence", "#9ccc65"
+    else:
+        verdict, verdict_color = "diff verdict: timing drift only", "#ffd700"
+    footer_lines = [
+        f'<text x="10" y="{total_h - footer + 16:.0f}" '
+        f'fill="{verdict_color}" font-weight="bold">'
+        f'{escape(verdict)}</text>']
+    if getattr(diff, "partial", False):
+        footer_lines.append(
+            f'<text x="10" y="{total_h - footer + 32:.0f}" fill="#ce93d8">'
+            f'partial alignment: salvaged/truncated input — only the '
+            f'readable spans were compared</text>')
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{total_h:.0f}" font-family="monospace" font-size="12">',
+        f'<rect width="{width}" height="{total_h:.0f}" fill="#0d0d0d"/>',
+        banner(18, label_a, view_a),
+        f'<g transform="translate(0,{header})">{_strip_svg_tag(svg_a)}</g>',
+        *lines_for(view_a, header, height_a),
+        banner(header + height_a + 18, label_b, view_b),
+        f'<g transform="translate(0,{header * 2 + height_a + 4})">'
+        f'{_strip_svg_tag(svg_b)}</g>',
+        *lines_for(view_b, header * 2 + height_a + 4, height_b),
+        *footer_lines,
+        "</svg>",
+    ]
+    svg = "\n".join(parts)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(svg)
+    return svg
+
+
+def render_diff_ascii(diff: Any, *, width: int = 100) -> str:
+    """Terminal overlay of a trace diff: one lane per diverging rank,
+    episode glyphs placed along a shared virtual-time axis
+    (``-`` missing, ``+`` extra, ``~`` reordered, ``#`` payload,
+    ``?`` mismatch, ``>`` time-shift), blamed rank flagged."""
+    lines = [f"trace diff: {diff.label_a} vs {diff.label_b}"]
+    time_range = diff.time_range()
+    blamed = getattr(diff, "blamed_rank", None)
+    if time_range is None:
+        lines.append("  (no divergence episodes to draw)")
+    else:
+        t0, t1 = time_range
+        if t1 <= t0:
+            t1 = t0 + 1e-12
+        lane = max(20, width - 12)
+        by_rank: dict[int, list[Any]] = {}
+        for ep in diff.episodes:
+            by_rank.setdefault(ep.rank, []).append(ep)
+        for rank in sorted(by_rank):
+            cells = ["."] * lane
+            for ep in by_rank[rank]:
+                if ep.time is None:
+                    continue
+                cell = min(int((ep.time - t0) / (t1 - t0) * (lane - 1)),
+                           lane - 1)
+                cells[cell] = EPISODE_GLYPHS.get(ep.kind, "?")
+            flag = "  <- blamed" if rank == blamed else ""
+            lines.append(f"rank {rank:3d} |{''.join(cells)}|{flag}")
+        lines.append(f"time axis |{t0:.6f} .. {t1:.6f}|  glyphs: "
+                     f"-missing +extra ~reordered #payload ?mismatch "
+                     f">shift")
+    for score in getattr(diff, "scores", []) or []:
+        if score.score > 0:
+            lines.append(f"  {score.render()}")
+    if getattr(diff, "partial", False):
+        lines.append("  partial alignment: salvaged/truncated input")
+    return "\n".join(lines)
 
 
 def _svg_height(svg: str) -> float:

@@ -24,8 +24,22 @@ from repro.mpe.recovery_marks import RECOVERY_STATE_NAME
 # Marker colours (SVG) and glyphs (ASCII).
 CRASH_COLOR = "#ff5252"
 RECOVERY_COLOR = "#ce93d8"  # light orchid: healed, not healthy-forever
+DIVERGENCE_COLOR = "#ffc400"  # amber: this rank's timeline differs
+BLAME_COLOR = "#ff1744"  # hot red: the rank the localizer blames
 CRASH_GLYPH = "X"
 RECOVERY_GLYPH = "@"
+DIVERGENCE_GLYPH = "!"
+BLAME_GLYPH = "*"
+
+# Per-episode glyphs the diff ASCII overlay uses on rank timelines.
+EPISODE_GLYPHS = {
+    "missing": "-",
+    "extra": "+",
+    "reordered": "~",
+    "payload": "#",
+    "mismatch": "?",
+    "time-shift": ">",
+}
 
 # Extra state glyphs the ASCII renderer folds into its defaults: the
 # replayed interval of a recovered rank reads as a striped band.
@@ -48,17 +62,21 @@ class RankMarker:
     recovered from in place."""
 
     rank: int
-    kind: str  # "crashed" | "recovered"
-    at: float | None  # virtual crash time, None when unknown
+    kind: str  # "crashed" | "recovered" | "diverged" | "blamed"
+    at: float | None  # virtual anchor time, None when unknown
     label: str  # popup / tooltip text
 
     @property
     def color(self) -> str:
-        return RECOVERY_COLOR if self.kind == "recovered" else CRASH_COLOR
+        return {"recovered": RECOVERY_COLOR,
+                "diverged": DIVERGENCE_COLOR,
+                "blamed": BLAME_COLOR}.get(self.kind, CRASH_COLOR)
 
     @property
     def glyph(self) -> str:
-        return RECOVERY_GLYPH if self.kind == "recovered" else CRASH_GLYPH
+        return {"recovered": RECOVERY_GLYPH,
+                "diverged": DIVERGENCE_GLYPH,
+                "blamed": BLAME_GLYPH}.get(self.kind, CRASH_GLYPH)
 
 
 def marker_anchor(at: float | None, t0: float, t1: float) -> float | None:
@@ -116,4 +134,24 @@ def rank_markers(doc: Any) -> list[RankMarker]:
         label = (f"rank {rank} crashed at {at:.9f}, recovered in-run"
                  + (f" ({n} episode(s))" if n else ""))
         markers.append(RankMarker(rank, "recovered", at, label))
+    return markers
+
+
+def divergence_markers(diff: Any) -> list[RankMarker]:
+    """Per-rank divergence markers for a trace diff.
+
+    ``diff`` is duck-typed (a :class:`repro.tracediff.TraceDiff`; this
+    module never imports that layer): it needs ``scores`` with
+    ``rank`` / ``score`` / ``first_divergence`` / ``render()`` and a
+    ``blamed_rank``.  The blamed rank gets the "blamed" marker, every
+    other diverging rank "diverged"; ranks with no divergence get none.
+    """
+    blamed = getattr(diff, "blamed_rank", None)
+    markers: list[RankMarker] = []
+    for score in getattr(diff, "scores", []) or []:
+        if score.score <= 0 and score.first_divergence is None:
+            continue
+        kind = "blamed" if score.rank == blamed else "diverged"
+        markers.append(RankMarker(
+            score.rank, kind, score.first_divergence, score.render()))
     return markers

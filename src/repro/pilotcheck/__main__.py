@@ -4,6 +4,7 @@ Subcommands::
 
     analyze MODULE:CALLABLE [--nprocs N] [--pilot-arg ARG]... [--format F]
     lint-trace FILE [FILE...] [--strict] [--format F]
+    diff-trace TRACE_A TRACE_B [--strict] [--format F] [--svg PATH]
     codes
 
 ``--format sarif`` prints findings as a SARIF 2.1.0 log on stdout (for
@@ -81,20 +82,14 @@ def _cmd_lint_trace(args: argparse.Namespace) -> int:
 
     worst = 0
     if args.format == "sarif":
-        import json
+        from repro.pilotcheck.sarif import SarifEmitter
 
-        from repro.pilotcheck.sarif import to_sarif
-
-        log = None
+        emitter = SarifEmitter()
         for path in args.files:
             findings = lint_path(path)
-            one = to_sarif(findings, artifact=path)
-            if log is None:
-                log = one
-            else:
-                log["runs"][0]["results"] += one["runs"][0]["results"]
+            emitter.add(findings, artifact=path)
             worst = max(worst, _exit_code(findings, args.strict))
-        print(json.dumps(log, indent=2, sort_keys=True))
+        print(emitter.json(), end="")
         return worst
     for path in args.files:
         findings = lint_path(path)
@@ -104,6 +99,56 @@ def _cmd_lint_trace(args: argparse.Namespace) -> int:
             print(f"{path}: clean")
         worst = max(worst, _exit_code(findings, args.strict))
     return worst
+
+
+def _cmd_diff_trace(args: argparse.Namespace) -> int:
+    from repro.tracediff import diff_findings, diff_traces
+
+    perf = None
+    if args.perf_json:
+        from repro.perf import PerfRecorder
+
+        perf = PerfRecorder()
+    try:
+        diff = diff_traces(args.trace_a, args.trace_b,
+                           errors=args.errors,
+                           time_tolerance=args.time_tolerance,
+                           label_a=args.label_a, label_b=args.label_b,
+                           perf=perf)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    findings = diff_findings(diff, max_per_code=args.top)
+
+    if args.svg or args.ascii:
+        from repro import jumpshot, slog2
+
+        if args.svg:
+            from repro.tracediff.load import load_side
+
+            side_a = load_side(args.trace_a, diff.label_a,
+                               errors=args.errors)
+            side_b = load_side(args.trace_b, diff.label_b,
+                               errors=args.errors)
+            doc_a, _ = slog2.convert(side_a.log, recovery=side_a.report)
+            doc_b, _ = slog2.convert(side_b.log, recovery=side_b.report)
+            jumpshot.render_diff_svg(doc_a, doc_b, diff, args.svg)
+            print(f"overlay written to {args.svg}", file=sys.stderr)
+        if args.ascii:
+            print(jumpshot.render_diff_ascii(diff, width=args.width))
+
+    if args.format == "sarif":
+        from repro.pilotcheck.sarif import SarifEmitter
+
+        print(SarifEmitter()
+              .add(findings, artifact=args.trace_b).json(), end="")
+    else:
+        print(diff.summary())
+        if findings:
+            print(render_findings(findings, header="findings:"))
+    if args.perf_json and perf is not None:
+        perf.dump(args.perf_json)
+    return _exit_code(findings, args.strict)
 
 
 def _cmd_codes(_args: argparse.Namespace) -> int:
@@ -144,6 +189,48 @@ def main(argv: list[str] | None = None) -> int:
                       default="text",
                       help="output format (sarif = SARIF 2.1.0 JSON)")
     p_lt.set_defaults(func=_cmd_lint_trace)
+
+    p_dt = sub.add_parser(
+        "diff-trace",
+        help="diff two traces and localize the rank most likely at "
+             "fault (DF codes)")
+    p_dt.add_argument("trace_a", metavar="TRACE_A",
+                      help="reference trace (fault-free / before); a "
+                           "CLOG2 path or the base path of salvage "
+                           "partials")
+    p_dt.add_argument("trace_b", metavar="TRACE_B",
+                      help="suspect trace (faulted / after)")
+    p_dt.add_argument("--strict", action="store_true",
+                      help="non-zero exit on warnings too")
+    p_dt.add_argument("--format", choices=("text", "sarif"),
+                      default="text",
+                      help="output format (sarif = SARIF 2.1.0 JSON)")
+    p_dt.add_argument("--errors", choices=("strict", "salvage"),
+                      default="salvage",
+                      help="reader policy for damaged inputs "
+                           "(default: salvage — align what is readable)")
+    p_dt.add_argument("--time-tolerance", type=float, default=1e-9,
+                      metavar="SECONDS",
+                      help="ignore timestamp drift up to this many "
+                           "virtual seconds (default 1e-9)")
+    p_dt.add_argument("--top", type=int, default=8, metavar="N",
+                      help="episode findings reported per DF code "
+                           "(default 8; overflow is summarized)")
+    p_dt.add_argument("--label-a", metavar="NAME",
+                      help="display label for TRACE_A (default: "
+                           "basename)")
+    p_dt.add_argument("--label-b", metavar="NAME",
+                      help="display label for TRACE_B")
+    p_dt.add_argument("--svg", metavar="PATH",
+                      help="write a side-by-side overlay SVG with "
+                           "divergence markers")
+    p_dt.add_argument("--ascii", action="store_true",
+                      help="print an ASCII divergence overlay")
+    p_dt.add_argument("--width", type=int, default=100,
+                      help="ASCII overlay width (default 100)")
+    p_dt.add_argument("--perf-json", metavar="PATH",
+                      help="dump align/diff/score perf counters as JSON")
+    p_dt.set_defaults(func=_cmd_diff_trace)
 
     p_codes = sub.add_parser("codes",
                              help="list the diagnostic code catalogue")

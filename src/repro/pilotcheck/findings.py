@@ -1,8 +1,9 @@
 """Diagnostic findings and the stable code catalogue.
 
-Every problem either analysis pass reports is a :class:`Finding` with a
-stable ``PCnnn`` (program analysis) or ``TRnnn`` (trace linter) code, so
-CI scripts and tests can assert on codes instead of message text.
+Every problem any analysis pass reports is a :class:`Finding` with a
+stable ``PCnnn`` (program analysis), ``TRnnn`` (trace linter) or
+``DFnnn`` (trace diff / fault localization) code, so CI scripts and
+tests can assert on codes instead of message text.
 """
 
 from __future__ import annotations
@@ -37,6 +38,22 @@ CODES: dict[str, tuple[str, str]] = {
               "logged sequence number, an out-of-order sequence on a "
               "lane, or a recovery episode whose replay accounting "
               "disagrees with the determinant log", "error"),
+    "DF001": ("traces diverge structurally; the listed rank is the one "
+              "most likely at fault (first divergence + blame "
+              "propagation)", "error"),
+    "DF002": ("events present in only one trace (missing/extra sends, "
+              "receives or states on a rank's timeline)", "warning"),
+    "DF003": ("same events on a rank, different order (reordered "
+              "sends/receives or states)", "warning"),
+    "DF004": ("matched message half with a different payload size, or "
+              "events replaced wholesale at the same position", "warning"),
+    "DF005": ("matched events shifted in virtual time beyond the "
+              "comparison tolerance", "warning"),
+    "DF006": ("partial alignment: a diff input was salvaged/truncated, "
+              "so the comparison covers only the readable spans",
+              "warning"),
+    "DF007": ("rank recorded as crashed/recovered on exactly one side "
+              "of the diff", "warning"),
 }
 
 

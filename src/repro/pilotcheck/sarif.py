@@ -86,32 +86,67 @@ def _result(finding: Finding, rule_index: dict[str, int],
     return result
 
 
+class SarifEmitter:
+    """The one shared SARIF writer for every pilotcheck surface.
+
+    ``analyze``, ``lint-trace`` and ``diff-trace`` all feed finding
+    batches (optionally anchored to an artifact each) into one emitter
+    and serialize once; multi-file runs land in a single SARIF run with
+    the full rule catalogue, instead of each caller hand-merging
+    ``runs[0]["results"]``.
+    """
+
+    def __init__(self) -> None:
+        self._batches: list[tuple[list[Finding], str | None]] = []
+
+    def add(self, findings: list[Finding], *,
+            artifact: str | None = None) -> "SarifEmitter":
+        """Queue one batch of findings, anchored to ``artifact`` when
+        they carry no callsite of their own.  Returns self (chainable)."""
+        self._batches.append((list(findings), artifact))
+        return self
+
+    @property
+    def findings(self) -> list[Finding]:
+        return [f for batch, _ in self._batches for f in batch]
+
+    def log(self) -> dict:
+        """All queued batches as one single-run SARIF 2.1.0 log dict."""
+        rules = _rules()
+        rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+        results = [_result(f, rule_index, artifact)
+                   for batch, artifact in self._batches
+                   for f in batch]
+        return {
+            "$schema": SARIF_SCHEMA,
+            "version": SARIF_VERSION,
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "pilotcheck",
+                    "informationUri": _TOOL_URI,
+                    "rules": rules,
+                }},
+                "results": results,
+            }],
+        }
+
+    def json(self) -> str:
+        """:meth:`log` serialized, trailing newline included."""
+        return json.dumps(self.log(), indent=2, sort_keys=True) + "\n"
+
+
 def to_sarif(findings: list[Finding], *,
              artifact: str | None = None) -> dict:
-    """Build one SARIF 2.1.0 log dict from a finding list.
+    """Build one SARIF 2.1.0 log dict from a single finding list.
 
-    ``artifact`` names the analyzed file (a trace, say) and anchors
-    findings that carry no callsite of their own.
+    Convenience wrapper over :class:`SarifEmitter` for one-batch
+    callers; ``artifact`` names the analyzed file (a trace, say) and
+    anchors findings that carry no callsite of their own.
     """
-    rules = _rules()
-    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
-    return {
-        "$schema": SARIF_SCHEMA,
-        "version": SARIF_VERSION,
-        "runs": [{
-            "tool": {"driver": {
-                "name": "pilotcheck",
-                "informationUri": _TOOL_URI,
-                "rules": rules,
-            }},
-            "results": [_result(f, rule_index, artifact)
-                        for f in findings],
-        }],
-    }
+    return SarifEmitter().add(findings, artifact=artifact).log()
 
 
 def sarif_json(findings: list[Finding], *,
                artifact: str | None = None) -> str:
     """:func:`to_sarif` serialized, trailing newline included."""
-    return json.dumps(to_sarif(findings, artifact=artifact),
-                      indent=2, sort_keys=True) + "\n"
+    return SarifEmitter().add(findings, artifact=artifact).json()

@@ -1,0 +1,49 @@
+"""Trace diffing and faulty-process localization.
+
+Given two merged CLOG2 traces of the *same* program — fault-free vs
+faulted, two seeds, or two code versions — :func:`diff_traces` aligns
+them rank by rank on event structure (Okita et al.'s determinant
+order), classifies every divergence episode, and ranks the ranks most
+likely at fault by first divergence plus blame propagation along
+receive edges.  The result feeds three consumers:
+
+* ``python -m repro.pilotcheck diff-trace A B`` — text or SARIF 2.1.0
+  with the ``DF001``–``DF007`` finding codes;
+* :func:`repro.jumpshot.render_diff_svg` — side-by-side timelines with
+  shared divergence markers;
+* this library API (:class:`TraceDiff` with scores and episodes).
+
+Salvaged, truncated, or torn inputs are accepted through the tolerant
+readers (``errors="salvage"``); the diff then carries a partial-
+alignment note instead of failing.
+"""
+
+from repro.tracediff.align import (
+    KIND_WEIGHTS,
+    STRUCTURAL_KINDS,
+    DiffEpisode,
+    align_rank,
+    event_key,
+    event_name_table,
+)
+from repro.tracediff.diff import TraceDiff, diff_sides, diff_traces
+from repro.tracediff.load import TraceSide, load_side
+from repro.tracediff.report import diff_findings
+from repro.tracediff.score import RankScore, score_ranks
+
+__all__ = [
+    "DiffEpisode",
+    "KIND_WEIGHTS",
+    "RankScore",
+    "STRUCTURAL_KINDS",
+    "TraceDiff",
+    "TraceSide",
+    "align_rank",
+    "diff_findings",
+    "diff_sides",
+    "diff_traces",
+    "event_key",
+    "event_name_table",
+    "load_side",
+    "score_ranks",
+]

@@ -1,0 +1,428 @@
+"""Per-rank trace alignment: two merged CLOG2 streams -> divergence episodes.
+
+The determinant of a rank's execution, as far as the log can see, is
+the *order* of its records — which states it entered, which message
+halves it logged against which partner/tag/size — not their wall-clock
+timestamps.  Okita et al. localize faulty processes by aligning exactly
+this per-process event order between a reference trace and a suspect
+trace and scoring where they first disagree; this module is that
+alignment.
+
+Each record is normalised to a hashable :func:`event_key` (names
+instead of raw event ids, so two code versions whose id-allocation
+order differs still align), the per-rank key sequences are matched with
+:class:`difflib.SequenceMatcher`, and every non-equal opcode becomes a
+:class:`DiffEpisode` classified as ``missing`` / ``extra`` /
+``reordered`` / ``payload`` / ``mismatch``; equal spans are scanned for
+``time-shift`` episodes (same structure, moved in time beyond a
+tolerance).
+"""
+
+from __future__ import annotations
+
+import difflib
+from bisect import bisect_left
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.mpe.records import (
+    RECV,
+    SEND,
+    Definition,
+    EventDef,
+    LogRecord,
+    MsgEvent,
+    StateDef,
+)
+
+#: Episode kinds that change the event *structure* (as opposed to pure
+#: timing): these drive first-divergence and blame scoring.
+STRUCTURAL_KINDS = frozenset(
+    {"missing", "extra", "reordered", "payload", "mismatch"})
+
+# Blame weights per event, by episode kind.  Structural damage counts
+# full; a reorder keeps the same events so it is cheaper; a time shift
+# is circumstantial (every rank downstream of a delay shifts).
+KIND_WEIGHTS = {
+    "missing": 1.0,
+    "extra": 1.0,
+    "mismatch": 1.0,
+    "payload": 1.0,
+    "reordered": 0.5,
+    "time-shift": 0.02,
+}
+
+
+@dataclass(frozen=True)
+class DiffEpisode:
+    """One contiguous run of divergence on one rank's timeline."""
+
+    rank: int
+    kind: str  # see KIND_WEIGHTS
+    index_a: int  # start position in the rank's trace-A stream
+    index_b: int  # start position in the rank's trace-B stream
+    count: int  # events involved (max of the two spans)
+    time_a: float | None  # virtual time of the first involved A event
+    time_b: float | None
+    weight: float
+    detail: str
+    #: Partner ranks of RECV halves inside the span — blame propagation
+    #: follows these edges back to the sender.
+    recv_partners: tuple[int, ...] = ()
+
+    @property
+    def time(self) -> float | None:
+        """Earliest virtual time the episode is anchored to."""
+        times = [t for t in (self.time_a, self.time_b) if t is not None]
+        return min(times) if times else None
+
+    def render(self) -> str:
+        at = f" at t={self.time:.6f}" if self.time is not None else ""
+        return (f"rank {self.rank}: {self.kind} x{self.count}{at} "
+                f"({self.detail})")
+
+
+def event_name_table(definitions: list[Definition]) -> dict[int, str]:
+    """event id -> stable display name (state start/end or solo event)."""
+    names: dict[int, str] = {}
+    for d in definitions:
+        if isinstance(d, StateDef):
+            names[d.start_id] = f"{d.name}.start"
+            names[d.end_id] = f"{d.name}.end"
+        elif isinstance(d, EventDef):
+            names[d.event_id] = d.name
+    return names
+
+
+def event_key(rec: LogRecord, names: dict[int, str]) -> tuple:
+    """Hashable structural identity of one record (timestamp excluded)."""
+    if isinstance(rec, MsgEvent):
+        return ("S" if rec.kind == SEND else "R",
+                rec.other_rank, rec.tag, rec.size)
+    return ("E", names.get(rec.event_id, f"event#{rec.event_id}"), rec.text)
+
+
+def rank_streams(records: list[LogRecord]) -> dict[int, list[LogRecord]]:
+    """Records grouped per rank, preserving merged (program) order."""
+    streams: dict[int, list[LogRecord]] = {}
+    for rec in records:
+        streams.setdefault(rec.rank, []).append(rec)
+    return streams
+
+
+def _span_detail(keys: list[tuple], limit: int = 3) -> str:
+    shown = ", ".join(_key_str(k) for k in keys[:limit])
+    if len(keys) > limit:
+        shown += f", … +{len(keys) - limit}"
+    return shown
+
+
+def _key_str(key: tuple) -> str:
+    if key[0] == "S":
+        return f"send->{key[1]} tag={key[2]} size={key[3]}"
+    if key[0] == "R":
+        return f"recv<-{key[1]} tag={key[2]} size={key[3]}"
+    text = f" {key[2]!r}" if key[2] else ""
+    return f"{key[1]}{text}"
+
+
+def _recv_partners(records: list[LogRecord]) -> tuple[int, ...]:
+    partners = sorted({r.other_rank for r in records
+                       if isinstance(r, MsgEvent) and r.kind == RECV})
+    return tuple(partners)
+
+
+def _time_of(records: list[LogRecord], index: int) -> float | None:
+    if 0 <= index < len(records):
+        return records[index].timestamp
+    return None
+
+
+def _classify_replace(rank: int, i1: int, j1: int,
+                      recs_a: list[LogRecord], recs_b: list[LogRecord],
+                      keys_a: list[tuple], keys_b: list[tuple],
+                      ) -> list[DiffEpisode]:
+    """A ``replace`` opcode span, classified.
+
+    Same multiset of keys -> ``reordered``.  Otherwise pair the spans
+    positionally: message halves on the same lane (direction, partner,
+    tag) whose sizes differ are ``payload`` mismatches; whatever is
+    left is a generic ``mismatch`` (events replaced wholesale).
+    """
+    span_a = keys_a
+    span_b = keys_b
+    if Counter(span_a) == Counter(span_b):
+        count = len(span_a)
+        return [DiffEpisode(
+            rank, "reordered", i1, j1, count,
+            _time_of(recs_a, 0), _time_of(recs_b, 0),
+            KIND_WEIGHTS["reordered"] * count,
+            f"same events, different order: {_span_detail(span_a)}",
+            _recv_partners(recs_a) or _recv_partners(recs_b))]
+
+    episodes: list[DiffEpisode] = []
+    payload_pairs: list[int] = []
+    leftovers: list[int] = []
+    for k in range(max(len(span_a), len(span_b))):
+        if k < len(span_a) and k < len(span_b):
+            ka, kb = span_a[k], span_b[k]
+            if (ka[0] in ("S", "R") and ka[0] == kb[0]
+                    and ka[1] == kb[1] and ka[2] == kb[2] and ka != kb):
+                payload_pairs.append(k)
+                continue
+        leftovers.append(k)
+    if payload_pairs:
+        k0 = payload_pairs[0]
+        pair_recs = [recs_a[k] for k in payload_pairs if k < len(recs_a)]
+        pair_recs += [recs_b[k] for k in payload_pairs if k < len(recs_b)]
+        details = []
+        for k in payload_pairs[:3]:
+            details.append(f"{_key_str(span_a[k])} vs size={span_a[k][3]}"
+                           f"->{span_b[k][3]}")
+        episodes.append(DiffEpisode(
+            rank, "payload", i1 + k0, j1 + k0, len(payload_pairs),
+            _time_of(recs_a, k0), _time_of(recs_b, k0),
+            KIND_WEIGHTS["payload"] * len(payload_pairs),
+            "; ".join(details), _recv_partners(pair_recs)))
+    if leftovers:
+        k0 = leftovers[0]
+        count = len(leftovers)
+        left_a = [span_a[k] for k in leftovers if k < len(span_a)]
+        left_b = [span_b[k] for k in leftovers if k < len(span_b)]
+        mism_recs = [recs_a[k] for k in leftovers if k < len(recs_a)]
+        mism_recs += [recs_b[k] for k in leftovers if k < len(recs_b)]
+        episodes.append(DiffEpisode(
+            rank, "mismatch", i1 + k0, j1 + k0, count,
+            _time_of(recs_a, k0), _time_of(recs_b, k0),
+            KIND_WEIGHTS["mismatch"] * count,
+            f"A has [{_span_detail(left_a)}]; B has [{_span_detail(left_b)}]",
+            _recv_partners(mism_recs)))
+    return episodes
+
+
+def _shift_episodes(rank: int, i1: int, j1: int,
+                    recs_a: list[LogRecord], recs_b: list[LogRecord],
+                    tolerance: float) -> list[DiffEpisode]:
+    """Time-shift episodes inside an ``equal`` span: consecutive matched
+    pairs whose timestamps disagree by more than ``tolerance``."""
+    episodes: list[DiffEpisode] = []
+    start = None
+    worst = 0.0
+    for k, (ra, rb) in enumerate(zip(recs_a, recs_b)):
+        dt = rb.timestamp - ra.timestamp
+        if abs(dt) > tolerance:
+            if start is None:
+                start = k
+                worst = dt
+            elif abs(dt) > abs(worst):
+                worst = dt
+            continue
+        if start is not None:
+            episodes.append(_shift_episode(
+                rank, i1, j1, recs_a, recs_b, start, k, worst))
+            start = None
+    if start is not None:
+        episodes.append(_shift_episode(
+            rank, i1, j1, recs_a, recs_b, start, len(recs_a), worst))
+    return episodes
+
+
+def _shift_episode(rank, i1, j1, recs_a, recs_b, start, end,
+                   worst) -> DiffEpisode:
+    count = end - start
+    return DiffEpisode(
+        rank, "time-shift", i1 + start, j1 + start, count,
+        recs_a[start].timestamp, recs_b[start].timestamp,
+        KIND_WEIGHTS["time-shift"] * count,
+        f"{count} matched event(s) shifted, worst {worst:+.6f}s")
+
+
+#: How far apart (in stream positions) a missing/extra pair with the
+#: same event multiset may sit and still be folded into one "reordered"
+#: episode — an adjacent swap comes out of SequenceMatcher as a
+#: delete + insert straddling the matched span, not as one replace.
+REORDER_WINDOW = 8
+
+
+def _merge_reorder_pairs(rank: int,
+                         raw: "list[tuple[DiffEpisode, Counter | None]]"
+                         ) -> list[DiffEpisode]:
+    out: list[DiffEpisode] = []
+    used: set[int] = set()
+    for idx, (ep, cnt) in enumerate(raw):
+        if idx in used:
+            continue
+        if cnt is None:
+            out.append(ep)
+            continue
+        merged = False
+        for jdx in range(idx + 1, len(raw)):
+            if jdx in used:
+                continue
+            ep2, cnt2 = raw[jdx]
+            if (cnt2 is not None and ep2.kind != ep.kind and cnt2 == cnt
+                    and abs(ep2.index_a - ep.index_a)
+                    <= ep.count + REORDER_WINDOW):
+                out.append(DiffEpisode(
+                    rank, "reordered",
+                    min(ep.index_a, ep2.index_a),
+                    min(ep.index_b, ep2.index_b),
+                    ep.count, ep.time_a, ep2.time_b,
+                    KIND_WEIGHTS["reordered"] * ep.count,
+                    f"same events, different order: "
+                    f"{_span_detail(list(cnt.elements()))}",
+                    tuple(sorted(set(ep.recv_partners)
+                                 | set(ep2.recv_partners)))))
+                used.add(jdx)
+                merged = True
+                break
+        if not merged:
+            out.append(ep)
+    return out
+
+
+#: Streams longer than this skip the single whole-stream
+#: SequenceMatcher pass — quadratic when small divergences are
+#: scattered through a long run — in favour of a patience-diff split:
+#: keys unique in *both* streams anchor the alignment, and only the
+#: (typically short) gaps between anchors are matched quadratically.
+ANCHOR_THRESHOLD = 4096
+
+
+def _patience_anchors(keys_a: list[tuple],
+                      keys_b: list[tuple]) -> list[tuple[int, int]]:
+    """Anchor pairs ``(pos_a, pos_b)`` of keys unique in both streams,
+    as a longest subsequence increasing in both coordinates."""
+    count_a = Counter(keys_a)
+    count_b = Counter(keys_b)
+    pos_b = {k: i for i, k in enumerate(keys_b)
+             if count_b[k] == 1 and count_a[k] == 1}
+    pairs = [(i, pos_b[k]) for i, k in enumerate(keys_a)
+             if count_a[k] == 1 and k in pos_b]
+    # pairs ascend in pos_a; patience-LIS on pos_b keeps the longest
+    # mutually ordered subset.
+    chain: list[tuple[int, int, int]] = []  # (pa, pb, prev chain idx)
+    piles: list[int] = []  # chain index of each pile top
+    tops: list[int] = []  # pos_b of each pile top (sorted)
+    for pa, pb in pairs:
+        k = bisect_left(tops, pb)
+        chain.append((pa, pb, piles[k - 1] if k else -1))
+        if k == len(tops):
+            tops.append(pb)
+            piles.append(len(chain) - 1)
+        else:
+            tops[k] = pb
+            piles[k] = len(chain) - 1
+    anchors: list[tuple[int, int]] = []
+    idx = piles[-1] if piles else -1
+    while idx != -1:
+        pa, pb, idx = chain[idx]
+        anchors.append((pa, pb))
+    anchors.reverse()
+    return anchors
+
+
+def _push_opcode(out: list[tuple[str, int, int, int, int]],
+                 op: tuple[str, int, int, int, int]) -> None:
+    """Append an opcode, coalescing with a contiguous same-tag tail."""
+    if out:
+        tag, i1, i2, j1, j2 = out[-1]
+        if tag == op[0] and i2 == op[1] and j2 == op[3]:
+            out[-1] = (tag, i1, op[2], j1, op[4])
+            return
+    out.append(op)
+
+
+def _opcodes(keys_a: list[tuple],
+             keys_b: list[tuple]) -> list[tuple[str, int, int, int, int]]:
+    """SequenceMatcher opcodes, patience-anchored when the streams are
+    long (near-linear for scattered local divergences; identical
+    downstream semantics — the gap segments still come from
+    SequenceMatcher)."""
+    if max(len(keys_a), len(keys_b)) <= ANCHOR_THRESHOLD:
+        return difflib.SequenceMatcher(
+            None, keys_a, keys_b, autojunk=False).get_opcodes()
+    anchors = _patience_anchors(keys_a, keys_b)
+    if not anchors:
+        return difflib.SequenceMatcher(
+            None, keys_a, keys_b, autojunk=False).get_opcodes()
+    out: list[tuple[str, int, int, int, int]] = []
+
+    def emit_gap(a1: int, a2: int, b1: int, b2: int) -> None:
+        if a1 == a2 and b1 == b2:
+            return
+        for tag, i1, i2, j1, j2 in _opcodes(keys_a[a1:a2], keys_b[b1:b2]):
+            _push_opcode(out, (tag, i1 + a1, i2 + a1, j1 + b1, j2 + b1))
+
+    ai = bi = 0
+    for pa, pb in anchors:
+        emit_gap(ai, pa, bi, pb)
+        _push_opcode(out, ("equal", pa, pa + 1, pb, pb + 1))
+        ai, bi = pa + 1, pb + 1
+    emit_gap(ai, len(keys_a), bi, len(keys_b))
+    return out
+
+
+def align_rank(rank: int, recs_a: list[LogRecord], recs_b: list[LogRecord],
+               names_a: dict[int, str], names_b: dict[int, str], *,
+               time_tolerance: float = 1e-9) -> list[DiffEpisode]:
+    """Align one rank's two record streams and emit its episodes.
+
+    Short streams get one :class:`difflib.SequenceMatcher` pass over
+    the normalised key sequences (``autojunk`` off: popular keys —
+    repeated states in a loop — are exactly what must stay alignable);
+    long streams are patience-anchored first (see :func:`_opcodes`).
+    """
+    keys_a = [event_key(r, names_a) for r in recs_a]
+    keys_b = [event_key(r, names_b) for r in recs_b]
+    if keys_a == keys_b:
+        # Structurally identical: only timing can differ.
+        return _shift_episodes(rank, 0, 0, recs_a, recs_b, time_tolerance)
+    # (episode, key multiset) pairs; the multiset is kept only for
+    # missing/extra episodes so swap halves can be fused afterwards.
+    raw: list[tuple[DiffEpisode, Counter | None]] = []
+    for tag, i1, i2, j1, j2 in _opcodes(keys_a, keys_b):
+        if tag == "equal":
+            raw.extend((ep, None) for ep in _shift_episodes(
+                rank, i1, j1, recs_a[i1:i2], recs_b[j1:j2], time_tolerance))
+        elif tag == "delete":
+            count = i2 - i1
+            raw.append((DiffEpisode(
+                rank, "missing", i1, j1, count,
+                _time_of(recs_a, i1), _time_of(recs_b, j1),
+                KIND_WEIGHTS["missing"] * count,
+                f"only in A: {_span_detail(keys_a[i1:i2])}",
+                _recv_partners(recs_a[i1:i2])), Counter(keys_a[i1:i2])))
+        elif tag == "insert":
+            count = j2 - j1
+            raw.append((DiffEpisode(
+                rank, "extra", i1, j1, count,
+                _time_of(recs_a, i1), _time_of(recs_b, j1),
+                KIND_WEIGHTS["extra"] * count,
+                f"only in B: {_span_detail(keys_b[j1:j2])}",
+                _recv_partners(recs_b[j1:j2])), Counter(keys_b[j1:j2])))
+        else:  # replace
+            raw.extend((ep, None) for ep in _classify_replace(
+                rank, i1, j1, recs_a[i1:i2], recs_b[j1:j2],
+                keys_a[i1:i2], keys_b[j1:j2]))
+    return _merge_reorder_pairs(rank, raw)
+
+
+def matched_events(episodes: list[DiffEpisode],
+                   total_a: int, total_b: int) -> int:
+    """How many A-events aligned structurally (for coverage reporting)."""
+    diverged = sum(ep.count for ep in episodes
+                   if ep.kind in STRUCTURAL_KINDS)
+    return max(0, min(total_a, total_b) - diverged)
+
+
+__all__ = [
+    "STRUCTURAL_KINDS",
+    "KIND_WEIGHTS",
+    "DiffEpisode",
+    "align_rank",
+    "event_key",
+    "event_name_table",
+    "matched_events",
+    "rank_streams",
+]

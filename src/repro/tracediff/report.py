@@ -1,0 +1,106 @@
+"""TraceDiff -> pilotcheck findings (the DF code family).
+
+The diff reuses the pilotcheck reporting stack wholesale: every
+divergence episode becomes a :class:`~repro.pilotcheck.findings.Finding`
+with a stable ``DFnnn`` code, so ``pilotcheck diff-trace`` gets text and
+SARIF output, exit-code policy, and CI ingestion for free.
+
+Episode floods are capped per code (a single missing barrier can
+produce hundreds of downstream episodes); the cap is always announced
+in a summary finding, never silent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.pilotcheck.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tracediff.align import DiffEpisode
+    from repro.tracediff.diff import TraceDiff
+
+#: Episode kind -> finding code.
+KIND_CODES = {
+    "missing": "DF002",
+    "extra": "DF002",
+    "reordered": "DF003",
+    "payload": "DF004",
+    "mismatch": "DF004",
+    "time-shift": "DF005",
+}
+
+#: Default per-code episode cap in finding output.
+MAX_PER_CODE = 8
+
+
+def _episode_finding(ep: "DiffEpisode", label_a: str,
+                     label_b: str) -> Finding:
+    code = KIND_CODES[ep.kind]
+    side = ""
+    if ep.kind == "missing":
+        side = f" (present in {label_a}, absent in {label_b})"
+    elif ep.kind == "extra":
+        side = f" (absent in {label_a}, present in {label_b})"
+    at = f" at t={ep.time:.6f}" if ep.time is not None else ""
+    return Finding(
+        code,
+        f"rank {ep.rank}: {ep.kind} x{ep.count}{at}{side}: {ep.detail}",
+        severity="warning", rank=ep.rank)
+
+
+def diff_findings(diff: "TraceDiff", *,
+                  max_per_code: int = MAX_PER_CODE) -> list[Finding]:
+    """Flatten a :class:`TraceDiff` into pilotcheck findings.
+
+    A non-empty diff always leads with one ``DF001`` error naming the
+    blamed rank (that is what drives the exit code); per-episode
+    ``DF002``–``DF005`` warnings follow, capped at ``max_per_code`` per
+    code with an explicit overflow note.  Salvaged inputs add ``DF006``
+    and side-asymmetric ranks ``DF007``.
+    """
+    findings: list[Finding] = []
+    if not diff.empty:
+        blamed = diff.blamed_rank
+        diverged = sum(ep.count for ep in diff.structural_episodes)
+        ranked = ", ".join(
+            f"rank {s.rank} ({s.score:.2f})"
+            for s in diff.scores[:3] if s.score > 0)
+        msg = (f"traces diverge ({diverged} event(s) in "
+               f"{len(diff.episodes)} episode(s) across rank(s) "
+               f"{diff.diverging_ranks()})")
+        if blamed is not None:
+            msg += f"; most likely at fault: {ranked}"
+        findings.append(Finding(
+            "DF001", msg, severity="error", rank=blamed,
+            ranks=tuple(diff.diverging_ranks())))
+
+    per_code: dict[str, int] = {}
+    overflow: dict[str, int] = {}
+    for ep in diff.episodes:
+        code = KIND_CODES[ep.kind]
+        if per_code.get(code, 0) >= max_per_code:
+            overflow[code] = overflow.get(code, 0) + 1
+            continue
+        per_code[code] = per_code.get(code, 0) + 1
+        findings.append(_episode_finding(ep, diff.label_a, diff.label_b))
+    for code, count in sorted(overflow.items()):
+        findings.append(Finding(
+            code, f"… {count} further {code} episode(s) suppressed "
+                  f"(cap {max_per_code} per code)", severity="warning"))
+
+    for note in diff.salvage_notes:
+        findings.append(Finding(
+            "DF006", f"partial alignment: {note}", severity="warning"))
+
+    crashed_notes = {s.rank: note for s in diff.scores
+                     for note in s.notes if note.startswith("crashed only")}
+    for rank, note in sorted(crashed_notes.items()):
+        findings.append(Finding(
+            "DF007", f"rank {rank} {note}: its stream exists on only "
+                     f"one side of the diff", severity="warning",
+            rank=rank))
+    return findings
+
+
+__all__ = ["KIND_CODES", "MAX_PER_CODE", "diff_findings"]

@@ -1,0 +1,130 @@
+"""Faulty-rank ranking: first divergence + blame propagation.
+
+Okita et al.'s observation is that in a message-passing program the
+process that *originates* a fault diverges from the reference trace
+before the processes it infects, and that divergence observed at a
+receive should be charged (at least partly) to the matching sender.
+The score here is a direct transcription:
+
+* every divergence episode charges its own rank (``direct``, weighted
+  by kind — see :data:`repro.tracediff.align.KIND_WEIGHTS`);
+* an episode containing receive halves moves half its weight to any
+  partner rank that structurally diverged *earlier* (``propagated`` —
+  the infection edge);
+* the rank whose structural divergence starts earliest gets a recency
+  multiplier (up to 2x), because first divergence is the strongest
+  localization signal the trace offers;
+* a rank marked crashed in exactly one side's
+  :class:`~repro.mpe.recovery.RecoveryReport` carries that prior as an
+  additive bonus — when an abort truncates every stream at the same
+  instant, the crash record is what breaks the tie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tracediff.align import STRUCTURAL_KINDS, DiffEpisode
+
+#: Blame fraction a receive-side episode forwards to an earlier-diverged
+#: sender.
+PROPAGATION = 0.5
+#: Additive prior for a rank crashed on exactly one side.
+CRASH_PRIOR = 1.0
+
+
+@dataclass(frozen=True)
+class RankScore:
+    """One rank's standing in the fault ranking (higher = more suspect)."""
+
+    rank: int
+    score: float
+    direct: float
+    propagated: float
+    first_divergence: float | None
+    episodes: int
+    notes: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        first = (f"first divergence t={self.first_divergence:.6f}"
+                 if self.first_divergence is not None else "no divergence")
+        line = (f"rank {self.rank}: score {self.score:.2f} "
+                f"(direct {self.direct:.2f}, propagated "
+                f"{self.propagated:+.2f}, {first}, "
+                f"{self.episodes} episode(s))")
+        for note in self.notes:
+            line += f" [{note}]"
+        return line
+
+
+def first_divergence_times(episodes: list[DiffEpisode]
+                           ) -> dict[int, float]:
+    """rank -> earliest *structural* divergence time.  Falls back to
+    time-shift episodes only when no rank diverged structurally (a
+    timing-only diff still deserves an ordering)."""
+    structural: dict[int, float] = {}
+    timing: dict[int, float] = {}
+    for ep in episodes:
+        if ep.time is None:
+            continue
+        bucket = structural if ep.kind in STRUCTURAL_KINDS else timing
+        if ep.rank not in bucket or ep.time < bucket[ep.rank]:
+            bucket[ep.rank] = ep.time
+    return structural if structural else timing
+
+
+def score_ranks(episodes: list[DiffEpisode], ranks: list[int], *,
+                crashed_only: dict[int, str] | None = None
+                ) -> list[RankScore]:
+    """Rank every rank by fault likelihood, most suspect first.
+
+    ``crashed_only`` maps rank -> side label for ranks whose crash is
+    recorded by exactly one input's recovery report.
+    """
+    crashed_only = crashed_only or {}
+    first = first_divergence_times(episodes)
+    direct: dict[int, float] = {r: 0.0 for r in ranks}
+    propagated: dict[int, float] = {r: 0.0 for r in ranks}
+    counts: dict[int, int] = {r: 0 for r in ranks}
+    for ep in episodes:
+        direct.setdefault(ep.rank, 0.0)
+        propagated.setdefault(ep.rank, 0.0)
+        counts[ep.rank] = counts.get(ep.rank, 0) + 1
+        direct[ep.rank] += ep.weight
+        if ep.kind not in STRUCTURAL_KINDS or not ep.recv_partners:
+            continue
+        # The infection edge: charge senders that went wrong first.
+        origins = [s for s in ep.recv_partners
+                   if s != ep.rank and s in first
+                   and (ep.time is None or first[s] <= ep.time)]
+        if not origins:
+            continue
+        moved = PROPAGATION * ep.weight
+        direct[ep.rank] -= moved
+        share = moved / len(origins)
+        for s in origins:
+            propagated[s] += share
+
+    times = list(first.values())
+    t_min, t_max = (min(times), max(times)) if times else (0.0, 0.0)
+    scores: list[RankScore] = []
+    for rank in sorted(set(direct) | set(first) | set(crashed_only)):
+        base = max(0.0, direct.get(rank, 0.0)) + propagated.get(rank, 0.0)
+        notes: list[str] = []
+        recency = 0.0
+        if rank in first:
+            recency = (1.0 if t_max == t_min
+                       else (t_max - first[rank]) / (t_max - t_min))
+        score = base * (1.0 + recency)
+        if rank in crashed_only:
+            score += CRASH_PRIOR + 0.5 * base
+            notes.append(f"crashed only in {crashed_only[rank]}")
+        scores.append(RankScore(
+            rank, score, direct.get(rank, 0.0), propagated.get(rank, 0.0),
+            first.get(rank), counts.get(rank, 0), tuple(notes)))
+    scores.sort(key=lambda s: (-s.score, s.rank))
+    return scores
+
+
+__all__ = ["CRASH_PRIOR", "PROPAGATION", "RankScore",
+           "first_divergence_times", "score_ranks"]

@@ -1,0 +1,39 @@
+"""Tiny synthetic-trace builders shared by the tracediff unit tests."""
+
+from repro.mpe.records import RECV, SEND, BareEvent, MsgEvent, StateDef
+from repro.mpe.clog2 import Clog2File
+
+WORK = StateDef(1, 2, "Work", "red")
+IDLE = StateDef(3, 4, "Idle", "blue")
+DEFS = [WORK, IDLE]
+
+
+def ev(t, rank, event_id, text=""):
+    return BareEvent(t, rank, event_id, text)
+
+
+def send(t, rank, dest, tag=5, size=8):
+    return MsgEvent(t, rank, SEND, dest, tag, size)
+
+
+def recv(t, rank, src, tag=5, size=8):
+    return MsgEvent(t, rank, RECV, src, tag, size)
+
+
+def make_log(records, num_ranks=3, definitions=None):
+    records = sorted(records, key=lambda r: r.timestamp)
+    return Clog2File(1e-6, num_ranks, list(definitions or DEFS), records)
+
+
+def ping_pong(num_ranks=3, rounds=4, dt=1e-3):
+    """rank 0 sends to each worker; worker replies.  A clean baseline."""
+    recs = []
+    t = 0.0
+    for r in range(rounds):
+        for w in range(1, num_ranks):
+            recs.append(send(t, 0, w, tag=r))
+            recs.append(recv(t + dt / 4, w, 0, tag=r))
+            recs.append(send(t + dt / 2, w, 0, tag=100 + r))
+            recs.append(recv(t + 3 * dt / 4, 0, w, tag=100 + r))
+            t += dt
+    return recs

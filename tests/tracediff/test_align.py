@@ -1,0 +1,95 @@
+"""Per-rank alignment: episode detection and classification."""
+
+from repro.mpe.records import StateDef
+from repro.tracediff.align import (
+    KIND_WEIGHTS,
+    align_rank,
+    event_key,
+    event_name_table,
+    rank_streams,
+)
+
+from tests.tracediff.builders import DEFS, ev, make_log, ping_pong, recv, send
+
+
+def _align(recs_a, recs_b, rank=0, defs_a=None, defs_b=None, tol=1e-9):
+    log_a = make_log(recs_a, definitions=defs_a)
+    log_b = make_log(recs_b, definitions=defs_b)
+    names_a = event_name_table(log_a.definitions)
+    names_b = event_name_table(log_b.definitions)
+    sa = rank_streams(log_a.records).get(rank, [])
+    sb = rank_streams(log_b.records).get(rank, [])
+    return align_rank(rank, sa, sb, names_a, names_b, time_tolerance=tol)
+
+
+class TestAlignment:
+    def test_identical_streams_produce_no_episodes(self):
+        recs = ping_pong()
+        assert _align(recs, list(recs)) == []
+
+    def test_time_shift_respects_tolerance(self):
+        recs = ping_pong()
+        shifted = [type(r)(*((r.timestamp + 5e-4,) + tuple(
+            getattr(r, f) for f in r.__dataclass_fields__
+            if f != "timestamp"))) for r in recs]
+        loose = _align(recs, shifted, tol=1e-3)
+        assert loose == []
+        tight = _align(recs, shifted, tol=1e-6)
+        assert tight and all(e.kind == "time-shift" for e in tight)
+        assert all(e.weight <= KIND_WEIGHTS["time-shift"] * e.count + 1e-12
+                   for e in tight)
+
+    def test_missing_event_only_in_a(self):
+        recs = ping_pong()
+        trimmed = [r for r in recs
+                   if not (r.rank == 0 and r.kind == 0 and r.tag == 2
+                           and r.other_rank == 1)]
+        eps = _align(recs, trimmed)
+        assert [e.kind for e in eps] == ["missing"]
+        assert "only in A" in eps[0].detail
+
+    def test_extra_event_only_in_b(self):
+        recs = ping_pong()
+        extra = list(recs) + [ev(2.05e-3, 0, 1, "stray")]
+        eps = _align(recs, extra)
+        assert [e.kind for e in eps] == ["extra"]
+        assert "only in B" in eps[0].detail
+
+    def test_reordered_same_multiset(self):
+        a = [send(0.001, 0, 1, tag=1), send(0.002, 0, 2, tag=2)]
+        b = [send(0.001, 0, 2, tag=2), send(0.002, 0, 1, tag=1)]
+        eps = _align(a, b)
+        kinds = [e.kind for e in eps]
+        assert "reordered" in kinds
+        # The swap halves were fused: nothing reported as lost/gained.
+        assert "missing" not in kinds and "extra" not in kinds
+
+    def test_payload_size_mismatch_same_lane(self):
+        a = [recv(0.001, 0, 1, tag=1, size=8)]
+        b = [recv(0.001, 0, 1, tag=1, size=24)]
+        eps = _align(a, b)
+        assert [e.kind for e in eps] == ["payload"]
+        # The recv half carries its sender for blame propagation.
+        assert eps[0].recv_partners == (1,)
+
+    def test_wholesale_replacement_is_mismatch(self):
+        a = [send(0.001, 0, 1, tag=1)]
+        b = [ev(0.001, 0, 1, "other")]
+        eps = _align(a, b)
+        assert [e.kind for e in eps] == ["mismatch"]
+
+    def test_alignment_is_by_name_not_event_id(self):
+        # Same program, ids allocated in a different order: the key is
+        # the state *name*, so the streams still align clean.
+        defs_b = [StateDef(7, 8, "Work", "red"), StateDef(5, 6, "Idle", "blue")]
+        a = [ev(0.001, 0, 1), ev(0.002, 0, 2)]
+        b = [ev(0.001, 0, 7), ev(0.002, 0, 8)]
+        assert _align(a, b, defs_a=DEFS, defs_b=defs_b) == []
+
+    def test_event_key_shapes(self):
+        names = event_name_table(DEFS)
+        assert event_key(send(0.0, 0, 2, tag=9, size=16), names) == \
+            ("S", 2, 9, 16)
+        assert event_key(recv(0.0, 0, 2, tag=9, size=16), names) == \
+            ("R", 2, 9, 16)
+        assert event_key(ev(0.0, 0, 1, "x"), names) == ("E", "Work.start", "x")

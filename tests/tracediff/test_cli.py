@@ -1,0 +1,102 @@
+"""``python -m repro.pilotcheck diff-trace``: exit codes, formats,
+overlays, perf dump, codes listing."""
+
+import json
+
+import pytest
+
+from repro.mpe.clog2 import write_clog2
+from repro.pilotcheck.__main__ import main as pilotcheck_main
+
+from tests.tracediff.builders import make_log, ping_pong, recv, send
+
+
+@pytest.fixture()
+def pair(tmp_path):
+    recs = ping_pong()
+    bad = []
+    for r in recs:
+        if (r.rank == 1 and getattr(r, "kind", None) == 0
+                and r.tag == 102):
+            r = send(r.timestamp, 1, 0, tag=102, size=48)
+        elif (r.rank == 0 and getattr(r, "kind", None) == 1
+                and r.other_rank == 1 and r.tag == 102):
+            r = recv(r.timestamp, 0, 1, tag=102, size=48)
+        bad.append(r)
+    a, b = str(tmp_path / "good.clog2"), str(tmp_path / "bad.clog2")
+    write_clog2(a, make_log(recs))
+    write_clog2(b, make_log(bad))
+    return a, b
+
+
+class TestDiffTraceCLI:
+    def test_identical_pair_exits_zero(self, tmp_path, capsys):
+        a = str(tmp_path / "a.clog2")
+        b = str(tmp_path / "b.clog2")
+        log = make_log(ping_pong())
+        write_clog2(a, log)
+        write_clog2(b, log)
+        assert pilotcheck_main(["diff-trace", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_divergence_exits_two_and_blames(self, pair, capsys):
+        a, b = pair
+        assert pilotcheck_main(["diff-trace", a, b]) == 2
+        out = capsys.readouterr().out
+        assert "most likely at fault: rank 1" in out
+        assert "DF001" in out
+
+    def test_sarif_output_validates(self, pair, capsys):
+        a, b = pair
+        assert pilotcheck_main(["diff-trace", a, b,
+                                "--format", "sarif"]) == 2
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "pilotcheck"
+        results = run["results"]
+        assert results[0]["ruleId"] == "DF001"
+        assert results[0]["level"] == "error"
+        rules = run["tool"]["driver"]["rules"]
+        index = results[0].get("ruleIndex")
+        assert rules[index]["id"] == "DF001"
+        # Every result is anchored to the suspect trace artifact.
+        uri = results[0]["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        assert uri == b
+
+    def test_ascii_and_svg_overlays(self, pair, tmp_path, capsys):
+        a, b = pair
+        svg_path = str(tmp_path / "overlay.svg")
+        assert pilotcheck_main(["diff-trace", a, b, "--ascii",
+                                "--svg", svg_path]) == 2
+        out = capsys.readouterr().out
+        assert "glyphs:" in out  # the ASCII overlay legend
+        with open(svg_path) as fh:
+            svg = fh.read()
+        assert "diff verdict" in svg
+
+    def test_perf_json_dump(self, pair, tmp_path):
+        a, b = pair
+        perf_path = str(tmp_path / "perf.json")
+        pilotcheck_main(["diff-trace", a, b, "--perf-json", perf_path])
+        with open(perf_path) as fh:
+            snap = json.load(fh)
+        assert "diff-align" in snap["stages"]
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        rc = pilotcheck_main(["diff-trace",
+                              str(tmp_path / "no.clog2"),
+                              str(tmp_path / "no2.clog2")])
+        assert rc == 2
+        assert "no trace at" in capsys.readouterr().err
+
+    def test_codes_lists_df_family(self, capsys):
+        assert pilotcheck_main(["codes"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DF001", "DF002", "DF003", "DF004", "DF005",
+                     "DF006", "DF007"):
+            assert code in out
+        assert "PC001" in out and "TR001" in out

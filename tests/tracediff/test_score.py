@@ -1,0 +1,74 @@
+"""Fault ranking: first divergence, blame propagation, crash prior."""
+
+from repro.tracediff.align import DiffEpisode
+from repro.tracediff.score import (
+    CRASH_PRIOR,
+    first_divergence_times,
+    score_ranks,
+)
+
+
+def episode(rank, kind, t, weight=1.0, partners=()):
+    return DiffEpisode(rank, kind, 0, 0, 1, t, t, weight, "test",
+                       tuple(partners))
+
+
+class TestScoring:
+    def test_direct_weight_ranks_heaviest_rank_first(self):
+        eps = [episode(1, "missing", 0.002),
+               episode(1, "missing", 0.002),
+               episode(2, "time-shift", 0.001, weight=0.02)]
+        scores = score_ranks(eps, [0, 1, 2])
+        assert scores[0].rank == 1
+        assert scores[0].score > scores[1].score
+
+    def test_blame_propagates_to_earlier_diverged_sender(self):
+        # Rank 2 diverged first (its send changed); rank 0's receive
+        # episodes are the infection, not the origin.
+        eps = [episode(2, "payload", 0.001),
+               episode(0, "payload", 0.002, partners=(2,)),
+               episode(0, "payload", 0.003, partners=(2,)),
+               episode(0, "payload", 0.004, partners=(2,))]
+        scores = score_ranks(eps, [0, 1, 2])
+        assert scores[0].rank == 2
+        by_rank = {s.rank: s for s in scores}
+        assert by_rank[2].propagated > 0
+        # The moved share was deducted from the receiver.
+        assert by_rank[0].direct < 3.0
+
+    def test_no_propagation_to_later_diverger(self):
+        # The "sender" diverged *after* the receive episode: no edge.
+        eps = [episode(0, "payload", 0.001, partners=(2,)),
+               episode(2, "payload", 0.005)]
+        scores = score_ranks(eps, [0, 1, 2])
+        by_rank = {s.rank: s for s in scores}
+        assert by_rank[2].propagated == 0.0
+
+    def test_crash_prior_breaks_all_rank_truncation_tie(self):
+        # An abort truncates every stream at the same instant: identical
+        # missing-tails everywhere, only the crash record distinguishes.
+        eps = [episode(r, "missing", 0.004) for r in (0, 1, 2)]
+        scores = score_ranks(eps, [0, 1, 2], crashed_only={1: "faulted"})
+        assert scores[0].rank == 1
+        assert scores[0].score >= CRASH_PRIOR
+        assert any("crashed only" in n for n in scores[0].notes)
+
+    def test_first_divergence_prefers_structural(self):
+        eps = [episode(1, "time-shift", 0.001, weight=0.02),
+               episode(2, "missing", 0.003)]
+        first = first_divergence_times(eps)
+        assert first == {2: 0.003}
+
+    def test_timing_only_diff_still_ordered(self):
+        eps = [episode(1, "time-shift", 0.002, weight=0.02),
+               episode(2, "time-shift", 0.001, weight=0.02)]
+        first = first_divergence_times(eps)
+        assert set(first) == {1, 2}
+        scores = score_ranks(eps, [0, 1, 2])
+        # Earliest shifted rank wins via the recency multiplier.
+        assert scores[0].rank == 2
+
+    def test_empty_episodes_empty_scores(self):
+        assert score_ranks([], [0, 1]) == sorted(
+            score_ranks([], [0, 1]), key=lambda s: s.rank)
+        assert all(s.score == 0 for s in score_ranks([], [0, 1]))
