@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench chaos chaos-resume chaos-recover diff-trace fsck examples figures clean check lint
+.PHONY: install test bench chaos chaos-resume chaos-recover diff-trace net fsck examples figures clean check lint
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -45,6 +45,13 @@ chaos-recover:
 #   pilotcheck diff-trace good.clog2 bad.clog2
 diff-trace:
 	$(PY) -m pytest tests/chaos/test_tracediff.py tests/tracediff -q
+
+# MP net conformance: the predicted communication net vs the observed
+# one, over every shipped app and the known-divergent runs (see "MP net
+# & conformance" in docs/STATIC_ANALYSIS.md).  Ad-hoc use:
+#   pilotcheck net app.py:main --trace run.clog2 --svg net.svg
+net:
+	$(PY) -m pytest tests/mpnet tests/pilotcheck/test_valueflow.py -q
 
 # Scan (and optionally repair) a log: make fsck FILE=run.clog2
 fsck:

@@ -1,0 +1,85 @@
+"""PILOTCHECK — static analyzer wall time with the value-flow fixpoint.
+
+The cross-process value-flow pass re-extracts every rank until the
+channel store stabilises, so the analyzer's cost is now (passes x walk)
+instead of one walk.  For ``pilotcheck`` to stay usable as a pre-run
+gate (``-pisvc=s`` runs it before every launch) a full analysis of the
+heaviest shipped programs must stay interactive.  This benchmark times
+``analyze_program`` + ``extract_static_net`` best-of-``ROUNDS`` over
+the thumbnail pipeline (dict-of-channels + PI_Select fan-in, 8 ranks)
+and the collisions app, writes ``benchmarks/out/BENCH_pilotcheck.json``
+and gates each program's wall time at ``PILOTCHECK_MAX_MS``
+(env-relaxable for noisy CI runners).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.apps import GOOD, CollisionConfig
+from repro.apps.collisions import collisions_main
+from repro.apps.thumbnail import ThumbnailConfig, thumbnail_main
+from repro.mpnet import extract_static_net
+from repro.pilotcheck import analyze_program
+from repro.pilotcheck.valueflow import MAX_FLOW_PASSES
+
+ROUNDS = 3
+
+#: Per-program ceiling for analyze+extract, in milliseconds.  Local
+#: runs measure ~45 ms; the gate leaves 10x headroom for CI.
+PILOTCHECK_MAX_MS = float(os.environ.get("PILOTCHECK_MAX_MS", "500"))
+
+TARGETS = [
+    ("thumbnail",
+     lambda argv: thumbnail_main(argv, ThumbnailConfig()), 8),
+    ("collisions",
+     lambda argv: collisions_main(
+         argv, GOOD, CollisionConfig(nrecords=2_000)), 6),
+]
+
+
+@pytest.mark.benchmark(group="pilotcheck")
+def test_analyzer_wall_time(comparison, artifacts_dir):
+    table = comparison(
+        f"PILOTCHECK: analyze + net extraction (best of {ROUNDS})")
+    results = {}
+    for name, main, nprocs in TARGETS:
+        best, analysis = float("inf"), None
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            analysis = analyze_program(main, nprocs)
+            net = extract_static_net(analysis)
+            best = min(best, time.perf_counter() - t0)
+        # Correctness alongside the clock: the value-flow fixpoint must
+        # converge and nothing may degrade to an opaque rank.
+        assert analysis.flow_passes <= MAX_FLOW_PASSES
+        assert not any(ro.opaque for ro in analysis.rank_ops.values())
+        results[name] = {
+            "wall_ms": best * 1e3,
+            "flow_passes": analysis.flow_passes,
+            "nprocs": nprocs,
+            "edges": len(net.edges),
+            "findings": len(analysis.findings),
+        }
+        table.add(f"{name} analyze+net", f"<={PILOTCHECK_MAX_MS:.0f} ms",
+                  f"{best * 1e3:.1f} ms "
+                  f"({analysis.flow_passes} flow passes)")
+
+    bench = {
+        "benchmark": "PILOTCHECK analyzer wall time",
+        "rounds": ROUNDS,
+        "max_ms_gate": PILOTCHECK_MAX_MS,
+        "targets": results,
+    }
+    out = os.path.join(artifacts_dir, "BENCH_pilotcheck.json")
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(bench, fh, indent=2)
+    print(f"\nwrote {out}")
+
+    for name, r in results.items():
+        assert r["wall_ms"] <= PILOTCHECK_MAX_MS, (
+            f"{name}: analyzer took {r['wall_ms']:.1f} ms; the gate is "
+            f"<={PILOTCHECK_MAX_MS:.0f} ms (relax with PILOTCHECK_MAX_MS "
+            "for noisy runners)")

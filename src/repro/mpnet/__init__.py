@@ -1,0 +1,29 @@
+"""MP net communication models: extraction, conformance, rendering.
+
+The library surface of the ``pilotcheck net`` subcommand:
+
+>>> from repro.mpnet import (extract_static_net, extract_trace_net,
+...                          check_conformance)
+>>> static = extract_static_net(analyze_program(main, 6))
+>>> observed = extract_trace_net("run/out.clog2")
+>>> findings = check_conformance(static, observed)   # MN001-MN005
+"""
+
+from .conformance import check_conformance
+from .model import MPNet, NetEdge
+from .render import divergent_cids, render_net_svg, render_net_text, to_dot
+from .static import extract_static_net, wire_messages
+from .trace import extract_trace_net
+
+__all__ = [
+    "MPNet",
+    "NetEdge",
+    "check_conformance",
+    "divergent_cids",
+    "extract_static_net",
+    "extract_trace_net",
+    "render_net_svg",
+    "render_net_text",
+    "to_dot",
+    "wire_messages",
+]

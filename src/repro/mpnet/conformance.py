@@ -1,0 +1,162 @@
+"""Observed-vs-static net conformance: the MN001–MN005 checks.
+
+The static net is the prediction, the trace net is the evidence; each
+divergence becomes a :class:`~repro.pilotcheck.findings.Finding` whose
+``cids`` name exactly the edges to highlight in a rendering:
+
+* MN001 — phantom edge: traffic on an edge the static net does not
+  predict (unknown channel id, or a proven-zero edge carrying data).
+* MN002 — unexercised edge: a predicted edge the trace never uses.
+* MN003 — multiplicity mismatch: an exact static count a trace
+  contradicts (checked per side; inexact sides are lower bounds and
+  only disputed when observed traffic falls *below* them).
+* MN004 — direction flip: observed messages flow reader -> writer.
+* MN005 — order divergence: for ranks whose whole wire sequence is
+  statically proven, the observed per-rank sequence must match
+  verbatim; the first diverging position names the blamed edge.
+
+Like ``diff-trace``, errors drive exit code 2 and warnings 1 under
+``--strict`` (see ``pilotcheck net``).
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.pilotcheck.findings import Finding
+
+from .model import MPNet
+
+
+def check_conformance(static_net: MPNet, trace_net: MPNet) -> list[Finding]:
+    """Every way ``trace_net`` diverges from ``static_net``."""
+    findings: list[Finding] = []
+    flipped: set[int] = set()
+
+    # MN004 first: a flipped edge should not double-report as
+    # phantom/multiplicity noise.
+    for cid in sorted(trace_net.edges):
+        observed = trace_net.edges[cid]
+        predicted = static_net.edges.get(cid)
+        if predicted is None or observed.src < 0:
+            continue
+        if (observed.src, observed.dst) == (predicted.dst, predicted.src) \
+                and predicted.src != predicted.dst:
+            flipped.add(cid)
+            findings.append(Finding(
+                "MN004",
+                f"{predicted.name} is declared "
+                f"{static_net.rank_name(predicted.src)} -> "
+                f"{static_net.rank_name(predicted.dst)} but the trace "
+                f"carries its messages {observed.src} -> {observed.dst}",
+                obj=predicted.name, cids=(cid,)))
+
+    # MN001: traffic the prediction has no room for.  A phantom edge
+    # is already fully reported; keep it out of the MN003 pass below.
+    phantoms: set[int] = set()
+    for cid in sorted(trace_net.edges):
+        if cid in flipped:
+            continue
+        observed = trace_net.edges[cid]
+        traffic = observed.sends + observed.recvs
+        if traffic == 0:
+            continue
+        predicted = static_net.edges.get(cid)
+        if predicted is None:
+            phantoms.add(cid)
+            findings.append(Finding(
+                "MN001",
+                f"trace carries {traffic} message event(s) under channel "
+                f"id {cid}, which the program never declares",
+                obj=f"C{cid}", cids=(cid,)))
+        elif (not predicted.used and predicted.sends_exact
+              and predicted.recvs_exact):
+            phantoms.add(cid)
+            findings.append(Finding(
+                "MN001",
+                f"{predicted.name} is proven silent statically but the "
+                f"trace carries {traffic} message event(s) on it",
+                obj=predicted.name, cids=(cid,)))
+
+    # MN002: predicted edges the run never exercised.
+    for edge in static_net.edge_list():
+        if edge.cid in flipped or not edge.used:
+            continue
+        observed = trace_net.edges.get(edge.cid)
+        if observed is None or (observed.sends + observed.recvs) == 0:
+            findings.append(Finding(
+                "MN002",
+                f"{edge.describe()} is predicted to carry messages but "
+                "the trace never exercises it",
+                severity="warning", obj=edge.name, cids=(edge.cid,)))
+
+    # MN003: exact counts the trace contradicts.
+    for edge in static_net.edge_list():
+        if edge.cid in flipped or edge.cid in phantoms:
+            continue
+        observed = trace_net.edges.get(edge.cid)
+        if observed is None or (observed.sends + observed.recvs) == 0:
+            continue  # MN002's business
+        problems = []
+        if edge.sends_exact and observed.sends != edge.sends:
+            problems.append(f"send count {observed.sends} != proven "
+                            f"{edge.sends}")
+        elif not edge.sends_exact and observed.sends < edge.sends:
+            problems.append(f"send count {observed.sends} below proven "
+                            f"lower bound {edge.sends}")
+        if edge.recvs_exact and observed.recvs != edge.recvs:
+            problems.append(f"recv count {observed.recvs} != proven "
+                            f"{edge.recvs}")
+        elif not edge.recvs_exact and observed.recvs < edge.recvs:
+            problems.append(f"recv count {observed.recvs} below proven "
+                            f"lower bound {edge.recvs}")
+        if problems:
+            findings.append(Finding(
+                "MN003",
+                f"{edge.name} ({static_net.rank_name(edge.src)} -> "
+                f"{static_net.rank_name(edge.dst)}): "
+                + "; ".join(problems),
+                obj=edge.name, cids=(edge.cid,)))
+
+    # MN005: verbatim order for fully-proven ranks.
+    for rank in sorted(static_net.sequences):
+        if not static_net.sequence_exact.get(rank, False):
+            continue
+        expected = static_net.sequences[rank]
+        got = trace_net.sequences.get(rank, [])
+        if expected == got:
+            continue
+        cid, pos, detail = _first_divergence(expected, got)
+        findings.append(Finding(
+            "MN005",
+            f"rank {rank} ({static_net.rank_name(rank)}) diverges from "
+            f"the predicted wire sequence at position {pos}: {detail}",
+            rank=rank, obj=f"C{cid}" if cid is not None else None,
+            cids=(cid,) if cid is not None else ()))
+
+    order = {"MN004": 0, "MN001": 1, "MN003": 2, "MN005": 3, "MN002": 4}
+    findings.sort(key=lambda f: (order[f.code], f.cids, f.rank or 0))
+    return findings
+
+
+def _first_divergence(expected: list[tuple[str, int]],
+                      got: list[tuple[str, int]]
+                      ) -> tuple[int | None, int, str]:
+    """Locate the first diverging opcode and blame its edge.
+
+    Uses difflib so a single early insertion doesn't cascade into
+    blaming every later (actually matching) event.
+    """
+    matcher = difflib.SequenceMatcher(a=expected, b=got, autojunk=False)
+    for tag, i1, i2, j1, j2 in matcher.get_opcodes():
+        if tag == "equal":
+            continue
+        if tag == "insert" or (tag == "replace" and j2 > j1):
+            kind, cid = got[j1]
+            word = "unexpected"
+        else:  # delete: predicted event missing
+            kind, cid = expected[i1]
+            word = "missing"
+        verb = "send" if kind == "S" else "recv"
+        return cid, j1, f"{word} {verb} on C{cid}"
+    return None, len(got), "sequences differ only in length"

@@ -1,0 +1,100 @@
+"""The MP net: a process/channel model of a Pilot program's communication.
+
+Following Šurkovský's MP nets, the model is a directed multigraph whose
+nodes are the program's processes (ranks) and whose edges are the
+declared channels, each annotated with a *multiplicity*: how many wire
+messages travel over it.  One format item is one wire message (``%^``
+auto-alloc items are two — length then data), so multiplicities line
+up exactly with the ``MsgEvent`` arrows a CLOG2 trace carries under
+the channel's id (``PI_CHANNEL.tag == cid``).
+
+The same structure is extracted from two sources:
+
+* statically, from pilotcheck's per-rank op lists
+  (:func:`repro.mpnet.static.extract_static_net`) — counts carry
+  *exactness* flags, because a count proven only inside a symbolic
+  loop or through a widened candidate set is a lower bound, not a
+  prediction; and
+* from a merged trace
+  (:func:`repro.mpnet.trace.extract_trace_net`) — counts are facts.
+
+:func:`repro.mpnet.conformance.check_conformance` compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetEdge:
+    """One channel of the net, with per-side message multiplicities.
+
+    ``sends``/``recvs`` count wire messages deposited/consumed.  The
+    ``*_exact`` flags are meaningful for static nets only: an exact
+    side is a proven prediction a trace must match; an inexact side is
+    a lower bound (some contributing op had an unproven repeat count,
+    a widened candidate set, or an opaque rank at that end).  Trace
+    nets always carry exact observed counts.
+    """
+
+    cid: int
+    name: str
+    src: int  # writer rank
+    dst: int  # reader rank
+    sends: int = 0
+    recvs: int = 0
+    sends_exact: bool = True
+    recvs_exact: bool = True
+
+    @property
+    def used(self) -> bool:
+        """Does any message (proven or observed) travel this edge?"""
+        return (self.sends > 0 or self.recvs > 0
+                or not self.sends_exact or not self.recvs_exact)
+
+    def describe(self) -> str:
+        s = str(self.sends) + ("" if self.sends_exact else "+")
+        r = str(self.recvs) + ("" if self.recvs_exact else "+")
+        return f"{self.name}: P{self.src} -> P{self.dst} (send {s}, recv {r})"
+
+
+@dataclass
+class MPNet:
+    """A process/channel net extracted statically or from a trace."""
+
+    kind: str  # "static" | "trace"
+    nprocs: int
+    process_names: dict[int, str] = field(default_factory=dict)
+    edges: dict[int, NetEdge] = field(default_factory=dict)
+    #: Per-rank wire-event order: tuples of ("S"|"R", cid).
+    sequences: dict[int, list[tuple[str, int]]] = field(default_factory=dict)
+    #: Static nets: is the rank's whole sequence (order AND count)
+    #: proven?  Ranks with selects, symbolic loops, widened targets or
+    #: opaque source are not.  Trace nets: always True.
+    sequence_exact: dict[int, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def rank_name(self, rank: int) -> str:
+        return self.process_names.get(rank, f"P{rank}")
+
+    def edge_list(self) -> list[NetEdge]:
+        return [self.edges[cid] for cid in sorted(self.edges)]
+
+    def cycles(self) -> list[list[int]]:
+        """Simple cycles of the process graph (used edges only), as
+        rank lists — what a PC003 deadlock prediction runs along."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.nprocs))
+        for e in self.edges.values():
+            if e.used:
+                g.add_edge(e.src, e.dst)
+        return [sorted(c) for c in nx.simple_cycles(g)]
+
+    def cycle_edges(self, cycle: list[int]) -> list[NetEdge]:
+        """Used edges running between members of ``cycle``."""
+        members = set(cycle)
+        return [e for e in self.edge_list()
+                if e.used and e.src in members and e.dst in members]

@@ -1,0 +1,159 @@
+"""Render an MP net as text, Graphviz DOT, or standalone SVG.
+
+The SVG lays ranks out as horizontal lanes (same visual grammar as the
+Jumpshot timeline views) and draws each channel as a vertical arrow
+from its writer's lane to its reader's lane, labelled with the wire
+multiplicity.  Edges implicated by conformance findings are painted
+with the shared divergence palette from :mod:`repro.jumpshot.markers`,
+so a diverging net and a diverging timeline highlight the same way.
+"""
+
+from __future__ import annotations
+
+from repro.jumpshot.markers import BLAME_COLOR, DIVERGENCE_COLOR
+from repro.pilotcheck.findings import Finding
+
+from .model import MPNet, NetEdge
+
+_LANE_COLOR = "#37474f"
+_EDGE_COLOR = "#1e88e5"
+_INEXACT_DASH = "6,4"
+
+
+def divergent_cids(findings: list[Finding]) -> dict[int, str]:
+    """cid -> severity for every edge a finding implicates."""
+    out: dict[int, str] = {}
+    for f in findings:
+        for cid in f.cids:
+            if f.severity == "error" or out.get(cid) != "error":
+                out[cid] = f.severity
+    return out
+
+
+def render_net_text(net: MPNet, findings: list[Finding] | None = None) -> str:
+    """Plain-text net listing, divergent edges flagged inline."""
+    marked = divergent_cids(findings or [])
+    lines = [f"MP net ({net.kind}): {net.nprocs} process(es), "
+             f"{len(net.edges)} channel(s)"]
+    for rank in sorted(net.process_names):
+        tail = ""
+        if net.kind == "static":
+            exact = net.sequence_exact.get(rank)
+            if exact is not None:
+                tail = ("  [sequence proven]" if exact
+                        else "  [sequence unproven]")
+        lines.append(f"  rank {rank}: {net.rank_name(rank)}{tail}")
+    for edge in net.edge_list():
+        flag = ""
+        if edge.cid in marked:
+            flag = "  <-- DIVERGES" if marked[edge.cid] == "error" \
+                else "  <-- unexercised"
+        lines.append(f"  {edge.describe()}{flag}")
+    for note in net.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def to_dot(net: MPNet, findings: list[Finding] | None = None) -> str:
+    """Graphviz DOT: processes as nodes, channels as labelled edges."""
+    marked = divergent_cids(findings or [])
+    lines = ["digraph mpnet {", "  rankdir=LR;",
+             '  node [shape=box, fontname="Helvetica"];',
+             '  edge [fontname="Helvetica", fontsize=10];']
+    for rank in range(net.nprocs):
+        lines.append(f'  r{rank} [label="{net.rank_name(rank)}"];')
+    for edge in net.edge_list():
+        mult = str(edge.sends) + ("" if edge.sends_exact else "+")
+        if edge.recvs != edge.sends or edge.recvs_exact != edge.sends_exact:
+            mult += "/" + str(edge.recvs) + ("" if edge.recvs_exact else "+")
+        attrs = [f'label="{edge.name} x{mult}"']
+        if edge.cid in marked:
+            color = BLAME_COLOR if marked[edge.cid] == "error" \
+                else DIVERGENCE_COLOR
+            attrs.append(f'color="{color}"')
+            attrs.append("penwidth=2.5")
+        elif not (edge.sends_exact and edge.recvs_exact):
+            attrs.append('style=dashed')
+        lines.append(f"  r{edge.src} -> r{edge.dst} [{', '.join(attrs)}];")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def render_net_svg(net: MPNet, findings: list[Finding] | None = None,
+                   trace_net: MPNet | None = None) -> str:
+    """Standalone SVG: rank lanes, one vertical arrow per channel.
+
+    When ``trace_net`` is given, edge labels show ``observed/predicted``
+    wire counts so a multiplicity mismatch is readable off the figure.
+    """
+    marked = divergent_cids(findings or [])
+    edges = net.edge_list()
+    lane_h, label_w, col_w = 44, 130, 86
+    top, bottom = 34, 26
+    width = label_w + col_w * max(1, len(edges)) + 30
+    height = top + lane_h * max(1, net.nprocs) + bottom
+
+    def lane_y(rank: int) -> float:
+        return top + (rank + 0.5) * lane_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        '<style>text{font-family:Helvetica,Arial,sans-serif}</style>',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="10" y="20" font-size="13" fill="{_LANE_COLOR}">'
+        f'MP net ({net.kind})</text>',
+        '<defs>'
+        '<marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" '
+        'markerWidth="7" markerHeight="7" orient="auto-start-reverse">'
+        '<path d="M 0 0 L 10 5 L 0 10 z" fill="context-stroke"/>'
+        '</marker></defs>',
+    ]
+    for rank in range(net.nprocs):
+        y = lane_y(rank)
+        parts.append(f'<line x1="{label_w}" y1="{y}" x2="{width - 10}" '
+                     f'y2="{y}" stroke="#cfd8dc" stroke-width="1"/>')
+        parts.append(f'<text x="10" y="{y + 4}" font-size="12" '
+                     f'fill="{_LANE_COLOR}">{_esc(net.rank_name(rank))} '
+                     f'(r{rank})</text>')
+    for i, edge in enumerate(edges):
+        x = label_w + (i + 0.5) * col_w
+        y1, y2 = lane_y(edge.src), lane_y(edge.dst)
+        if edge.cid in marked:
+            color = BLAME_COLOR if marked[edge.cid] == "error" \
+                else DIVERGENCE_COLOR
+            sw = 2.6
+        else:
+            color, sw = _EDGE_COLOR, 1.6
+        dash = "" if (edge.sends_exact and edge.recvs_exact) else \
+            f' stroke-dasharray="{_INEXACT_DASH}"'
+        if edge.src == edge.dst:  # self-loop: small arc above the lane
+            parts.append(
+                f'<path d="M {x - 10} {y1} C {x - 10} {y1 - 26}, '
+                f'{x + 10} {y1 - 26}, {x + 10} {y1}" fill="none" '
+                f'stroke="{color}" stroke-width="{sw}"{dash} '
+                'marker-end="url(#arrow)"/>')
+        else:
+            parts.append(
+                f'<line x1="{x}" y1="{y1}" x2="{x}" y2="{y2}" '
+                f'stroke="{color}" stroke-width="{sw}"{dash} '
+                'marker-end="url(#arrow)"/>')
+        parts.append(f'<text x="{x + 4}" y="{(y1 + y2) / 2 - 4}" '
+                     f'font-size="11" fill="{color}">'
+                     f'{_esc(_edge_label(edge, trace_net))}</text>')
+    parts.append('</svg>')
+    return "\n".join(parts) + "\n"
+
+
+def _edge_label(edge: NetEdge, trace_net: MPNet | None) -> str:
+    mult = str(edge.sends) + ("" if edge.sends_exact else "+")
+    if trace_net is not None:
+        observed = trace_net.edges.get(edge.cid)
+        seen = observed.sends if observed is not None else 0
+        return f"{edge.name} x{seen}/{mult}"
+    return f"{edge.name} x{mult}"
+
+
+def _esc(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))

@@ -1,0 +1,104 @@
+"""Static MP net extraction from a pilotcheck :class:`ProgramAnalysis`.
+
+The per-rank op lists the AST walk produced already know, for every
+communication call, which channels it may touch, whether the target
+was proven exactly, and whether the call's *repeat count* is proven
+(``CommOp.repeat``).  This module folds those into per-edge wire
+multiplicities with honest exactness flags:
+
+* an op contributes ``wire_messages(items)`` sends/recvs to its edge
+  when its target is exact, its format is a literal, and it sits in
+  provably-straight-line code;
+* anything weaker (candidate sets, symbolic loops, unknown formats,
+  opaque ranks) marks the touched edges *inexact* — the count becomes
+  a lower bound and conformance checking will not dispute it.
+
+Per-rank wire sequences are collected the same way, for the MN005
+order check; a rank is sequence-exact only when every one of its ops
+is exact and none is a select/tryselect/hasdata (whose arrival order
+the runtime decides).
+"""
+
+from __future__ import annotations
+
+from repro.pilot.formats import FormatItem
+from repro.pilotcheck.analysis import (
+    ProgramAnalysis,
+    _op_read_channels,
+    _op_write_channels,
+)
+
+from .model import MPNet, NetEdge
+
+#: Op kinds with no wire message of their own (they only observe
+#: readiness; the following PI_Read moves the data).
+_NO_WIRE = frozenset({"select", "tryselect", "hasdata"})
+
+
+def wire_messages(items: tuple[FormatItem, ...]) -> int:
+    """Wire messages one op emits per channel: one per format item,
+    two for ``%^`` auto-alloc items (length then data)."""
+    return sum(2 if item.count == "^" else 1 for item in items)
+
+
+def extract_static_net(analysis: ProgramAnalysis) -> MPNet:
+    """Fold a program analysis into the predicted MP net."""
+    captured = analysis.captured
+    net = MPNet(
+        kind="static",
+        nprocs=len(captured.processes),
+        process_names={p.rank: p.name for p in captured.processes})
+    for chan in captured.channels:
+        net.edges[chan.cid] = NetEdge(
+            cid=chan.cid, name=chan.name,
+            src=chan.writer.rank, dst=chan.reader.rank)
+
+    opaque = {r for r, ro in analysis.rank_ops.items() if ro.opaque}
+    for r in opaque:
+        net.notes.append(f"rank {r} is opaque; its edge counts and "
+                         "sequence are not predictions")
+    for edge in net.edges.values():
+        if edge.src in opaque:
+            edge.sends_exact = False
+        if edge.dst in opaque:
+            edge.recvs_exact = False
+
+    for rank, ro in sorted(analysis.rank_ops.items()):
+        seq: list[tuple[str, int]] = []
+        seq_exact = rank not in opaque
+        for op in ro.ops:
+            if op.kind in _NO_WIRE:
+                # No message, but the runtime picks the arrival order:
+                # every subsequent read on this rank is order-unproven.
+                seq_exact = False
+                continue
+            wchans = _op_write_channels(op)
+            rchans = _op_read_channels(op)
+            if op.channels is None:
+                # Target never resolved: any edge may be touched.
+                for edge in net.edges.values():
+                    edge.sends_exact = False
+                    edge.recvs_exact = False
+                seq_exact = False
+                continue
+            wire = wire_messages(op.items) if op.items is not None else None
+            exact = (op.exact and op.repeat == "exact" and wire is not None)
+            if not exact:
+                seq_exact = False
+            for chan in wchans:
+                edge = net.edges[chan.cid]
+                if exact:
+                    edge.sends += wire
+                    seq.extend([("S", chan.cid)] * wire)
+                else:
+                    edge.sends_exact = False
+            for chan in rchans:
+                edge = net.edges[chan.cid]
+                if exact:
+                    edge.recvs += wire
+                    seq.extend([("R", chan.cid)] * wire)
+                else:
+                    edge.recvs_exact = False
+        net.sequences[rank] = seq
+        net.sequence_exact[rank] = seq_exact
+    return net

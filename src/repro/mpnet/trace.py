@@ -1,0 +1,67 @@
+"""Observed MP net extraction from CLOG2 traces.
+
+Reuses the tracediff loader, so anything ``diff-trace`` accepts works
+here too: a merged ``.clog2`` path, an in-memory ``Clog2File``, an
+already-loaded ``TraceSide``, or a run directory whose merged log is
+missing but whose per-rank ``rankNNNN.part`` files can be salvaged.
+
+Every :class:`~repro.mpe.records.MsgEvent` is one wire message tagged
+with the channel id, so the observed net falls straight out: SEND
+halves count into the edge's ``sends`` (and vote on the observed
+direction), RECV halves into ``recvs``, and the per-rank record order
+gives the MN005 sequences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.mpe.records import SEND, MsgEvent, RankName
+from repro.tracediff.load import load_side
+
+from .model import MPNet, NetEdge
+
+
+def extract_trace_net(source: Any, *, label: str = "trace",
+                      errors: str = "salvage") -> MPNet:
+    """Build the observed net from a trace (path/Clog2File/TraceSide)."""
+    side = load_side(source, label, errors=errors)
+    log = side.log
+    names: dict[int, str] = {}
+    for d in log.definitions:
+        if isinstance(d, RankName):
+            names[d.rank] = d.name
+
+    net = MPNet(kind="trace", nprocs=log.num_ranks, process_names=names,
+                notes=side.salvage_notes())
+    # Direction votes: (src, dst) pairs seen per channel, from SEND
+    # halves (RECV halves vote reversed).  The majority pair becomes
+    # the edge's observed direction.
+    votes: dict[int, Counter] = {}
+    for rec in log.records:
+        if not isinstance(rec, MsgEvent):
+            continue
+        edge = net.edges.get(rec.tag)
+        if edge is None:
+            edge = net.edges[rec.tag] = NetEdge(
+                cid=rec.tag, name=f"C{rec.tag}", src=-1, dst=-1)
+            votes[rec.tag] = Counter()
+        if rec.kind == SEND:
+            edge.sends += 1
+            votes[rec.tag][(rec.rank, rec.other_rank)] += 1
+            kind = "S"
+        else:
+            edge.recvs += 1
+            votes[rec.tag][(rec.other_rank, rec.rank)] += 1
+            kind = "R"
+        net.sequences.setdefault(rec.rank, []).append((kind, rec.tag))
+    for cid, counter in votes.items():
+        if counter:
+            src, dst = counter.most_common(1)[0][0]
+            net.edges[cid].src = src
+            net.edges[cid].dst = dst
+    for rank in range(net.nprocs):
+        net.sequences.setdefault(rank, [])
+        net.sequence_exact[rank] = True
+    return net

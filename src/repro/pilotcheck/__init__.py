@@ -24,7 +24,13 @@ from repro.pilotcheck.capture import (
     CapturedProgram,
     capture_program,
 )
-from repro.pilotcheck.findings import CODES, Finding, render_findings
+from repro.pilotcheck.findings import (
+    CODES,
+    REGISTRY,
+    Finding,
+    codes_by_family,
+    render_findings,
+)
 from repro.pilotcheck.sarif import sarif_json, to_sarif
 from repro.pilotcheck.integrate import (
     annotate_doc,
@@ -48,10 +54,12 @@ __all__ = [
     "CapturedProgram",
     "Finding",
     "ProgramAnalysis",
+    "REGISTRY",
     "analyze_program",
     "annotate_doc",
     "annotation_lines",
     "capture_program",
+    "codes_by_family",
     "lint_clog2",
     "lint_clog2_records",
     "lint_determinants",

@@ -5,6 +5,7 @@ Subcommands::
     analyze MODULE:CALLABLE [--nprocs N] [--pilot-arg ARG]... [--format F]
     lint-trace FILE [FILE...] [--strict] [--format F]
     diff-trace TRACE_A TRACE_B [--strict] [--format F] [--svg PATH]
+    net MODULE:CALLABLE [--trace FILE] [--dot PATH] [--svg PATH]
     codes
 
 ``--format sarif`` prints findings as a SARIF 2.1.0 log on stdout (for
@@ -20,7 +21,12 @@ import importlib
 import importlib.util
 import sys
 
-from repro.pilotcheck.findings import CODES, Finding, render_findings
+from repro.pilotcheck.findings import (
+    FAMILIES,
+    Finding,
+    codes_by_family,
+    render_findings,
+)
 
 
 def _load_target(spec: str):
@@ -151,9 +157,78 @@ def _cmd_diff_trace(args: argparse.Namespace) -> int:
     return _exit_code(findings, args.strict)
 
 
+def _cmd_net(args: argparse.Namespace) -> int:
+    from repro.mpnet import (
+        check_conformance,
+        extract_static_net,
+        extract_trace_net,
+        render_net_svg,
+        render_net_text,
+        to_dot,
+    )
+    from repro.pilotcheck.analysis import analyze_program
+    from repro.pilotcheck.capture import CaptureError
+
+    main = _load_target(args.target)
+    argv = tuple(args.pilot_arg or ())
+    try:
+        analysis = analyze_program(main, args.nprocs, argv)
+    except CaptureError as exc:
+        print(f"configuration phase failed: {exc.args[0].render()}",
+              file=sys.stderr)
+        return 2
+    static = extract_static_net(analysis)
+
+    trace_net = None
+    findings: list[Finding] = []
+    if args.trace:
+        try:
+            trace_net = extract_trace_net(args.trace, errors=args.errors)
+        except FileNotFoundError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        findings = check_conformance(static, trace_net)
+
+    # Deadlock predictions name their cycle's channels, so they mark
+    # the same edges the conformance findings do.
+    deadlocks = [f for f in analysis.findings
+                 if f.code == "PC003" and f.cids]
+    marked = findings + deadlocks
+
+    if args.dot:
+        with open(args.dot, "w") as fh:
+            fh.write(to_dot(static, marked))
+        print(f"DOT written to {args.dot}", file=sys.stderr)
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(render_net_svg(static, marked, trace_net))
+        print(f"SVG written to {args.svg}", file=sys.stderr)
+
+    if args.format == "sarif":
+        from repro.pilotcheck.sarif import SarifEmitter
+
+        print(SarifEmitter()
+              .add(findings, artifact=args.trace).json(), end="")
+    else:
+        print(render_net_text(static, marked))
+        for f in deadlocks:
+            cycle = "/".join(f"C{c}" for c in f.cids)
+            print(f"  deadlock prediction {f.code} runs through {cycle}: "
+                  f"{f.message}")
+        if trace_net is not None:
+            print(render_net_text(trace_net, findings))
+            if findings:
+                print(render_findings(findings, header="conformance:"))
+            else:
+                print("conformance: trace matches the predicted net")
+    return _exit_code(findings, args.strict)
+
+
 def _cmd_codes(_args: argparse.Namespace) -> int:
-    for code, (meaning, severity) in sorted(CODES.items()):
-        print(f"{code}  [{severity:7s}] {meaning}")
+    for family, infos in codes_by_family().items():
+        print(f"{family}xxx — {FAMILIES[family]}")
+        for info in infos:
+            print(f"  {info.code}  [{info.severity:7s}] {info.meaning}")
     return 0
 
 
@@ -231,6 +306,35 @@ def main(argv: list[str] | None = None) -> int:
     p_dt.add_argument("--perf-json", metavar="PATH",
                       help="dump align/diff/score perf counters as JSON")
     p_dt.set_defaults(func=_cmd_diff_trace)
+
+    p_net = sub.add_parser(
+        "net",
+        help="extract the MP communication net; with --trace, check "
+             "the observed net against it (MN codes)")
+    p_net.add_argument("target",
+                       help="MODULE:CALLABLE or FILE.py:CALLABLE")
+    p_net.add_argument("--nprocs", type=int, default=6,
+                       help="virtual world size (default 6)")
+    p_net.add_argument("--pilot-arg", action="append", metavar="ARG",
+                       help="argv entry passed to the program "
+                            "(repeatable)")
+    p_net.add_argument("--trace", metavar="TRACE",
+                       help="CLOG2 trace (or salvage base path) to "
+                            "check against the static net")
+    p_net.add_argument("--errors", choices=("strict", "salvage"),
+                       default="salvage",
+                       help="trace reader policy (default: salvage)")
+    p_net.add_argument("--strict", action="store_true",
+                       help="non-zero exit on warnings too")
+    p_net.add_argument("--format", choices=("text", "sarif"),
+                       default="text",
+                       help="output format for conformance findings")
+    p_net.add_argument("--dot", metavar="PATH",
+                       help="write the net as Graphviz DOT")
+    p_net.add_argument("--svg", metavar="PATH",
+                       help="write the net as a standalone SVG "
+                            "(divergent edges highlighted)")
+    p_net.set_defaults(func=_cmd_net)
 
     p_codes = sub.add_parser("codes",
                              help="list the diagnostic code catalogue")

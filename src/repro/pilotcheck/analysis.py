@@ -27,6 +27,7 @@ from repro.pilotcheck.astwalk import (
 )
 from repro.pilotcheck.capture import CapturedProgram, capture_program
 from repro.pilotcheck.findings import Finding, render_findings
+from repro.pilotcheck.valueflow import MAX_FLOW_PASSES, ChannelValues
 
 
 @dataclass
@@ -37,6 +38,8 @@ class ProgramAnalysis:
     notes: list[str]
     captured: CapturedProgram
     rank_ops: dict[int, RankOps] = field(default_factory=dict)
+    flow: ChannelValues | None = None  # committed cross-process values
+    flow_passes: int = 0  # extraction passes the fixpoint took
 
     @property
     def clean(self) -> bool:
@@ -64,9 +67,24 @@ def analyze_program(main: Callable[[list[str]], Any], nprocs: int,
                      "execution-phase checks skipped")
         return ProgramAnalysis([], notes, captured)
 
-    rank_ops: dict[int, RankOps] = {0: extract_main_ops(captured)}
-    for proc in captured.processes[1:]:
-        rank_ops[proc.rank] = extract_worker_ops(proc)
+    # Interprocedural value-flow fixpoint: each pass re-extracts every
+    # rank against the channel values the previous pass committed, so a
+    # constant PI_Write on one rank resolves the matching PI_Read on
+    # its peer.  Extraction is deterministic, so the store grows
+    # monotonically up to its caps and the loop terminates.
+    flow = ChannelValues()
+    rank_ops: dict[int, RankOps] = {}
+    for _ in range(MAX_FLOW_PASSES):
+        flow.begin_pass()
+        rank_ops = {0: extract_main_ops(captured, flow=flow)}
+        for proc in captured.processes[1:]:
+            rank_ops[proc.rank] = extract_worker_ops(proc, flow=flow)
+        if not flow.commit_pass():
+            break
+    else:
+        notes.append(f"value flow did not converge within "
+                     f"{MAX_FLOW_PASSES} passes; remaining channel "
+                     "values widened")
     for ro in rank_ops.values():
         notes.extend(ro.notes)
 
@@ -78,7 +96,8 @@ def analyze_program(main: Callable[[list[str]], Any], nprocs: int,
     findings.extend(_check_deadlock(captured, rank_ops, notes))
     findings.sort(key=lambda f: (f.code, f.callsite.lineno if f.callsite
                                  else 0))
-    return ProgramAnalysis(findings, notes, captured, rank_ops)
+    return ProgramAnalysis(findings, notes, captured, rank_ops,
+                           flow=flow, flow_passes=flow.passes)
 
 
 def _chan_desc(chan: PI_CHANNEL) -> str:
@@ -430,15 +449,24 @@ def _check_deadlock(captured: CapturedProgram, rank_ops: dict[int, RankOps],
         seen.add(key)
         names = {p.rank: p.name for p in captured.processes}
         legs = []
-        for rank in cycle:
+        cycle_cids = []
+        for i, rank in enumerate(cycle):
             op = blocked_on[rank]
             legs.append(f"rank {rank} ({names.get(rank, f'P{rank}')}) "
                         f"blocked in {op.func} at {op.callsite}")
+            edge = wait.get_edge_data(rank, cycle[(i + 1) % len(cycle)])
+            if edge is not None:
+                cycle_cids.append(edge["channel"].cid)
+        cids = tuple(sorted(set(cycle_cids)))
+        via = (" (cycle runs through channel"
+               f"{'s' if len(cids) > 1 else ''} "
+               + ", ".join(f"C{c}" for c in cids) + ")") if cids else ""
         findings.append(Finding(
             "PC003",
             f"circular wait among ranks {sorted(cycle)}: "
-            + "; ".join(legs),
+            + "; ".join(legs) + via,
             ranks=tuple(sorted(cycle)),
+            cids=cids,
             callsite=blocked_on[cycle[0]].callsite))
         if len(findings) >= 5:
             notes.append("more deadlock cycles exist; reporting the "

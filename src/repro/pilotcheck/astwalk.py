@@ -16,6 +16,15 @@ symbolic iteration and poison everything they assign.  This is a
 bounded, deliberately optimistic model: it under-approximates repeat
 counts but preserves which channels each rank touches and with which
 format strings, which is all PC001-PC005 need.
+
+Cross-process value flow: when the walker is given a
+:class:`~repro.pilotcheck.valueflow.ChannelValues` store (via
+``Env.flow``), a ``PI_Read`` whose channel and format resolve is served
+the abstract value the matching writes recorded in the *previous*
+fixpoint pass, and every resolved write payload is recorded for the
+next one.  Values may then be small finite sets
+(:class:`~repro.pilotcheck.valueflow.ValueSet`), which arithmetic,
+comparisons, subscripts and safe calls lift over pointwise.
 """
 
 from __future__ import annotations
@@ -30,20 +39,15 @@ from repro._util.callsite import CallSite
 from repro.pilot.formats import FormatError, FormatItem, parse_format
 from repro.pilot.objects import PI_BUNDLE, PI_CHANNEL
 
+from .valueflow import (
+    UNKNOWN,
+    ChannelValues,
+    ValueSet,
+    lift,
+    make_value,
+)
+
 LOOP_CAP = 512  # max unrolled iterations / comprehension elements
-
-
-class _Unknown:
-    __slots__ = ()
-
-    def __repr__(self) -> str:
-        return "<unknown>"
-
-    def __bool__(self) -> bool:
-        raise TypeError("UNKNOWN has no truth value")
-
-
-UNKNOWN = _Unknown()
 
 _SAFE_BUILTINS: dict[str, Any] = {
     "range": range, "len": len, "int": int, "float": float, "str": str,
@@ -82,14 +86,20 @@ READING_KINDS = frozenset({"read", "gather", "reduce"})
 
 
 class Env:
-    """Chained name environment with a mutable overlay."""
+    """Chained name environment with a mutable overlay.
 
-    __slots__ = ("overlay", "maps")
+    ``flow`` is the optional interprocedural channel-value store; when
+    set, reads resolve against it and writes record into it.
+    """
+
+    __slots__ = ("overlay", "maps", "flow")
 
     def __init__(self, maps: tuple[dict, ...],
-                 overlay: dict[str, Any] | None = None) -> None:
+                 overlay: dict[str, Any] | None = None,
+                 flow: ChannelValues | None = None) -> None:
         self.maps = maps
         self.overlay: dict[str, Any] = overlay if overlay is not None else {}
+        self.flow = flow
 
     def lookup(self, name: str) -> Any:
         if name in self.overlay:
@@ -103,7 +113,7 @@ class Env:
         self.overlay[name] = value
 
     def child(self) -> "Env":
-        return Env(self.maps, dict(self.overlay))
+        return Env(self.maps, dict(self.overlay), self.flow)
 
 
 # ---------------------------------------------------------------------------
@@ -129,12 +139,16 @@ def _resolve(node: ast.AST | None, env: Env) -> Any:
         return env.lookup(node.id)
     if isinstance(node, ast.Attribute):
         base = _resolve(node.value, env)
+        if isinstance(base, ValueSet):
+            return lift(lambda b: getattr(b, node.attr), base)
         if base is UNKNOWN:
             return UNKNOWN
         return getattr(base, node.attr, UNKNOWN)
     if isinstance(node, ast.Subscript):
         base = _resolve(node.value, env)
         key = _resolve(node.slice, env)
+        if isinstance(base, ValueSet) or isinstance(key, ValueSet):
+            return lift(lambda b, k: b[k], base, key)
         if base is UNKNOWN or key is UNKNOWN:
             return UNKNOWN
         return base[key]
@@ -150,35 +164,49 @@ def _resolve(node: ast.AST | None, env: Env) -> Any:
             return UNKNOWN
         if isinstance(node, ast.Tuple):
             return tuple(elts)
-        return set(elts) if isinstance(node, ast.Set) else elts
+        if isinstance(node, ast.Set):
+            # A ValueSet *element* would make membership tests lie.
+            if any(isinstance(e, ValueSet) for e in elts):
+                return UNKNOWN
+            return set(elts)
+        return elts
     if isinstance(node, ast.Dict):
         out = {}
         for k, v in zip(node.keys, node.values):
             if k is None:  # **expansion
                 return UNKNOWN
             kv, vv = _resolve(k, env), _resolve(v, env)
-            if kv is UNKNOWN or vv is UNKNOWN:
+            if kv is UNKNOWN or vv is UNKNOWN or isinstance(kv, ValueSet):
                 return UNKNOWN
             out[kv] = vv
         return out
     if isinstance(node, ast.JoinedStr):
-        parts = []
+        parts: list[Any] = []
         for piece in node.values:
             if isinstance(piece, ast.FormattedValue):
                 v = _resolve(piece.value, env)
                 if v is UNKNOWN or piece.format_spec is not None:
                     return UNKNOWN
-                parts.append(format(v))
+                parts.append(lift(format, v) if isinstance(v, ValueSet)
+                             else format(v))
             else:
                 parts.append(str(_resolve(piece, env)))
+        if any(p is UNKNOWN for p in parts):
+            return UNKNOWN
+        if any(isinstance(p, ValueSet) for p in parts):
+            return lift(lambda *ps: "".join(ps), *parts)
         return "".join(parts)
     if isinstance(node, ast.BinOp):
         left, right = _resolve(node.left, env), _resolve(node.right, env)
+        if isinstance(left, ValueSet) or isinstance(right, ValueSet):
+            return lift(_BINOPS[type(node.op)], left, right)
         if left is UNKNOWN or right is UNKNOWN:
             return UNKNOWN
         return _BINOPS[type(node.op)](left, right)
     if isinstance(node, ast.UnaryOp):
         val = _resolve(node.operand, env)
+        if isinstance(val, ValueSet):
+            return lift(_UNOPS[type(node.op)], val)
         if val is UNKNOWN:
             return UNKNOWN
         return _UNOPS[type(node.op)](val)
@@ -188,29 +216,64 @@ def _resolve(node: ast.AST | None, env: Env) -> Any:
             last = _resolve(v, env)
             if last is UNKNOWN:
                 return UNKNOWN
+            if isinstance(last, ValueSet):
+                truth = last.truthiness()
+                if truth == {False} and isinstance(node.op, ast.And):
+                    return last
+                if truth == {True} and isinstance(node.op, ast.Or):
+                    return last
+                if truth is None or len(truth) > 1:
+                    return UNKNOWN
+                continue
             if isinstance(node.op, ast.And) and not last:
                 return last
             if isinstance(node.op, ast.Or) and last:
                 return last
         return last
     if isinstance(node, ast.Compare):
-        left = _resolve(node.left, env)
+        operands = [_resolve(node.left, env)]
+        operands.extend(_resolve(c, env) for c in node.comparators)
+        if any(isinstance(v, ValueSet) for v in operands):
+            ops = list(node.ops)
+
+            def chain(*vals: Any) -> bool:
+                cur = vals[0]
+                for op, nxt in zip(ops, vals[1:]):
+                    if not _compare(op, cur, nxt):
+                        return False
+                    cur = nxt
+                return True
+
+            return lift(chain, *operands)
+        left = operands[0]
         if left is UNKNOWN:
             return UNKNOWN
-        for op, comparator in zip(node.ops, node.comparators):
-            right = _resolve(comparator, env)
+        for op, right in zip(node.ops, operands[1:]):
             if right is UNKNOWN:
                 return UNKNOWN
-            if not _CMPOPS[type(op)](left, right):
+            if not _compare(op, left, right):
                 return False
             left = right
         return True
     if isinstance(node, ast.IfExp):
         test = _resolve(node.test, env)
+        if isinstance(test, ValueSet):
+            truth = test.truthiness()
+            if truth == {True}:
+                return _resolve(node.body, env)
+            if truth == {False}:
+                return _resolve(node.orelse, env)
+            if truth is None:
+                return UNKNOWN
+            return make_value([_resolve(node.body, env),
+                               _resolve(node.orelse, env)])
         if test is UNKNOWN:
             return UNKNOWN
         return _resolve(node.body if test else node.orelse, env)
     if isinstance(node, ast.Call):
+        name = _call_name(node.func)
+        if name in _FLOW_FUNCS and env.flow is not None:
+            return _flow_call_value(name, node, env)
         func = _resolve(node.func, env)
         if func is UNKNOWN or id(func) not in _SAFE_CALLABLES:
             return UNKNOWN
@@ -221,8 +284,13 @@ def _resolve(node: ast.AST | None, env: Env) -> Any:
                   if kw.arg is not None}
         if (any(a is UNKNOWN for a in args)
                 or any(v is UNKNOWN for v in kwargs.values())
+                or any(isinstance(v, ValueSet) for v in kwargs.values())
                 or len(kwargs) < len(node.keywords)):
             return UNKNOWN
+        if any(isinstance(a, ValueSet) for a in args):
+            if kwargs:
+                return UNKNOWN
+            return lift(func, *args)
         return func(*args, **kwargs)
     if isinstance(node, ast.Starred):
         return _resolve(node.value, env)
@@ -250,6 +318,69 @@ _CMPOPS = {
 }
 
 
+def _compare(op: ast.cmpop, a: Any, b: Any) -> bool:
+    """One comparison link; refuses to test membership in a container
+    that itself holds abstract ValueSet elements (the test would be a
+    concrete-world lie)."""
+    if isinstance(op, (ast.In, ast.NotIn)):
+        if isinstance(b, (list, tuple, set, frozenset, dict)) \
+                and any(isinstance(e, ValueSet) for e in b):
+            raise TypeError("membership over abstract container")
+    return _CMPOPS[type(op)](a, b)
+
+
+#: Comm calls whose *return value* the flow store can model.
+_FLOW_FUNCS = frozenset({"PI_Read", "PI_Select", "PI_TrySelect"})
+
+
+def _flow_call_value(name: str, node: ast.Call, env: Env) -> Any:
+    """Abstract return value of a PI_Read/PI_Select/PI_TrySelect call,
+    served from the committed channel-value store.
+
+    PI_Read yields the per-format-item slots the matching writes
+    recorded in the previous fixpoint pass (a ``%^`` item expands to
+    ``(count, UNKNOWN-array)``, mirroring ``read_returns``); the select
+    variants yield the set of indices the bundle can produce.
+    """
+    flow = env.flow
+    assert flow is not None
+    if name in ("PI_Select", "PI_TrySelect"):
+        bundle = resolve(node.args[0], env) if node.args else UNKNOWN
+        if not isinstance(bundle, PI_BUNDLE):
+            return UNKNOWN
+        indices = list(range(len(bundle.channels)))
+        if name == "PI_TrySelect":
+            indices.append(-1)
+        return make_value(indices)
+    if len(node.args) < 2:
+        return UNKNOWN
+    cands = channel_candidates(node.args[0], env)
+    if cands is None:
+        return UNKNOWN
+    chans, _exact = cands
+    fmt = resolve(node.args[1], env)
+    if not isinstance(fmt, str):
+        return UNKNOWN
+    try:
+        items = parse_format(fmt)
+    except FormatError:
+        return UNKNOWN
+    cids = sorted(c.cid for c in chans)
+    values: list[Any] = []
+    for i, item in enumerate(items):
+        slot = flow.read_slot(cids, i)
+        if item.count == "^":
+            values.append(slot)     # the carried element count
+            values.append(UNKNOWN)  # the auto-allocated array itself
+        elif item.count is None:
+            values.append(slot)
+        else:
+            values.append(UNKNOWN)  # fixed/runtime-count array payload
+    if not values:
+        return UNKNOWN
+    return values[0] if len(values) == 1 else tuple(values)
+
+
 def channel_candidates(node: ast.AST, env: Env
                        ) -> tuple[set, bool] | None:
     """Channels an expression may denote: ``(candidates, exact)``.
@@ -262,6 +393,11 @@ def channel_candidates(node: ast.AST, env: Env
     value = resolve(node, env)
     if isinstance(value, PI_CHANNEL):
         return {value}, True
+    if isinstance(value, ValueSet):
+        chans = {v for v in value if isinstance(v, PI_CHANNEL)}
+        # Only trust a set that is channels through and through.
+        if chans and len(chans) == len(value.values):
+            return chans, len(chans) == 1
     if isinstance(node, ast.Subscript):
         base = resolve(node.value, env)
         if base is not UNKNOWN:
@@ -296,6 +432,8 @@ class CommOp:
     fmt: str | None = None  # literal format string, when resolved
     items: tuple[FormatItem, ...] | None = None  # parsed fmt
     fmt_error: FormatError | None = None  # malformed literal format
+    col: int = 0  # column offset of the call expression
+    repeat: str = "exact"  # "exact" | "unknown": is the emit count proven?
 
     @property
     def is_write(self) -> bool:
@@ -304,6 +442,11 @@ class CommOp:
     @property
     def is_read(self) -> bool:
         return self.kind in READING_KINDS
+
+    @property
+    def pos(self) -> str:
+        """``file:line:col`` of the call, for widening diagnostics."""
+        return f"{self.callsite.basename}:{self.callsite.lineno}:{self.col}"
 
 
 @dataclass
@@ -323,6 +466,21 @@ class _Walker:
         self.func_name = func_name
         self.ops: list[CommOp] = []
         self.notes: list[str] = []
+        self._noted: set[str] = set()
+        # Depth of contexts whose execution count is unproven (symbolic
+        # loop bodies, both-branch ifs, exception handlers): ops emitted
+        # inside carry repeat="unknown".
+        self.symbolic = 0
+
+    def note_once(self, text: str) -> None:
+        if text not in self._noted:
+            self._noted.add(text)
+            self.notes.append(text)
+
+    def _loc(self, node: ast.AST) -> str:
+        base = self.filename.rsplit("/", 1)[-1]
+        return (f"{base}:{getattr(node, 'lineno', 0)}:"
+                f"{getattr(node, 'col_offset', 0)}")
 
     # -- statements --------------------------------------------------------
 
@@ -350,8 +508,23 @@ class _Walker:
                 self.assign_target(target, value, env)
             return False
         if isinstance(stmt, ast.AugAssign):
-            self.scan_expr(stmt.value, env)
-            self.poison_target(stmt.target, env)
+            value = self.scan_expr(stmt.value, env)
+            if (isinstance(stmt.target, ast.Name)
+                    and type(stmt.op) in _BINOPS):
+                cur = env.lookup(stmt.target.id)
+                if isinstance(cur, ValueSet) or isinstance(value, ValueSet):
+                    env.bind(stmt.target.id, lift(
+                        _BINOPS[type(stmt.op)], cur, value))
+                elif cur is UNKNOWN or value is UNKNOWN:
+                    env.bind(stmt.target.id, UNKNOWN)
+                else:
+                    try:
+                        env.bind(stmt.target.id,
+                                 _BINOPS[type(stmt.op)](cur, value))
+                    except Exception:
+                        env.bind(stmt.target.id, UNKNOWN)
+            else:
+                self.poison_target(stmt.target, env)
             return False
         if isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
@@ -374,10 +547,14 @@ class _Walker:
             return self.walk_body(stmt.body, env)
         if isinstance(stmt, ast.Try):
             self.walk_body(stmt.body, env)
-            for handler in stmt.handlers:
-                if handler.name:
-                    env.bind(handler.name, UNKNOWN)
-                self.walk_body(handler.body, env)
+            self.symbolic += 1
+            try:
+                for handler in stmt.handlers:
+                    if handler.name:
+                        env.bind(handler.name, UNKNOWN)
+                    self.walk_body(handler.body, env)
+            finally:
+                self.symbolic -= 1
             self.walk_body(stmt.orelse, env)
             self.walk_body(stmt.finalbody, env)
             return False
@@ -399,19 +576,32 @@ class _Walker:
         return False  # Pass, Global, Nonlocal, ...
 
     def walk_if(self, stmt: ast.If, env: Env) -> bool:
-        test = resolve(stmt.test, env)
+        # Always scan the test: with value flow a PI_Read inside it may
+        # resolve, and its op must still be emitted.
+        test = self.scan_expr(stmt.test, env)
+        if isinstance(test, ValueSet):
+            truth = test.truthiness()
+            if truth == {True}:
+                test = True
+            elif truth == {False}:
+                test = False
+            else:
+                test = UNKNOWN
         if test is not UNKNOWN:
             try:
                 taken = bool(test)
             except Exception:
                 taken = True
             return self.walk_body(stmt.body if taken else stmt.orelse, env)
-        self.scan_expr(stmt.test, env)
         then_env, else_env = env.child(), env.child()
-        t1 = self.walk_body(stmt.body, then_env)
-        t2 = self.walk_body(stmt.orelse, else_env)
-        # Merge: a name bound differently (or in only one branch) is
-        # poisoned; identically bound names survive.
+        self.symbolic += 1
+        try:
+            t1 = self.walk_body(stmt.body, then_env)
+            t2 = self.walk_body(stmt.orelse, else_env)
+        finally:
+            self.symbolic -= 1
+        # Merge: identically bound names survive; divergent bindings
+        # join into a ValueSet when both sides resolved, else poison.
         for name in set(then_env.overlay) | set(else_env.overlay):
             a = then_env.overlay.get(name, UNKNOWN)
             b = else_env.overlay.get(name, UNKNOWN)
@@ -421,7 +611,7 @@ class _Walker:
                     same = bool(a == b)
                 except Exception:
                     same = False
-            env.bind(name, a if same else UNKNOWN)
+            env.bind(name, a if same else make_value([a, b]))
         return t1 and t2
 
     def walk_for(self, stmt: ast.For, env: Env) -> None:
@@ -429,8 +619,17 @@ class _Walker:
         elements = self._materialize(iterable)
         if elements is None:
             self.scan_expr(stmt.iter, env)
+            if iterable is UNKNOWN and _contains_comm(stmt.body):
+                self.note_once(
+                    f"rank {self.rank}: for-loop iterable at "
+                    f"{self._loc(stmt.iter)} did not resolve; communication "
+                    "inside is modelled once (repeat count widened)")
             self.poison_target(stmt.target, env)
-            self.walk_body(stmt.body, env)
+            self.symbolic += 1
+            try:
+                self.walk_body(stmt.body, env)
+            finally:
+                self.symbolic -= 1
             self._poison_assigned(stmt.body, env)
             self.walk_body(stmt.orelse, env)
             return
@@ -441,25 +640,49 @@ class _Walker:
         self.walk_body(stmt.orelse, env)
 
     def walk_while(self, stmt: ast.While, env: Env) -> None:
-        test = resolve(stmt.test, env)
-        if test is not UNKNOWN:
+        test = self.scan_expr(stmt.test, env)
+        resolved = True
+        if isinstance(test, ValueSet):
+            truth = test.truthiness()
+            if truth == {False}:
+                test = False
+            elif truth == {True}:
+                test = True
+            else:
+                resolved = False
+        elif test is UNKNOWN:
+            resolved = False
+        if resolved:
             try:
                 if not test:
                     self.walk_body(stmt.orelse, env)
                     return
             except Exception:
-                pass
-        else:
-            self.scan_expr(stmt.test, env)
+                resolved = False
+        if not resolved and _contains_comm(stmt.body):
+            self.note_once(
+                f"rank {self.rank}: while-condition at "
+                f"{self._loc(stmt.test)} did not resolve; communication "
+                "inside is modelled once (repeat count widened)")
         # One symbolic iteration, then poison whatever the body assigns:
         # values after an unknown number of iterations are unknowable.
-        self.walk_body(stmt.body, env)
+        self.symbolic += 1
+        try:
+            self.walk_body(stmt.body, env)
+        finally:
+            self.symbolic -= 1
         self._poison_assigned(stmt.body, env)
         self.walk_body(stmt.orelse, env)
 
     def _materialize(self, iterable: Any) -> list | None:
         if iterable is UNKNOWN:
             return None
+        if isinstance(iterable, ValueSet):
+            variants = [self._materialize(v) for v in iterable.values]
+            first = variants[0]
+            if first is None or any(v != first for v in variants[1:]):
+                return None
+            return first
         try:
             if isinstance(iterable, (range, list, tuple, str, dict, set,
                                      frozenset)):
@@ -469,10 +692,10 @@ class _Walker:
         except Exception:
             return None
         if len(elements) > LOOP_CAP:
-            self.notes.append(
-                f"rank {self.rank}: loop over {len(elements)} elements "
-                f"capped at {LOOP_CAP} (analysis is bounded)")
-            elements = elements[:LOOP_CAP]
+            # Too big to unroll: fall back to one symbolic iteration
+            # (repeat count widens, but values stay honest — truncating
+            # would pretend the tail iterations never happen).
+            return None
         return elements
 
     def _poison_assigned(self, body: list[ast.stmt], env: Env) -> None:
@@ -612,10 +835,58 @@ class _Walker:
                         fmt, allow_ops=(kind == "reduce")))
                 except FormatError as exc:
                     fmt_error = exc
-        self.ops.append(CommOp(
+        op = CommOp(
             kind=kind, func=func_name, rank=self.rank, callsite=callsite,
             channels=channels, exact=exact, bundle=bundle,
-            fmt=fmt, items=items, fmt_error=fmt_error))
+            fmt=fmt, items=items, fmt_error=fmt_error,
+            col=call.col_offset,
+            repeat="exact" if self.symbolic == 0 else "unknown")
+        self.ops.append(op)
+        if target is not None and channels is None:
+            self.note_once(
+                f"rank {self.rank}: {func_name} target at {op.pos} did not "
+                "resolve; widened to any channel")
+        elif kind in FMT_KINDS and len(call.args) >= 2 and fmt is None:
+            self.note_once(
+                f"rank {self.rank}: {func_name} format string at {op.pos} "
+                "did not resolve; format checks widened")
+        if env.flow is not None and kind in WRITING_KINDS:
+            self._record_write(env.flow, call, op, env)
+
+    def _record_write(self, flow: ChannelValues, call: ast.Call,
+                      op: CommOp, env: Env) -> None:
+        """Record a resolved write payload into the flow store (or
+        poison what this write may have reached)."""
+        if op.channels is None:
+            flow.poison_all()
+            return
+        if op.kind == "write":
+            targets = [c for c in op.channels if c.writer.rank == self.rank]
+        else:  # broadcast / scatter: only the common end deposits
+            targets = list(op.channels) if (
+                op.bundle is None or op.bundle.common.rank == self.rank) \
+                else []
+        cids = [c.cid for c in targets]
+        if not cids:
+            return
+        if (op.kind == "scatter" or op.items is None
+                or any(isinstance(a, ast.Starred) for a in call.args)):
+            # Per-channel slices / unknown format: slots unmodellable.
+            flow.poison_channel(cids)
+            return
+        values: list[Any] = []
+        argi = 2
+        for item in op.items:
+            if item.count is None or item.count == "^":
+                # Scalar payload, or the element count of a "%^" item —
+                # exactly the slots the read side can consume.
+                node = call.args[argi] if argi < len(call.args) else None
+                values.append(resolve(node, env) if node is not None
+                              else UNKNOWN)
+            else:
+                values.append(UNKNOWN)  # array payloads are not tracked
+            argi += item.write_arity()
+        flow.record_write(cids, values)
 
 
 def _call_name(func: ast.AST) -> str | None:
@@ -624,6 +895,16 @@ def _call_name(func: ast.AST) -> str | None:
     if isinstance(func, ast.Attribute):
         return func.attr
     return None
+
+
+def _contains_comm(body: list[ast.stmt]) -> bool:
+    """Does any statement in ``body`` contain a PI_* communication call?"""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and _call_name(node.func) in COMM_FUNCS):
+                return True
+    return False
 
 
 def _assigned_names(body: list[ast.stmt]) -> set[str]:
@@ -687,7 +968,7 @@ def _function_ast(code, source_hint: Any
     return None, filename
 
 
-def extract_worker_ops(proc) -> RankOps:
+def extract_worker_ops(proc, *, flow: ChannelValues | None = None) -> RankOps:
     """Communication ops of a worker process (``proc.work``)."""
     out = RankOps(rank=proc.rank)
     work = proc.work
@@ -716,7 +997,7 @@ def extract_worker_ops(proc) -> RankOps:
             except ValueError:
                 closure[name] = UNKNOWN
     globs = getattr(work, "__globals__", {})
-    env = Env((params, closure, globs, _SAFE_BUILTINS))
+    env = Env((params, closure, globs, _SAFE_BUILTINS), flow=flow)
 
     walker = _Walker(proc.rank, filename, code.co_name)
     if isinstance(node, ast.Lambda):
@@ -728,7 +1009,8 @@ def extract_worker_ops(proc) -> RankOps:
     return out
 
 
-def extract_main_ops(captured) -> RankOps:
+def extract_main_ops(captured, *, flow: ChannelValues | None = None
+                     ) -> RankOps:
     """Communication ops of PI_MAIN: the statements after the top-level
     ``PI_StartAll()`` in ``main``, resolved against the locals snapshot
     the capture took at that call."""
@@ -750,7 +1032,7 @@ def extract_main_ops(captured) -> RankOps:
         return out
 
     env = Env((dict(captured.main_locals), captured.main_globals,
-               _SAFE_BUILTINS))
+               _SAFE_BUILTINS), flow=flow)
     walker = _Walker(0, filename, code.co_name)
 
     body = node.body if not isinstance(node, ast.Lambda) else [

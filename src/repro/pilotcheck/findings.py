@@ -1,9 +1,14 @@
 """Diagnostic findings and the stable code catalogue.
 
 Every problem any analysis pass reports is a :class:`Finding` with a
-stable ``PCnnn`` (program analysis), ``TRnnn`` (trace linter) or
-``DFnnn`` (trace diff / fault localization) code, so CI scripts and
-tests can assert on codes instead of message text.
+stable code from one registry: ``PCnnn`` (program analysis), ``TRnnn``
+(trace linter), ``DFnnn`` (trace diff / fault localization) or
+``MNnnn`` (MP net conformance), so CI scripts and tests can assert on
+codes instead of message text.
+
+The registry here is the *single source*: the ``pilotcheck codes``
+listing, the SARIF rule table and :class:`Finding` validation are all
+generated from it, so a code added in one place exists everywhere.
 """
 
 from __future__ import annotations
@@ -12,8 +17,39 @@ from dataclasses import dataclass, field
 
 from repro._util.callsite import CallSite
 
-#: Stable code catalogue: code -> (one-line meaning, default severity).
-CODES: dict[str, tuple[str, str]] = {
+#: Code families, keyed by prefix.
+FAMILIES: dict[str, str] = {
+    "PC": "static program analysis",
+    "TR": "trace linter",
+    "DF": "trace diff / fault localization",
+    "MN": "MP net conformance",
+}
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """One registry entry: what a diagnostic code means."""
+
+    code: str
+    meaning: str
+    severity: str  # default severity: "error" | "warning"
+
+    @property
+    def family(self) -> str:
+        return self.code[:2]
+
+    @property
+    def family_name(self) -> str:
+        return FAMILIES.get(self.family, "unknown")
+
+
+def _table(entries: dict[str, tuple[str, str]]) -> dict[str, CodeInfo]:
+    return {code: CodeInfo(code, meaning, severity)
+            for code, (meaning, severity) in entries.items()}
+
+
+#: The one registry every surface generates from.
+REGISTRY: dict[str, CodeInfo] = _table({
     "PC001": ("format-string mismatch between the write and read ends "
               "of a channel", "error"),
     "PC002": ("channel direction misuse (write to a read end, or a "
@@ -54,7 +90,31 @@ CODES: dict[str, tuple[str, str]] = {
               "warning"),
     "DF007": ("rank recorded as crashed/recovered on exactly one side "
               "of the diff", "warning"),
-}
+    "MN001": ("phantom edge: the trace carries messages on a channel "
+              "edge the static MP net does not predict", "error"),
+    "MN002": ("unexercised edge: the static MP net predicts "
+              "communication the trace never performs", "warning"),
+    "MN003": ("multiplicity mismatch: observed message count on an "
+              "edge differs from the statically proven count", "error"),
+    "MN004": ("direction flip: messages observed flowing against the "
+              "channel's declared writer->reader direction", "error"),
+    "MN005": ("order divergence: a rank's observed send/receive "
+              "sequence deviates from the statically predicted "
+              "sequence", "error"),
+})
+
+#: Legacy view ``code -> (meaning, severity)``; kept because the SARIF
+#: emitter and a fair amount of test code index it directly.
+CODES: dict[str, tuple[str, str]] = {
+    info.code: (info.meaning, info.severity) for info in REGISTRY.values()}
+
+
+def codes_by_family() -> dict[str, list[CodeInfo]]:
+    """Registry grouped by family prefix, codes sorted, for listings."""
+    out: dict[str, list[CodeInfo]] = {}
+    for code in sorted(REGISTRY):
+        out.setdefault(REGISTRY[code].family, []).append(REGISTRY[code])
+    return out
 
 
 @dataclass(frozen=True)
@@ -72,6 +132,15 @@ class Finding:
     # FormatItem.pos / FormatError.pos); machine-readable twin of the
     # "at offset N" phrasing in the message.  SARIF regions reuse it.
     char_range: tuple[int, int] | None = None
+    # Channel ids this finding is about: MN edge findings and PC003
+    # cycles carry them so the net renderer can highlight the exact
+    # edges (the deadlock <-> net-cycle cross-link).
+    cids: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.code not in REGISTRY:
+            raise ValueError(f"unknown diagnostic code {self.code!r}; "
+                             "register it in repro.pilotcheck.findings")
 
     def render(self) -> str:
         parts = [self.code]

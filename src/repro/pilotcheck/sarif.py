@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 
-from repro.pilotcheck.findings import CODES, Finding
+from repro.pilotcheck.findings import REGISTRY, Finding
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
@@ -27,13 +27,15 @@ _TOOL_URI = "https://github.com/anl/pilot-log-visualization"
 
 
 def _rules() -> list[dict]:
-    """The code catalogue as SARIF reportingDescriptors, sorted by id."""
+    """The code registry as SARIF reportingDescriptors, sorted by id."""
     rules = []
-    for code, (meaning, severity) in sorted(CODES.items()):
+    for code in sorted(REGISTRY):
+        info = REGISTRY[code]
         rules.append({
             "id": code,
-            "shortDescription": {"text": meaning},
-            "defaultConfiguration": {"level": severity},
+            "shortDescription": {"text": info.meaning},
+            "defaultConfiguration": {"level": info.severity},
+            "properties": {"family": info.family_name},
         })
     return rules
 
@@ -79,6 +81,8 @@ def _result(finding: Finding, rule_index: dict[str, int],
         props["rank"] = finding.rank
     if finding.ranks:
         props["ranks"] = list(finding.ranks)
+    if finding.cids:
+        props["channels"] = list(finding.cids)
     if finding.obj:
         props["object"] = finding.obj
     if props:

@@ -1,0 +1,313 @@
+"""Cross-process value flow: abstract values carried through channels.
+
+pilotcheck's AST walk resolves each rank *in isolation*, so any value
+that crosses a channel — a loop bound PI_MAIN ships to a worker, a
+query id a worker uses to index ``chans[q]`` — used to widen to the
+``UNKNOWN`` poison value and degrade whole checks to notes.  This
+module is the missing half: an interprocedural store that records what
+each rank *writes* into every channel and lets the matching ``PI_Read``
+on the peer rank resolve to that value (or to a small finite set of
+candidates when several distinct values flow).
+
+Two abstractions:
+
+* :class:`ValueSet` — a bounded finite set of concrete values one
+  expression may take (``{0, 1, 2}`` for a query id written in a loop).
+  Arithmetic, comparison, subscripting and safe calls lift pointwise
+  over the set; anything that would exceed :data:`VALUE_SET_CAP`
+  distinct results widens to ``UNKNOWN`` exactly like before.
+* :class:`ChannelValues` — the per-channel store the fixpoint in
+  :func:`repro.pilotcheck.analysis.analyze_program` iterates: each
+  extraction pass records resolved write payloads (per format item),
+  commits them, and re-extracts until reads stop learning anything new
+  or :data:`MAX_FLOW_PASSES` is hit (then remaining channels widen,
+  with a note — the transfer-count cap that guarantees termination).
+
+The store is deliberately flow-*insensitive* per channel: a read sees
+the union of every value any matching write may send, which
+over-approximates message interleavings but is exact for the dominant
+teaching-code shape (one configuration value shipped once, then used
+for control flow on the other side).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+#: Distinct concrete values an abstract value may hold before widening.
+VALUE_SET_CAP = 8
+
+#: Combinations evaluated when lifting an operation over ValueSets.
+PRODUCT_CAP = 64
+
+#: Extraction passes the value-flow fixpoint may take before the
+#: remaining unresolved channels are widened (transfer-count cap).
+MAX_FLOW_PASSES = 8
+
+
+class _Unknown:
+    """The poison value: an expression the analysis cannot prove."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<unknown>"
+
+    def __bool__(self) -> bool:
+        raise TypeError("UNKNOWN has no truth value")
+
+
+UNKNOWN = _Unknown()
+
+
+class ValueSet:
+    """A small finite set of concrete values an expression may take.
+
+    Immutable and hashable (so tuples containing ValueSets still work
+    as dict keys inside the resolver).  Never empty and never a
+    singleton — :func:`make_value` collapses those to ``UNKNOWN`` and
+    the bare value respectively.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Iterable[Any]) -> None:
+        self.values = frozenset(values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(sorted(repr(v) for v in self.values))
+        return f"ValueSet({{{inner}}})"
+
+    def __bool__(self) -> bool:
+        raise TypeError("a ValueSet has no single truth value")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ValueSet) and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(("ValueSet", self.values))
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def truthiness(self) -> set[bool] | None:
+        """``{True}``/``{False}`` when every element agrees, ``{True,
+        False}`` when they differ, None when truthiness is undecidable."""
+        out: set[bool] = set()
+        for v in self.values:
+            try:
+                out.add(bool(v))
+            except Exception:
+                return None
+        return out
+
+
+def make_value(values: Iterable[Any]) -> Any:
+    """Normalise a collection of possible values into an abstract value.
+
+    Unhashable elements (arrays, say) poison the whole set; an empty
+    set means "nothing can be said"; a singleton IS its element.
+    """
+    out: set[Any] = set()
+    for v in values:
+        if v is UNKNOWN:
+            return UNKNOWN
+        if isinstance(v, ValueSet):
+            out.update(v.values)
+        else:
+            try:
+                out.add(v)
+            except TypeError:
+                return UNKNOWN
+        if len(out) > VALUE_SET_CAP:
+            return UNKNOWN
+    if not out:
+        return UNKNOWN
+    if len(out) == 1:
+        return next(iter(out))
+    return ValueSet(out)
+
+
+def spread(value: Any) -> list[Any] | None:
+    """The concrete values behind an abstract one, or None for UNKNOWN."""
+    if value is UNKNOWN:
+        return None
+    if isinstance(value, ValueSet):
+        return list(value.values)
+    return [value]
+
+
+def lift(fn: Any, *operands: Any) -> Any:
+    """Apply ``fn`` pointwise over the cartesian product of operands.
+
+    Any UNKNOWN operand, an oversized product, or a raising/unhashable
+    result widens to UNKNOWN — the same contract single values already
+    had, extended to sets.
+    """
+    pools: list[list[Any]] = []
+    total = 1
+    for operand in operands:
+        values = spread(operand)
+        if values is None:
+            return UNKNOWN
+        pools.append(values)
+        total *= len(values)
+        if total > PRODUCT_CAP:
+            return UNKNOWN
+    results: list[Any] = []
+    for combo in _product(pools):
+        try:
+            results.append(fn(*combo))
+        except Exception:
+            return UNKNOWN
+    return make_value(results)
+
+
+def _product(pools: list[list[Any]]) -> Iterator[tuple]:
+    if not pools:
+        yield ()
+        return
+    head, *rest = pools
+    for v in head:
+        for tail in _product(rest):
+            yield (v, *tail)
+
+
+class _Top:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<top>"
+
+
+#: A channel slot about which nothing can be asserted (an unresolved
+#: write reached it).  Distinct from "no write seen yet" (empty set).
+TOP = _Top()
+
+
+class ChannelValues:
+    """The interprocedural store: channel id -> per-item value sets.
+
+    One instance lives for the whole fixpoint.  During a pass, writes
+    are *recorded*; reads are *served* from the values committed by the
+    previous pass.  :meth:`commit_pass` swaps the recorded generation
+    in and reports whether anything changed (the fixpoint test).
+    """
+
+    def __init__(self) -> None:
+        # committed belief: cid -> list of per-item slots, each a
+        # frozenset of values or TOP; or TOP for "whole channel opaque"
+        self._values: dict[int, Any] = {}
+        self._pending: dict[int, Any] = {}
+        self._poisoned = False  # committed: a write target was a mystery
+        self._pending_poisoned = False
+        self.passes = 0
+
+    # -- write side (recording, current pass) ------------------------------
+
+    def record_write(self, cids: Iterable[int], item_values: list[Any]) -> None:
+        """One (possibly multi-candidate) write of resolved payload slots.
+
+        ``item_values`` has one abstract value per format item; UNKNOWN
+        slots mark that item TOP.  Non-exact candidate sets record into
+        every candidate — the value *may* flow to each.
+        """
+        for cid in cids:
+            slots = self._pending.get(cid)
+            if slots is TOP:
+                continue
+            if slots is None:
+                slots = []
+                self._pending[cid] = slots
+            for i, value in enumerate(item_values):
+                while len(slots) <= i:
+                    slots.append(set())
+                if slots[i] is TOP:
+                    continue
+                concrete = spread(value)
+                if concrete is None:
+                    slots[i] = TOP
+                    continue
+                try:
+                    slots[i].update(concrete)
+                except TypeError:
+                    slots[i] = TOP
+                    continue
+                if len(slots[i]) > VALUE_SET_CAP:
+                    slots[i] = TOP
+
+    def poison_channel(self, cids: Iterable[int]) -> None:
+        """A write whose payload arity/shape could not be modelled."""
+        for cid in cids:
+            self._pending[cid] = TOP
+
+    def poison_all(self) -> None:
+        """A write whose *target* could not be resolved at all: any
+        channel may have received any value."""
+        self._pending_poisoned = True
+
+    # -- read side (served from the committed generation) ------------------
+
+    def read_slot(self, cids: list[int], index: int) -> Any:
+        """Abstract value of format-item ``index`` on a read that may
+        target any of ``cids`` (union over candidates)."""
+        if self._poisoned or not cids:
+            return UNKNOWN
+        union: set[Any] = set()
+        for cid in cids:
+            slots = self._values.get(cid)
+            if slots is TOP:
+                return UNKNOWN
+            if slots is None or index >= len(slots):
+                # No write recorded (yet): nothing flows; stay silent.
+                return UNKNOWN
+            slot = slots[index]
+            if slot is TOP:
+                return UNKNOWN
+            union.update(slot)
+            if len(union) > VALUE_SET_CAP:
+                return UNKNOWN
+        if not union:
+            return UNKNOWN
+        return make_value(union)
+
+    # -- fixpoint driver ----------------------------------------------------
+
+    def begin_pass(self) -> None:
+        self._pending = {}
+        self._pending_poisoned = False
+        self.passes += 1
+
+    def commit_pass(self) -> bool:
+        """Swap the recorded generation in; True when beliefs changed."""
+        frozen = {cid: (slots if slots is TOP
+                        else [s if s is TOP else frozenset(s) for s in slots])
+                  for cid, slots in self._pending.items()}
+        changed = (frozen != self._values
+                   or self._pending_poisoned != self._poisoned)
+        self._values = frozen
+        self._poisoned = self._pending_poisoned
+        return changed
+
+    @property
+    def tracked_channels(self) -> list[int]:
+        """Channel ids with at least one resolved committed slot."""
+        out = []
+        for cid, slots in sorted(self._values.items()):
+            if slots is not TOP and any(s is not TOP for s in slots):
+                out.append(cid)
+        return out
+
+
+__all__ = [
+    "MAX_FLOW_PASSES",
+    "PRODUCT_CAP",
+    "TOP",
+    "UNKNOWN",
+    "VALUE_SET_CAP",
+    "ChannelValues",
+    "ValueSet",
+    "lift",
+    "make_value",
+    "spread",
+]

@@ -1,0 +1,202 @@
+"""MN001–MN005 conformance checks over hand-built nets.
+
+Each code gets a firing case and a quiet near-miss, plus the
+interaction rules: a direction flip (MN004) suppresses the noisier
+codes on that edge, inexact static sides are lower bounds, and order
+divergence (MN005) only applies to sequence-proven ranks.
+"""
+
+from repro.mpnet import check_conformance
+from repro.mpnet.model import MPNet, NetEdge
+
+
+def static_net():
+    """P0 -> P1 on C0 (3 messages), P1 -> P0 on C1 (3 messages)."""
+    net = MPNet(kind="static", nprocs=2,
+                process_names={0: "PI_MAIN", 1: "P1"})
+    net.edges[0] = NetEdge(cid=0, name="C0", src=0, dst=1,
+                           sends=3, recvs=3)
+    net.edges[1] = NetEdge(cid=1, name="C1", src=1, dst=0,
+                           sends=3, recvs=3)
+    net.sequences[0] = [("S", 0), ("R", 1)] * 3
+    net.sequences[1] = [("R", 0), ("S", 1)] * 3
+    net.sequence_exact = {0: True, 1: True}
+    return net
+
+
+def matching_trace():
+    net = MPNet(kind="trace", nprocs=2,
+                process_names={0: "PI_MAIN", 1: "P1"})
+    net.edges[0] = NetEdge(cid=0, name="C0", src=0, dst=1,
+                           sends=3, recvs=3)
+    net.edges[1] = NetEdge(cid=1, name="C1", src=1, dst=0,
+                           sends=3, recvs=3)
+    net.sequences[0] = [("S", 0), ("R", 1)] * 3
+    net.sequences[1] = [("R", 0), ("S", 1)] * 3
+    net.sequence_exact = {0: True, 1: True}
+    return net
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestCleanPair:
+    def test_matching_nets_have_no_findings(self):
+        assert check_conformance(static_net(), matching_trace()) == []
+
+
+class TestMN001Phantom:
+    def test_undeclared_channel_id_fires(self):
+        trace = matching_trace()
+        trace.edges[9] = NetEdge(cid=9, name="C9", src=0, dst=1,
+                                 sends=2, recvs=2)
+        found = [f for f in check_conformance(static_net(), trace)
+                 if f.code == "MN001"]
+        assert len(found) == 1
+        assert found[0].cids == (9,)
+        assert "never declares" in found[0].message
+
+    def test_proven_silent_edge_with_traffic_fires(self):
+        st = static_net()
+        st.edges[2] = NetEdge(cid=2, name="C2", src=0, dst=1)  # proven 0
+        st.sequence_exact = {0: False, 1: False}  # isolate MN001
+        trace = matching_trace()
+        trace.edges[2] = NetEdge(cid=2, name="C2", src=0, dst=1,
+                                 sends=1, recvs=1)
+        found = check_conformance(st, trace)
+        assert codes(found) == ["MN001"]
+        assert "proven silent" in found[0].message
+
+    def test_inexact_silent_edge_is_quiet(self):
+        st = static_net()
+        st.edges[2] = NetEdge(cid=2, name="C2", src=0, dst=1,
+                              sends_exact=False, recvs_exact=False)
+        st.sequence_exact = {0: False, 1: False}
+        trace = matching_trace()
+        trace.edges[2] = NetEdge(cid=2, name="C2", src=0, dst=1,
+                                 sends=1, recvs=1)
+        assert check_conformance(st, trace) == []
+
+
+class TestMN002Unexercised:
+    def test_unused_predicted_edge_warns(self):
+        trace = matching_trace()
+        del trace.edges[1]
+        trace.sequences[0] = [("S", 0)] * 3
+        trace.sequences[1] = [("R", 0)] * 3
+        found = check_conformance(static_net(), trace)
+        mn002 = [f for f in found if f.code == "MN002"]
+        assert len(mn002) == 1
+        assert mn002[0].severity == "warning"
+        assert mn002[0].cids == (1,)
+
+    def test_statically_silent_edge_is_not_expected(self):
+        st = static_net()
+        st.edges[2] = NetEdge(cid=2, name="C2", src=0, dst=1)  # 0 proven
+        assert codes(check_conformance(st, matching_trace())) == []
+
+
+class TestMN003Multiplicity:
+    def test_exact_side_disputed_both_ways(self):
+        st = static_net()
+        st.sequence_exact = {0: False, 1: False}
+        for observed in (2, 5):
+            trace = matching_trace()
+            trace.edges[0].sends = observed
+            found = check_conformance(st, trace)
+            assert codes(found) == ["MN003"]
+            assert found[0].cids == (0,)
+
+    def test_inexact_side_only_disputed_below_bound(self):
+        st = static_net()
+        st.sequence_exact = {0: False, 1: False}
+        st.edges[0].sends_exact = False  # lower bound: 3+
+        above = matching_trace()
+        above.edges[0].sends = 9
+        assert check_conformance(st, above) == []
+        below = matching_trace()
+        below.edges[0].sends = 1
+        found = check_conformance(st, below)
+        assert codes(found) == ["MN003"]
+        assert "below proven lower bound" in found[0].message
+
+    def test_both_sides_join_into_one_finding(self):
+        st = static_net()
+        st.sequence_exact = {0: False, 1: False}
+        trace = matching_trace()
+        trace.edges[0].sends = 5
+        trace.edges[0].recvs = 4
+        found = check_conformance(st, trace)
+        assert codes(found) == ["MN003"]
+        assert "send count 5" in found[0].message
+        assert "recv count 4" in found[0].message
+
+
+class TestMN004DirectionFlip:
+    def test_flip_fires_and_suppresses_multiplicity(self):
+        st = static_net()
+        st.sequence_exact = {0: False, 1: False}
+        trace = matching_trace()
+        trace.edges[1].src, trace.edges[1].dst = 0, 1  # flipped
+        trace.edges[1].sends = 7  # would be MN003 if not suppressed
+        found = check_conformance(st, trace)
+        assert codes(found) == ["MN004"]
+        assert found[0].cids == (1,)
+        assert "P1 -> PI_MAIN" in found[0].message
+
+    def test_unknown_direction_does_not_flip(self):
+        st = static_net()
+        st.sequence_exact = {0: False, 1: False}
+        trace = matching_trace()
+        trace.edges[1].src = trace.edges[1].dst = -1
+        assert codes(check_conformance(st, trace)) == []
+
+
+class TestMN005Order:
+    def test_reordered_rank_blames_first_divergent_edge(self):
+        trace = matching_trace()
+        seq = trace.sequences[0]
+        trace.sequences[0] = [seq[1], seq[0]] + seq[2:]
+        found = check_conformance(static_net(), trace)
+        assert codes(found) == ["MN005"]
+        assert found[0].rank == 0
+        assert "position 0" in found[0].message
+
+    def test_truncated_sequence_blames_missing_event(self):
+        trace = matching_trace()
+        trace.sequences[1] = trace.sequences[1][:-1]
+        found = check_conformance(static_net(), trace)
+        assert codes(found) == ["MN005"]
+        assert found[0].cids == (1,)
+        assert "missing send on C1" in found[0].message
+
+    def test_unproven_rank_is_skipped(self):
+        st = static_net()
+        st.sequence_exact[0] = False
+        trace = matching_trace()
+        trace.sequences[0] = []  # wildly different, but unproven
+        assert codes(check_conformance(st, trace)) == []
+
+
+class TestOrderingAndSeverity:
+    def test_findings_sort_flip_first_unexercised_last(self):
+        st = static_net()
+        st.edges[2] = NetEdge(cid=2, name="C2", src=0, dst=1,
+                              sends=1, recvs=1)
+        st.sequences[0] = [("S", 0), ("R", 1)] * 3 + [("S", 2)]
+        trace = matching_trace()
+        trace.edges[0].sends = 5            # MN003
+        trace.edges[1].src, trace.edges[1].dst = 0, 1  # MN004
+        # C2 never observed                 # MN002
+        found = check_conformance(st, trace)
+        assert codes(found)[0] == "MN004"
+        assert codes(found)[-1] == "MN002"
+
+    def test_every_finding_names_its_edges(self):
+        trace = matching_trace()
+        trace.edges[0].sends = 5
+        trace.edges[9] = NetEdge(cid=9, name="C9", src=0, dst=1,
+                                 sends=1, recvs=0)
+        for f in check_conformance(static_net(), trace):
+            assert f.cids, f.render()

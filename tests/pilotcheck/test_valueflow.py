@@ -1,0 +1,370 @@
+"""Cross-process value flow: values written into a channel reach the
+peer's PI_Read during analysis, so programs whose loop bounds, channel
+indices, or select fan-ins are *carried over channels* analyze exactly
+instead of degrading to widening notes.
+
+Each propagation shape has a fixture pair: a bad member that only a
+resolved carried value can convict (the finding must fire), and a good
+near-miss of the same shape that must analyze clean with zero notes.
+"""
+
+import re
+
+import pytest
+
+from repro.pilot import (
+    PI_MAIN,
+    PI_Configure,
+    PI_CreateBundle,
+    PI_CreateChannel,
+    PI_CreateProcess,
+    PI_Read,
+    PI_Select,
+    PI_StartAll,
+    PI_StopMain,
+    PI_Write,
+)
+from repro.pilotcheck import analyze_program
+from repro.pilotcheck.valueflow import (
+    MAX_FLOW_PASSES,
+    PRODUCT_CAP,
+    UNKNOWN,
+    VALUE_SET_CAP,
+    ChannelValues,
+    ValueSet,
+    lift,
+    make_value,
+    spread,
+)
+
+
+# -- primitives --------------------------------------------------------------
+
+
+class TestValueSetPrimitives:
+    def test_make_value_singleton_unwraps(self):
+        assert make_value([7]) == 7
+
+    def test_make_value_set(self):
+        v = make_value([1, 2, 2])
+        assert isinstance(v, ValueSet)
+        assert set(v) == {1, 2}
+
+    def test_make_value_caps_cardinality(self):
+        assert make_value(range(VALUE_SET_CAP + 1)) is UNKNOWN
+
+    def test_make_value_rejects_empty_and_unhashable(self):
+        assert make_value([]) is UNKNOWN
+        assert make_value([[1], [2]]) is UNKNOWN
+
+    def test_unknown_is_not_truthy(self):
+        with pytest.raises(TypeError):
+            bool(UNKNOWN)
+
+    def test_lift_pointwise(self):
+        v = lift(lambda a, b: a + b, make_value([1, 2]), 10)
+        assert set(v) == {11, 12}
+
+    def test_lift_poisons_on_unknown(self):
+        assert lift(lambda a, b: a + b, make_value([1, 2]), UNKNOWN) \
+            is UNKNOWN
+
+    def test_lift_caps_product(self):
+        big = make_value(range(VALUE_SET_CAP))
+        out = lift(lambda *vs: sum(vs), big, big, big)
+        # 8^3 combinations > PRODUCT_CAP: must widen, not enumerate.
+        assert VALUE_SET_CAP ** 3 > PRODUCT_CAP
+        assert out is UNKNOWN
+
+    def test_truthiness(self):
+        assert make_value([0, 1]).truthiness() == {True, False}
+        assert make_value([1, 2]).truthiness() == {True}
+
+    def test_spread(self):
+        assert sorted(spread(make_value([1, 2]))) == [1, 2]
+        assert spread(5) == [5]
+        assert spread(UNKNOWN) is None
+
+
+class TestChannelValues:
+    def test_fixpoint_protocol(self):
+        cv = ChannelValues()
+        cv.begin_pass()
+        cv.record_write([3], [7])
+        assert cv.commit_pass()  # something changed
+        cv.begin_pass()
+        cv.record_write([3], [7])
+        assert not cv.commit_pass()  # stable
+        assert cv.read_slot([3], 0) == 7
+
+    def test_union_across_writes(self):
+        cv = ChannelValues()
+        cv.begin_pass()
+        cv.record_write([1], [4])
+        cv.record_write([1], [9])
+        cv.commit_pass()
+        assert set(cv.read_slot([1], 0)) == {4, 9}
+
+    def test_poison_channel(self):
+        cv = ChannelValues()
+        cv.begin_pass()
+        cv.record_write([1], [4])
+        cv.poison_channel([1])
+        cv.commit_pass()
+        assert cv.read_slot([1], 0) is UNKNOWN
+
+    def test_poison_all_blinds_every_read(self):
+        cv = ChannelValues()
+        cv.begin_pass()
+        cv.record_write([1], [4])
+        cv.poison_all()
+        cv.commit_pass()
+        assert cv.read_slot([1], 0) is UNKNOWN
+
+    def test_unwritten_slot_is_unknown(self):
+        cv = ChannelValues()
+        cv.begin_pass()
+        cv.record_write([1], [4])
+        cv.commit_pass()
+        assert cv.read_slot([1], 5) is UNKNOWN
+
+
+# -- shape 1: channel-carried loop bound -------------------------------------
+
+
+def bound_bad(argv):
+    """Worker's loop bound arrives over a channel; the master under-
+    feeds it by one, then waits for the ack: circular wait."""
+    chans = {}
+
+    def worker(_i, _a):
+        n = int(PI_Read(chans["count"], "%d"))
+        for _ in range(n):
+            PI_Read(chans["data"], "%d")
+        PI_Write(chans["ack"], "%d", 1)
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    chans["count"] = PI_CreateChannel(PI_MAIN, p)
+    chans["data"] = PI_CreateChannel(PI_MAIN, p)
+    chans["ack"] = PI_CreateChannel(p, PI_MAIN)
+    PI_StartAll()
+    PI_Write(chans["count"], "%d", 5)
+    for _ in range(4):  # off by one: the worker expects 5
+        PI_Write(chans["data"], "%d", 0)
+    PI_Read(chans["ack"], "%d")
+    PI_StopMain(0)
+
+
+def bound_good(argv):
+    """Same shape, counts agree: must be clean with zero notes."""
+    chans = {}
+
+    def worker(_i, _a):
+        n = int(PI_Read(chans["count"], "%d"))
+        for _ in range(n):
+            PI_Read(chans["data"], "%d")
+        PI_Write(chans["ack"], "%d", 1)
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    chans["count"] = PI_CreateChannel(PI_MAIN, p)
+    chans["data"] = PI_CreateChannel(PI_MAIN, p)
+    chans["ack"] = PI_CreateChannel(p, PI_MAIN)
+    PI_StartAll()
+    PI_Write(chans["count"], "%d", 5)
+    for _ in range(5):
+        PI_Write(chans["data"], "%d", 0)
+    PI_Read(chans["ack"], "%d")
+    PI_StopMain(0)
+
+
+class TestCarriedLoopBound:
+    def test_bad_fires_pc003_with_cycle_channels(self):
+        analysis = analyze_program(bound_bad, 2)
+        assert [f.code for f in analysis.findings] == ["PC003"]
+        (finding,) = analysis.findings
+        # The cycle names the channels it runs through (for the net
+        # rendering cross-link), and the carried bound resolved — no
+        # widening notes survived.
+        assert finding.cids
+        assert analysis.notes == []
+        assert analysis.flow_passes >= 2
+
+    def test_good_is_clean_and_fully_resolved(self):
+        analysis = analyze_program(bound_good, 2)
+        assert analysis.findings == []
+        assert analysis.notes == []
+        for rank_ops in analysis.rank_ops.values():
+            assert not rank_ops.opaque
+            for op in rank_ops.ops:
+                assert op.channels is not None
+                assert op.repeat == "exact"
+
+
+# -- shape 2: channel-carried channel index ----------------------------------
+
+
+def index_bad(argv):
+    """The write target's index arrives over a channel; the resolved
+    channel's reader expects a different format."""
+    chans = []
+    ctrl = []
+
+    def worker(_i, _a):
+        idx = int(PI_Read(ctrl[0], "%d"))
+        PI_Write(chans[idx], "%lf", 1.5)
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    ctrl.append(PI_CreateChannel(PI_MAIN, p))
+    chans.append(PI_CreateChannel(p, PI_MAIN))
+    chans.append(PI_CreateChannel(p, PI_MAIN))
+    PI_StartAll()
+    PI_Write(ctrl[0], "%d", 1)
+    PI_Read(chans[1], "%d")
+    PI_StopMain(0)
+
+
+def index_good(argv):
+    chans = []
+    ctrl = []
+
+    def worker(_i, _a):
+        idx = int(PI_Read(ctrl[0], "%d"))
+        PI_Write(chans[idx], "%d", 7)
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker)
+    ctrl.append(PI_CreateChannel(PI_MAIN, p))
+    chans.append(PI_CreateChannel(p, PI_MAIN))
+    chans.append(PI_CreateChannel(p, PI_MAIN))
+    PI_StartAll()
+    PI_Write(ctrl[0], "%d", 1)
+    PI_Read(chans[1], "%d")
+    PI_StopMain(0)
+
+
+class TestCarriedChannelIndex:
+    def test_bad_fires_pc001_on_the_resolved_channel(self):
+        analysis = analyze_program(index_bad, 2)
+        codes = [f.code for f in analysis.findings]
+        assert "PC001" in codes
+        pc001 = next(f for f in analysis.findings if f.code == "PC001")
+        # The carried index proved the target exactly: the finding
+        # blames one specific channel, not a widened candidate set.
+        assert "C2" in pc001.message or (pc001.obj or "").startswith("C2")
+        assert analysis.notes == []
+
+    def test_good_is_clean(self):
+        analysis = analyze_program(index_good, 2)
+        assert analysis.findings == []
+        assert analysis.notes == []
+
+
+# -- shape 3: PI_Select over a carried fan-in --------------------------------
+
+
+def select_carried(argv):
+    """Each worker's output count is carried over its control channel;
+    the master drains the bundle by select.  The workers' loops must
+    materialize from the carried count (no notes), while the select
+    reads stay honestly inexact."""
+    chans = {}
+
+    def worker(i, _a):
+        n = int(PI_Read(chans[f"cnt{i}"], "%d"))
+        for k in range(n):
+            PI_Write(chans[f"out{i}"], "%d", k)
+        return 0
+
+    PI_Configure(argv)
+    procs = [PI_CreateProcess(worker, i) for i in range(2)]
+    for i, p in enumerate(procs):
+        chans[f"cnt{i}"] = PI_CreateChannel(PI_MAIN, p)
+        chans[f"out{i}"] = PI_CreateChannel(p, PI_MAIN)
+    bundle = PI_CreateBundle("select", [chans["out0"], chans["out1"]])
+    PI_StartAll()
+    total = 0
+    for i in range(2):
+        PI_Write(chans[f"cnt{i}"], "%d", 3)
+        total += 3
+    for _ in range(total):
+        got = PI_Select(bundle)
+        PI_Read(bundle.channels[got], "%d")
+    PI_StopMain(0)
+
+
+class TestSelectOverCarriedSet:
+    def test_resolves_without_notes(self):
+        analysis = analyze_program(select_carried, 3)
+        assert analysis.findings == []
+        assert analysis.notes == []
+
+    def test_select_read_target_is_the_bundle_candidate_set(self):
+        analysis = analyze_program(select_carried, 3)
+        reads = [op for op in analysis.rank_ops[0].ops
+                 if op.kind == "read"]
+        fanin = [op for op in reads if op.channels is not None
+                 and len(op.channels) == 2]
+        # The PI_Select result indexes the bundle: both bundle channels
+        # are candidates, nothing widened to "any channel".
+        assert fanin, [op.channels for op in reads]
+        assert all(not op.exact for op in fanin)
+
+    def test_worker_loops_materialize_from_carried_count(self):
+        analysis = analyze_program(select_carried, 3)
+        for rank in (1, 2):
+            writes = [op for op in analysis.rank_ops[rank].ops
+                      if op.kind == "write"]
+            assert len(writes) == 3
+            assert all(op.repeat == "exact" for op in writes)
+
+
+# -- widening notes carry positions ------------------------------------------
+
+
+def unresolved_loop(argv):
+    chans = []
+
+    def worker(_i, arg):
+        for _ in range(int(arg)):  # process arg: genuinely unknown
+            PI_Write(chans[0], "%d", 1)
+        return 0
+
+    PI_Configure(argv)
+    p = PI_CreateProcess(worker, "opaque-bound")
+    chans.append(PI_CreateChannel(p, PI_MAIN))
+    PI_StartAll()
+    PI_Read(chans[0], "%d")
+    PI_StopMain(0)
+
+
+class TestWidenedNotesCarryPositions:
+    def test_note_names_file_line_col(self):
+        analysis = analyze_program(unresolved_loop, 2)
+        loop_notes = [n for n in analysis.notes if "for-loop" in n]
+        assert loop_notes, analysis.notes
+        assert re.search(r"at test_valueflow\.py:\d+:\d+", loop_notes[0])
+
+
+# -- convergence -------------------------------------------------------------
+
+
+class TestConvergence:
+    def test_fixpoint_is_bounded(self):
+        for main, nprocs in ((bound_good, 2), (select_carried, 3)):
+            analysis = analyze_program(main, nprocs)
+            assert analysis.flow_passes <= MAX_FLOW_PASSES
+            assert not any("did not converge" in n
+                           for n in analysis.notes)
+
+    def test_flow_store_is_exposed(self):
+        analysis = analyze_program(bound_good, 2)
+        assert analysis.flow is not None
+        # The carried bound is recorded under the count channel.
+        assert 0 in analysis.flow.tracked_channels
