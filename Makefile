@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench chaos chaos-resume chaos-recover diff-trace net fsck examples figures clean check lint
+.PHONY: install test bench fleet chaos chaos-resume chaos-recover diff-trace net fsck examples figures clean check lint
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -23,6 +23,12 @@ lint:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only -s
+
+# Rank-count scaling: the coroutine scheduler vs thread-per-rank on the
+# fleet app, up to 1001 ranks in one process (see docs/ARCHITECTURE.md).
+# Writes benchmarks/out/BENCH_ranks.json.
+fleet:
+	$(PY) -m pytest benchmarks/test_ranks.py -q -s
 
 # Seeded fault-injection scenarios through the whole log pipeline
 # (crash -> salvage -> merge -> convert -> render); see docs/robustness.md.

@@ -17,17 +17,20 @@ a previous run's CLOG2 file.
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import sys
 
 from repro.apps.collisions import VARIANTS, CollisionConfig, collisions_main
+from repro.apps.fleet import make_fleet_main
 from repro.apps.lab2 import Lab2Config, lab2_main
 from repro.apps.labs import DYNAMIC, STATIC, Lab3Config, lab1_main, lab3_main
 from repro.apps.thumbnail import ThumbnailConfig, thumbnail_main
-from repro.pilot import PilotOptions, run_pilot
+from repro.pilot import PilotConfig, run_pilot
+from repro.vmpi.engine import SCHEDULERS
 
 APPS = ("lab1", "lab2", "lab3", "thumbnail", "collisions",
-        "collisions-buggy-a", "collisions-buggy-b")
+        "collisions-buggy-a", "collisions-buggy-b", "fleet")
 DEFAULT_NPROCS = {"lab1": 5, "lab2": 6, "lab3": 5, "thumbnail": 6,
                   "collisions": 6, "collisions-buggy-a": 6,
                   "collisions-buggy-b": 6}
@@ -74,28 +77,39 @@ def build_parser() -> argparse.ArgumentParser:
                         default=STATIC, help="lab3: work allocation scheme")
     parser.add_argument("--tasks", type=int, default=64,
                         help="lab3: number of tasks in the bag")
+    parser.add_argument("--scheduler", choices=SCHEDULERS, default=None,
+                        help="rank execution backend (coroutine hosts "
+                             "thousands of ranks in one process)")
+    parser.add_argument("--workers", type=int, default=1000,
+                        help="fleet: number of worker ranks")
     return parser
 
 
 def make_main(args):
+    # functools.partial, not lambdas: the coroutine scheduler's call
+    # rewriter unwraps partials, but never looks inside a lambda body.
     if args.app == "lab1":
-        return lambda argv: lab1_main(argv)
+        return lab1_main
     if args.app == "lab2":
-        return lambda argv: lab2_main(argv, Lab2Config())
+        return functools.partial(lab2_main, config=Lab2Config())
     if args.app == "lab3":
         cfg = Lab3Config(ntasks=args.tasks)
-        return lambda argv: lab3_main(argv, args.scheme, cfg)
+        return functools.partial(lab3_main, scheme=args.scheme, config=cfg)
     if args.app == "thumbnail":
         cfg = ThumbnailConfig(nfiles=args.files, kernel=args.kernel,
                               seed=args.seed, stage_states=args.stage_states)
-        return lambda argv: thumbnail_main(argv, cfg)
+        return functools.partial(thumbnail_main, config=cfg)
+    if args.app == "fleet":
+        return make_fleet_main(args.workers)
     cfg = CollisionConfig(nrecords=args.records, seed=args.seed or 7)
     if args.app.startswith("collisions-buggy-"):
         from repro.apps.collisions_buggy import collisions_buggy_main
 
         variant = args.app.rsplit("-", 1)[1]
-        return lambda argv: collisions_buggy_main(argv, variant, cfg)
-    return lambda argv: collisions_main(argv, args.variant, cfg)
+        return functools.partial(collisions_buggy_main, variant=variant,
+                                 config=cfg)
+    return functools.partial(collisions_main, variant=args.variant,
+                             config=cfg)
 
 
 def summarize_result(app: str, value) -> str:
@@ -106,6 +120,9 @@ def summarize_result(app: str, value) -> str:
         return f"grand total {value['total']} (correct: {ok})"
     if app == "lab3":
         return f"tasks per worker: {value['executed']}"
+    if app == "fleet":
+        return (f"{value['total']}/{value['ntasks']} tasks over "
+                f"{value['workers']} workers")
     if app == "thumbnail":
         return (f"{value['thumbs']} thumbnails via "
                 f"{value['decompressors']} decompressors")
@@ -118,19 +135,22 @@ def summarize_result(app: str, value) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    nprocs = args.nprocs or DEFAULT_NPROCS[args.app]
-    pilot_argv = [f"-picheck={args.check_level}"]
-    if args.pisvc:
-        pilot_argv.append(f"-pisvc={args.pisvc}")
-    options = PilotOptions(
+    nprocs = args.nprocs or DEFAULT_NPROCS.get(args.app, args.workers + 1)
+    scheduler = args.scheduler
+    if scheduler is None and args.app == "fleet" and nprocs > 64:
+        scheduler = "coroutine"  # thread-per-rank cannot host a fleet
+    config = PilotConfig(
+        services=args.pisvc or None,
+        check_level=args.check_level,
+        seed=args.seed,
+        scheduler=scheduler,
         mpe_log_path=args.clog,
         native_log_path=os.path.splitext(args.clog)[0] + ".native.log")
 
     from repro.vmpi.errors import TaskFailed
 
     try:
-        result = run_pilot(make_main(args), nprocs, argv=pilot_argv,
-                           options=options, seed=args.seed)
+        result = run_pilot(make_main(args), nprocs, config=config)
     except TaskFailed as exc:
         print(f"run FAILED: {exc}", file=sys.stderr)
         return 2

@@ -66,6 +66,7 @@ from repro.pilot.errors import (
     Diagnostic,
     PilotError,
 )
+from repro.pilot.config import PilotConfig
 from repro.pilot.objects import PI_BUNDLE, PI_CHANNEL, PI_PROCESS
 from repro.pilot.program import PilotCosts, PilotOptions, PilotRun, current_run
 from repro.pilot.runner import PilotResult, resume_pilot, run_pilot
@@ -82,6 +83,7 @@ __all__ = [
     "CHECK_NONE",
     "CHECK_POINTERS",
     "Diagnostic",
+    "PilotConfig",
     "PilotCosts",
     "PilotError",
     "PilotOptions",

@@ -1,0 +1,242 @@
+"""Typed, unified run configuration: :class:`PilotConfig`.
+
+Historically a Pilot launch was configured three different ways at
+once: ``-pi*`` command-line flags mixed into ``argv`` (the C library's
+interface, stripped by PI_Configure), a loose ``options=PilotOptions``
+kwarg, and assorted extra keywords on :func:`repro.pilot.run_pilot`
+(``costs=``, ``seed=``, ``faults=``...).  ``PilotConfig`` replaces all
+three with one frozen dataclass that is the single public way to
+describe a run::
+
+    from repro.pilot import PilotConfig, run_pilot
+
+    cfg = PilotConfig(services="cdj", scheduler="coroutine",
+                      watchdog_timeout=5.0)
+    run_pilot(main, nprocs=8, config=cfg)
+
+Every field defaults to ``None`` meaning "not chosen here", so layered
+sources (defaults < environment < flags < code) can be merged without
+ambiguity; :meth:`from_argv`, :meth:`from_env` and :meth:`to_argv`
+round-trip the flag-expressible subset.  The legacy spellings still
+work but raise :class:`DeprecationWarning` (see docs/API.md for the
+migration table).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.pilot import errors as perr
+from repro.pilot.errors import Diagnostic, PilotError
+from repro.pilot.program import PilotCosts, PilotOptions, parse_argv
+from repro.pilot.services import ServiceOptions, parse_service_letters
+from repro.vmpi.engine import SCHEDULERS
+
+# Manifest-recorded fields that resume_pilot refuses to silently
+# replace; list them in ``allow_overrides`` to replace deliberately.
+RESUME_GUARDED_FIELDS = ("watchdog_timeout", "watchdog_action", "recover")
+
+
+@dataclass(frozen=True)
+class PilotConfig:
+    """One immutable description of a Pilot run.
+
+    ``None`` always means "unset — use the runtime default"; an
+    explicit value is remembered as explicit, which is what lets
+    :func:`repro.pilot.resume_pilot` distinguish "the caller wants a
+    different watchdog than the journal recorded" (an error unless
+    listed in :attr:`allow_overrides`) from "the caller didn't say".
+    """
+
+    # -- rank scheduling ------------------------------------------------
+    scheduler: str | None = None  # "threads" | "coroutine"
+    # -- services and checking (the old -pisvc= / -picheck=) ------------
+    services: str | None = None  # service letters, e.g. "cdj"
+    check_level: int | None = None
+    # -- log destinations ----------------------------------------------
+    native_log_path: str | None = None
+    mpe_log_path: str | None = None
+    mpe_available: bool | None = None
+    # -- robustness machinery ------------------------------------------
+    fault_plan_path: str | None = None
+    journal_dir: str | None = None
+    journal_checkpoint_interval: float | None = None
+    watchdog_timeout: float | None = None
+    watchdog_action: str | None = None  # "abort" | "checkpoint"
+    recover: str | None = None  # "msglog"
+    # -- simulation parameters (former run_pilot kwargs) ----------------
+    costs: PilotCosts | None = None
+    network: Any | None = None  # NetworkModel
+    seed: int | None = None
+    clock_resolution: float | None = None
+    skews: Mapping[int, Any] | None = None  # rank -> ClockSkew
+    faults: Any | None = None  # FaultPlan
+    mpe: Any | None = None  # JumpshotOptions
+    # -- resume escape hatch -------------------------------------------
+    # Guarded manifest fields this config may deliberately replace on
+    # resume (e.g. resuming past a checkpoint-and-stop needs
+    # ("watchdog_timeout",)).
+    allow_overrides: tuple[str, ...] = ()
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_argv(cls, argv: list[str] | tuple[str, ...],
+                  base: "PilotConfig | None" = None,
+                  ) -> tuple["PilotConfig", list[str]]:
+        """Strip ``-pi*`` flags from ``argv`` into a config.
+
+        Returns ``(config, leftover_argv)`` like PI_Configure rewriting
+        ``argc/argv`` in C.  Flags layer on top of ``base`` (flags
+        win); fields no flag exists for are carried over unchanged.
+        """
+        opts, leftover = parse_argv(argv, None)
+        default = PilotOptions()
+        updates: dict[str, Any] = {}
+        if opts.services != default.services:
+            updates["services"] = "".join(sorted(opts.services))
+        if opts.check_level != default.check_level:
+            updates["check_level"] = opts.check_level
+        if opts.fault_plan_path != default.fault_plan_path:
+            updates["fault_plan_path"] = opts.fault_plan_path
+        if opts.journal_dir != default.journal_dir:
+            updates["journal_dir"] = opts.journal_dir
+        if opts.watchdog_timeout != default.watchdog_timeout:
+            updates["watchdog_timeout"] = opts.watchdog_timeout
+            # The action is explicit only when some flag spelled it
+            # out (``-piwatchdog=T:action``); a bare timeout must not
+            # pin the action, or a resume would see a phantom
+            # "abort"-vs-recorded conflict.
+            if any(a.startswith("-piwatchdog=") and ":" in a for a in argv):
+                updates["watchdog_action"] = opts.watchdog_action
+        if opts.recover != default.recover:
+            updates["recover"] = opts.recover
+        if opts.scheduler is not None:
+            updates["scheduler"] = opts.scheduler
+        cfg = dataclasses.replace(base or cls(), **updates)
+        return cfg.validate(), leftover
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None,
+                 base: "PilotConfig | None" = None) -> "PilotConfig":
+        """Read ``REPRO_PI_*`` environment variables into a config.
+
+        Recognised: ``REPRO_PI_SCHEDULER``, ``REPRO_PI_SVC``,
+        ``REPRO_PI_CHECK``, ``REPRO_PI_FAULT_PLAN``,
+        ``REPRO_PI_JOURNAL``, ``REPRO_PI_WATCHDOG`` (``T[:action]``)
+        and ``REPRO_PI_RECOVER`` — the same grammar as the flags, so
+        values are validated identically.
+        """
+        if environ is None:
+            import os
+
+            environ = os.environ
+        argv = []
+        for var, flag in (("REPRO_PI_SVC", "-pisvc"),
+                          ("REPRO_PI_CHECK", "-picheck"),
+                          ("REPRO_PI_FAULT_PLAN", "-pifault-plan"),
+                          ("REPRO_PI_JOURNAL", "-pijournal"),
+                          ("REPRO_PI_WATCHDOG", "-piwatchdog"),
+                          ("REPRO_PI_RECOVER", "-pirecover"),
+                          ("REPRO_PI_SCHEDULER", "-pischeduler")):
+            value = environ.get(var)
+            if value:
+                argv.append(f"{flag}={value}")
+        cfg, _ = cls.from_argv(argv, base)
+        return cfg
+
+    # -- projection -----------------------------------------------------
+
+    def to_argv(self) -> list[str]:
+        """The flag-expressible subset of this config, as ``-pi*`` args.
+
+        ``PilotConfig.from_argv(cfg.to_argv())`` reproduces every field
+        a flag exists for; purely programmatic fields (``costs``,
+        ``network``, ``seed``, ``skews``, ``faults``, ``mpe``, the log
+        paths) have no flag form and are omitted.
+        """
+        argv: list[str] = []
+        if self.services:
+            argv.append(f"-pisvc={''.join(sorted(self.services))}")
+        if self.check_level is not None:
+            argv.append(f"-picheck={self.check_level}")
+        if self.fault_plan_path is not None:
+            argv.append(f"-pifault-plan={self.fault_plan_path}")
+        if self.journal_dir is not None:
+            argv.append(f"-pijournal={self.journal_dir}")
+        if self.watchdog_timeout is not None:
+            spec = f"{self.watchdog_timeout}"
+            if self.watchdog_action is not None:
+                spec += f":{self.watchdog_action}"
+            argv.append(f"-piwatchdog={spec}")
+        if self.recover is not None:
+            argv.append(f"-pirecover={self.recover}")
+        if self.scheduler is not None:
+            argv.append(f"-pischeduler={self.scheduler}")
+        return argv
+
+    def to_service_options(self) -> ServiceOptions:
+        """The per-service flag view of :attr:`services`.
+
+        Equivalent to ``cfg.to_options().service_options`` — the same
+        projection the launcher applies internally — exposed so tools
+        can ask "is jumpshot on?" without building a full options set.
+        """
+        return self.to_options().service_options
+
+    def to_options(self, base: PilotOptions | None = None) -> PilotOptions:
+        """Project the option-shaped fields onto a :class:`PilotOptions`."""
+        opts = base or PilotOptions()
+        updates: dict[str, Any] = {}
+        if self.services is not None:
+            updates["services"] = frozenset(self.services)
+        for name in ("check_level", "native_log_path", "mpe_log_path",
+                     "mpe_available", "fault_plan_path", "journal_dir",
+                     "journal_checkpoint_interval", "watchdog_timeout",
+                     "watchdog_action", "recover", "scheduler"):
+            value = getattr(self, name)
+            if value is not None:
+                updates[name] = value
+        return dataclasses.replace(opts, **updates)
+
+    # -- validation -----------------------------------------------------
+
+    def validate(self) -> "PilotConfig":
+        """Raise :class:`PilotError` on any out-of-range field; else self."""
+        def bad(message: str) -> PilotError:
+            return PilotError(Diagnostic("BAD_CONFIG", message, None, -1))
+
+        if self.scheduler is not None and self.scheduler not in SCHEDULERS:
+            raise bad(f"scheduler must be one of {'/'.join(SCHEDULERS)}, "
+                      f"got {self.scheduler!r}")
+        if self.services is not None:
+            parse_service_letters(self.services)  # raises on unknown letters
+        if self.check_level is not None and not (
+                perr.CHECK_NONE <= self.check_level <= perr.CHECK_POINTERS):
+            raise bad(f"check_level must be 0..3, got {self.check_level}")
+        if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
+            raise bad(f"watchdog_timeout must be > 0, "
+                      f"got {self.watchdog_timeout}")
+        if self.watchdog_action is not None:
+            if self.watchdog_action not in ("abort", "checkpoint"):
+                raise bad(f"watchdog_action must be 'abort' or 'checkpoint', "
+                          f"got {self.watchdog_action!r}")
+            if self.watchdog_timeout is None:
+                raise bad("watchdog_action without watchdog_timeout "
+                          "arms nothing; set both")
+        if self.recover is not None and self.recover != "msglog":
+            raise bad(f"recover must be 'msglog', got {self.recover!r}")
+        if (self.journal_checkpoint_interval is not None
+                and self.journal_checkpoint_interval <= 0):
+            raise bad("journal_checkpoint_interval must be > 0, "
+                      f"got {self.journal_checkpoint_interval}")
+        if self.clock_resolution is not None and self.clock_resolution <= 0:
+            raise bad(f"clock_resolution must be > 0, "
+                      f"got {self.clock_resolution}")
+        unknown = set(self.allow_overrides) - set(RESUME_GUARDED_FIELDS)
+        if unknown:
+            raise bad(f"allow_overrides only accepts "
+                      f"{RESUME_GUARDED_FIELDS}, got {sorted(unknown)}")
+        return self

@@ -11,6 +11,7 @@ paper's new MPE/Jumpshot logger — is an independent implementation.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -110,12 +111,15 @@ class HookSet:
     def add(self, hook: PilotHooks) -> None:
         self.hooks.append(hook)
 
+    def _dispatch(self, name: str, *args: Any, **kw: Any) -> None:
+        for hook in self.hooks:
+            getattr(hook, name)(*args, **kw)
+
     def __getattr__(self, name: str):
         if not name.startswith("on_"):
             raise AttributeError(name)
-
-        def dispatch(*args: Any, **kw: Any) -> None:
-            for hook in self.hooks:
-                getattr(hook, name)(*args, **kw)
-
-        return dispatch
+        # A partial over a named method (not a closure): the coroutine
+        # scheduler's call rewriter unwraps partials and weaves
+        # _dispatch, so hook methods that charge virtual time (e.g. the
+        # jumpshot logger's MPE buffering cost) may block.
+        return functools.partial(self._dispatch, name)

@@ -30,6 +30,7 @@ from repro.pilot.objects import (
 )
 from repro.pilot.services import ServiceOptions, parse_service_letters
 from repro.vmpi.comm import INTERNAL_TAG_BASE, Communicator
+from repro.vmpi.engine import SCHEDULERS
 
 # Tag used by the service-rank feed (native log, deadlock events, DONE).
 SERVICE_TAG = INTERNAL_TAG_BASE + (1 << 20)
@@ -89,6 +90,10 @@ class PilotOptions:
     # ``-pirecover=msglog``: survive injected rank crashes by sender-
     # based message logging + localized replay (repro.vmpi.msglog).
     recover: str | None = None
+    # ``-pischeduler=threads|coroutine``: rank execution backend.  None
+    # means "not chosen here" so layered option sources can tell an
+    # explicit choice from the default ("threads").
+    scheduler: str | None = None
 
     @property
     def service_options(self) -> ServiceOptions:
@@ -135,6 +140,7 @@ def parse_argv(argv: list[str] | tuple[str, ...],
     watchdog_timeout = opts.watchdog_timeout
     watchdog_action = opts.watchdog_action
     recover = opts.recover
+    scheduler = opts.scheduler
     leftover: list[str] = []
     for arg in argv:
         if arg.startswith("-pisvc="):
@@ -176,6 +182,13 @@ def parse_argv(argv: list[str] | tuple[str, ...],
                     None, -1))
             if recover == "off":
                 recover = None
+        elif arg.startswith("-pischeduler="):
+            scheduler = arg.split("=", 1)[1]
+            if scheduler not in SCHEDULERS:
+                raise PilotError(Diagnostic(
+                    "BAD_OPTION",
+                    f"-pischeduler must be one of {'/'.join(SCHEDULERS)}, "
+                    f"got {scheduler!r}", None, -1))
         elif arg.startswith("-picheck="):
             try:
                 check = int(arg.split("=", 1)[1])
@@ -194,7 +207,7 @@ def parse_argv(argv: list[str] | tuple[str, ...],
         journal_dir=journal_dir,
         journal_checkpoint_interval=opts.journal_checkpoint_interval,
         watchdog_timeout=watchdog_timeout, watchdog_action=watchdog_action,
-        recover=recover)
+        recover=recover, scheduler=scheduler)
     return new_opts, leftover
 
 
@@ -235,7 +248,9 @@ class PilotRun:
         self.bundles: list[PI_BUNDLE] = []
         self.custom_states: list = []  # PI_DefineState handles, in order
         self._bundled_channels: set[int] = set()
-        self._lock = threading.Lock()  # config tables touched by many rank threads
+        # Config tables touched by many rank bodies; a no-op on the
+        # single-threaded coroutine scheduler.
+        self._lock = self.engine.make_lock()
         self.app_argv: list[str] = []
         self.exec_ended: dict[int, float] = {}
         self.finished_at: float | None = None
@@ -373,9 +388,23 @@ def current_run() -> PilotRun:
     return run
 
 
-def pilot_callsite() -> CallSite:
-    """Call site in *user* code (library frames skipped)."""
-    import repro.pilot as _pkg
+_CALLSITE_PREFIXES: tuple[str, ...] = ()
 
-    prefix = _pkg.__file__.rsplit("/", 1)[0]
-    return capture_callsite(skip=2, internal_prefixes=(prefix,))
+
+def pilot_callsite() -> CallSite:
+    """Call site in *user* code (library frames skipped).
+
+    The vmpi package is in the skip set because on the coroutine
+    scheduler the weave dispatcher (repro.vmpi.weave) interposes a frame
+    between every caller and callee; woven user code keeps its original
+    filename, so the walk still lands on the user frame both backends
+    report.
+    """
+    global _CALLSITE_PREFIXES
+    if not _CALLSITE_PREFIXES:
+        import repro.pilot as _pilot_pkg
+        import repro.vmpi as _vmpi_pkg
+
+        _CALLSITE_PREFIXES = (_pilot_pkg.__file__.rsplit("/", 1)[0],
+                              _vmpi_pkg.__file__.rsplit("/", 1)[0])
+    return capture_callsite(skip=2, internal_prefixes=_CALLSITE_PREFIXES)

@@ -11,9 +11,11 @@ from __future__ import annotations
 import dataclasses
 import os
 import sys
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.pilot.config import RESUME_GUARDED_FIELDS, PilotConfig
 from repro.pilot.errors import Diagnostic, PilotError
 from repro.pilot.program import (
     PilotCosts,
@@ -96,24 +98,24 @@ class PilotResult:
                                   self.run.options.mpe_log_path)
 
 
-def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
-              argv: list[str] | tuple[str, ...] = (), *,
-              options: PilotOptions | None = None,
-              costs: PilotCosts | None = None,
-              network: NetworkModel | None = None,
-              seed: int = 0,
-              clock_resolution: float = 1e-8,
-              skews: dict[int, ClockSkew] | None = None,
-              mpe_options: "Any | None" = None,
-              extra_hooks: list | None = None,
-              faults: "Any | None" = None,
-              journal: "Journal | None" = None,
-              suppress_crashes: bool = False) -> PilotResult:
-    """Run ``main`` on ``nprocs`` virtual ranks under Pilot.
+def _launch(main: Callable[[list[str]], Any], nprocs: int,
+            argv: list[str] | tuple[str, ...] = (), *,
+            options: PilotOptions | None = None,
+            costs: PilotCosts | None = None,
+            network: NetworkModel | None = None,
+            seed: int = 0,
+            clock_resolution: float = 1e-8,
+            skews: dict[int, ClockSkew] | None = None,
+            mpe_options: "Any | None" = None,
+            extra_hooks: list | None = None,
+            faults: "Any | None" = None,
+            journal: "Journal | None" = None,
+            suppress_crashes: bool = False,
+            scheduler: str | None = None) -> PilotResult:
+    """The actual launch machinery behind :func:`run_pilot`.
 
-    ``argv`` may carry Pilot's own options (``-pisvc=cdj``,
-    ``-picheck=N``); they are stripped before ``main`` sees the rest,
-    as PI_Configure does in C.
+    Takes the fully-resolved pieces (no deprecation policy here — both
+    the config path and the legacy path funnel into this).
 
     ``faults`` takes a :class:`repro.vmpi.faults.FaultPlan`: the run is
     then subjected to its seeded message faults, injected crashes and
@@ -134,6 +136,8 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
     replay needs to match a crashed run event for event.
     """
     opts, app_argv = parse_argv(argv, options)
+    if scheduler is None:
+        scheduler = opts.scheduler or "threads"
     svc = opts.service_options
 
     if svc.resume:
@@ -176,7 +180,8 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
 
     world = World(nprocs, network=network, seed=seed,
                   clock_resolution=clock_resolution, skews=skews,
-                  faults=faults, suppress_crashes=suppress_crashes)
+                  faults=faults, suppress_crashes=suppress_crashes,
+                  scheduler=scheduler)
 
     if journal is None and opts.journal_dir is not None:
         manifest = manifest_for_engine(world.engine, nprocs=nprocs, extra={
@@ -235,13 +240,16 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
         run.hooks.add(hook)
 
     def rank_body(comm) -> Any:
+        # (Re)bind the ambient run at every rank entry; never clear it
+        # per rank.  On the coroutine scheduler all ranks share one OS
+        # thread, so a finishing rank's ``finally`` would wipe the
+        # binding out from under the still-running ranks; the single
+        # clear below runs once after the whole world is done.
         set_current_run(run)
         try:
             return main(list(app_argv))
         except _RankDone as done:
             return done.status
-        finally:
-            set_current_run(None)
 
     try:
         vres = world.run(rank_body)
@@ -256,6 +264,7 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
                       f"{finding.render()}", file=sys.stderr)
         raise
     finally:
+        set_current_run(None)
         if journal is not None:
             journal.close()
         if msglog is not None:
@@ -266,6 +275,104 @@ def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
         perf.dump(opts.perf_snapshot_path)
     return PilotResult(run, vres, perf, journal=journal, watchdog=watchdog,
                        msglog=msglog)
+
+
+def run_pilot(main: Callable[[list[str]], Any], nprocs: int,
+              argv: list[str] | tuple[str, ...] = (), *,
+              config: PilotConfig | None = None,
+              options: PilotOptions | None = None,
+              costs: PilotCosts | None = None,
+              network: NetworkModel | None = None,
+              seed: int | None = None,
+              clock_resolution: float | None = None,
+              skews: dict[int, ClockSkew] | None = None,
+              mpe_options: "Any | None" = None,
+              extra_hooks: list | None = None,
+              faults: "Any | None" = None,
+              journal: "Journal | None" = None,
+              suppress_crashes: bool = False) -> PilotResult:
+    """Run ``main`` on ``nprocs`` virtual ranks under Pilot.
+
+    The one public way to configure a run is ``config=`` with a
+    :class:`repro.pilot.PilotConfig` — services, check level, log
+    paths, watchdog, recovery, journal, fault plan, network/cost
+    models, seed, clock model and the rank scheduler all live there::
+
+        run_pilot(main, 8, config=PilotConfig(services="cdj",
+                                              scheduler="coroutine"))
+
+    The legacy spellings still work but are deprecated: ``-pi*`` flags
+    mixed into ``argv`` (stripped before ``main`` sees the rest, as
+    PI_Configure does in C) and the loose ``options=``/``costs=``/
+    ``seed=``/... keywords each raise :class:`DeprecationWarning`.
+    Mixing ``config=`` with either is an error — fold everything into
+    the config (``PilotConfig.from_argv`` converts flag-style argv).
+
+    ``mpe_options``, ``extra_hooks``, ``journal`` and
+    ``suppress_crashes`` are launch wiring rather than run
+    description, and remain keywords on both paths.
+    """
+    if config is not None:
+        config.validate()
+        legacy = [name for name, value in (
+            ("options", options), ("costs", costs), ("network", network),
+            ("seed", seed), ("clock_resolution", clock_resolution),
+            ("skews", skews), ("faults", faults)) if value is not None]
+        if legacy:
+            raise PilotError(Diagnostic(
+                "BAD_CONFIG",
+                "run_pilot: config= given together with legacy keyword(s) "
+                f"{', '.join(legacy)}; fold them into the PilotConfig",
+                None, -1))
+        flags = [a for a in argv if a.startswith("-pi")]
+        if flags:
+            raise PilotError(Diagnostic(
+                "BAD_CONFIG",
+                f"run_pilot: config= given together with {flags[0]!r} in "
+                "argv; parse flags with PilotConfig.from_argv(argv) and "
+                "pass the merged config", None, -1))
+        if config.services is not None and "r" in config.services:
+            if config.journal_dir is None:
+                raise PilotError(Diagnostic(
+                    "BAD_OPTION",
+                    "services 'r' needs journal_dir to resume from",
+                    None, -1))
+            resumed = dataclasses.replace(
+                config, services=config.services.replace("r", ""))
+            return resume_pilot(main, config.journal_dir, config=resumed,
+                                mpe_options=mpe_options,
+                                extra_hooks=extra_hooks)
+        return _launch(main, nprocs, argv,
+                       options=config.to_options(),
+                       costs=config.costs, network=config.network,
+                       seed=config.seed if config.seed is not None else 0,
+                       clock_resolution=(config.clock_resolution
+                                         if config.clock_resolution is not None
+                                         else 1e-8),
+                       skews=(dict(config.skews)
+                              if config.skews is not None else None),
+                       mpe_options=(mpe_options if mpe_options is not None
+                                    else config.mpe),
+                       extra_hooks=extra_hooks, faults=config.faults,
+                       journal=journal, suppress_crashes=suppress_crashes,
+                       scheduler=config.scheduler)
+    if options is not None or costs is not None:
+        warnings.warn(
+            "run_pilot(options=..., costs=...) is deprecated; pass "
+            "config=PilotConfig(...) instead (migration table in "
+            "docs/API.md)", DeprecationWarning, stacklevel=2)
+    if any(a.startswith("-pi") for a in argv):
+        warnings.warn(
+            "-pi* flags in argv are deprecated; parse them with "
+            "PilotConfig.from_argv(argv) and pass config= (migration "
+            "table in docs/API.md)", DeprecationWarning, stacklevel=2)
+    return _launch(main, nprocs, argv, options=options, costs=costs,
+                   network=network, seed=0 if seed is None else seed,
+                   clock_resolution=(1e-8 if clock_resolution is None
+                                     else clock_resolution),
+                   skews=skews, mpe_options=mpe_options,
+                   extra_hooks=extra_hooks, faults=faults, journal=journal,
+                   suppress_crashes=suppress_crashes)
 
 
 def _pilot_manifest(opts: PilotOptions, svc: "Any") -> dict:
@@ -283,6 +390,7 @@ def _pilot_manifest(opts: PilotOptions, svc: "Any") -> dict:
 
 
 def resume_pilot(main: Callable[[list[str]], Any], journal_dir: str, *,
+                 config: PilotConfig | None = None,
                  options: PilotOptions | None = None,
                  costs: PilotCosts | None = None,
                  network: NetworkModel | None = None,
@@ -304,12 +412,33 @@ def resume_pilot(main: Callable[[list[str]], Any], journal_dir: str, *,
     ``main`` must be the same program the journal recorded (the
     manifest cannot re-create code); likewise pass the same
     ``mpe_options`` if the recorded run used non-default ones.
-    ``network`` and ``costs`` fall back to values stored in the
-    manifest when omitted.  Passing ``options`` with
-    ``watchdog_timeout`` set replaces the recorded watchdog — the way
-    to resume past a checkpoint-and-stop, whose manifest records the
-    very timeout that stopped it.
+
+    Watchdog and recovery settings are replay-critical, so an explicit
+    ``config`` value that *differs* from the manifest-recorded one is
+    refused with a :class:`PilotError` naming both values — resuming
+    under silently-different robustness settings used to be a trap.
+    Replacing one deliberately (the way to resume past a
+    checkpoint-and-stop, whose manifest records the very timeout that
+    stopped it) is spelled out in the config::
+
+        resume_pilot(main, jdir, config=PilotConfig(
+            watchdog_timeout=1e3,
+            allow_overrides=("watchdog_timeout",)))
+
+    The legacy ``options=`` kwarg is deprecated and has no override
+    escape hatch: any watchdog/recovery conflict with the manifest is
+    an error pointing at ``PilotConfig.allow_overrides``.
     """
+    if config is not None and options is not None:
+        raise PilotError(Diagnostic(
+            "BAD_CONFIG",
+            "resume_pilot: pass config= or the deprecated options=, "
+            "not both", None, -1))
+    if options is not None or costs is not None:
+        warnings.warn(
+            "resume_pilot(options=..., costs=...) is deprecated; pass "
+            "config=PilotConfig(...) instead (migration table in "
+            "docs/API.md)", DeprecationWarning, stacklevel=2)
     journal = Journal.replay(journal_dir)
     manifest = journal.manifest
     nprocs = int(manifest.get("nprocs", 0))
@@ -318,32 +447,73 @@ def resume_pilot(main: Callable[[list[str]], Any], journal_dir: str, *,
             f"{journal_dir}: manifest does not record nprocs; this journal "
             "was not written by run_pilot")
     pilot_meta = manifest.get("pilot", {})
-    base = options or PilotOptions()
-    if base.watchdog_timeout is not None:
-        # An explicit watchdog in ``options`` replaces the recorded
-        # one.  The escape hatch matters after checkpoint-and-stop: the
-        # manifest records the very timeout that stopped the run, and
-        # resuming under it would deterministically stop at the same
-        # virtual instant.
-        watchdog_timeout: float | None = base.watchdog_timeout
-        watchdog_action = base.watchdog_action
+    scheduler: str | None = None
+    allow: tuple[str, ...] = ()
+    if config is not None:
+        config.validate()
+        allow = config.allow_overrides
+        scheduler = config.scheduler
+        if costs is None:
+            costs = config.costs
+        if network is None:
+            network = config.network
+        if mpe_options is None:
+            mpe_options = config.mpe
+        explicit: dict[str, Any] = {
+            "watchdog_timeout": config.watchdog_timeout,
+            "watchdog_action": config.watchdog_action,
+            "recover": config.recover,
+        }
     else:
-        recorded = pilot_meta.get("watchdog_timeout")
-        watchdog_timeout = float(recorded) if recorded is not None else None
-        watchdog_action = pilot_meta.get("watchdog_action",
-                                         base.watchdog_action)
+        base = options or PilotOptions()
+        scheduler = base.scheduler
+        explicit = {
+            "watchdog_timeout": base.watchdog_timeout,
+            # PilotOptions cannot distinguish a deliberate "abort" from
+            # its default; count the action as explicit only alongside
+            # an explicit timeout.
+            "watchdog_action": (base.watchdog_action
+                                if base.watchdog_timeout is not None
+                                else None),
+            "recover": base.recover,
+        }
+    resolved: dict[str, Any] = {}
+    for name in RESUME_GUARDED_FIELDS:
+        recorded = pilot_meta.get(name)
+        if name == "watchdog_timeout" and recorded is not None:
+            recorded = float(recorded)
+        wanted = explicit[name]
+        if wanted is None:
+            resolved[name] = recorded
+        elif recorded is None or recorded == wanted or name in allow:
+            resolved[name] = wanted
+        else:
+            raise PilotError(Diagnostic(
+                "RESUME_CONFLICT",
+                f"resume_pilot: {name}={wanted!r} conflicts with the "
+                f"recorded {name}={recorded!r} in {journal_dir}; replay "
+                "verification assumes the recorded run's robustness "
+                "settings, so differing values are refused rather than "
+                "silently preferred.  To replace the recorded value "
+                "deliberately (e.g. to resume past a checkpoint-and-"
+                f"stop), pass config=PilotConfig(..., allow_overrides="
+                f"({name!r},))", None, -1))
+    defaults = PilotOptions()
     opts = PilotOptions(
         services=frozenset(pilot_meta.get("services", "")),
-        check_level=int(pilot_meta.get("check_level", base.check_level)),
+        check_level=int(pilot_meta.get("check_level",
+                                       defaults.check_level)),
         native_log_path=pilot_meta.get("native_log_path",
-                                       base.native_log_path),
-        mpe_log_path=pilot_meta.get("mpe_log_path", base.mpe_log_path),
+                                       defaults.native_log_path),
+        mpe_log_path=pilot_meta.get("mpe_log_path", defaults.mpe_log_path),
         mpe_available=bool(pilot_meta.get("mpe_available",
-                                          base.mpe_available)),
+                                          defaults.mpe_available)),
         journal_dir=None,  # the replay journal is passed explicitly below
-        watchdog_timeout=watchdog_timeout,
-        watchdog_action=watchdog_action,
-        recover=pilot_meta.get("recover", base.recover))
+        watchdog_timeout=resolved["watchdog_timeout"],
+        watchdog_action=(resolved["watchdog_action"]
+                         if resolved["watchdog_action"] is not None
+                         else defaults.watchdog_action),
+        recover=resolved["recover"])
     skews = {int(rank): ClockSkew(offset=float(s.get("offset", 0.0)),
                                   drift=float(s.get("drift", 0.0)))
              for rank, s in manifest.get("skews", {}).items()}
@@ -356,10 +526,10 @@ def resume_pilot(main: Callable[[list[str]], Any], journal_dir: str, *,
         network = NetworkModel(**manifest["network"])
     if costs is None and "costs" in manifest:
         costs = PilotCosts(**manifest["costs"])
-    return run_pilot(main, nprocs, argv=(), options=opts, costs=costs,
-                     network=network, seed=int(manifest.get("seed", 0)),
-                     clock_resolution=float(
-                         manifest.get("clock_resolution", 1e-8)),
-                     skews=skews, mpe_options=mpe_options,
-                     extra_hooks=extra_hooks, faults=plan, journal=journal,
-                     suppress_crashes=True)
+    return _launch(main, nprocs, argv=(), options=opts, costs=costs,
+                   network=network, seed=int(manifest.get("seed", 0)),
+                   clock_resolution=float(
+                       manifest.get("clock_resolution", 1e-8)),
+                   skews=skews, mpe_options=mpe_options,
+                   extra_hooks=extra_hooks, faults=plan, journal=journal,
+                   suppress_crashes=True, scheduler=scheduler)

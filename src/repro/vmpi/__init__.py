@@ -30,7 +30,15 @@ from repro.vmpi.comm import (
     NetworkModel,
     Request,
 )
-from repro.vmpi.engine import Engine, Resource, RunResult, Task
+from repro.vmpi.engine import (
+    SCHEDULERS,
+    CoroTask,
+    Engine,
+    Resource,
+    RunResult,
+    Task,
+    ThreadTask,
+)
 from repro.vmpi.errors import (
     AbortedError,
     EngineError,
@@ -75,6 +83,7 @@ __all__ = [
     "ClockFault",
     "ClockSkew",
     "Communicator",
+    "CoroTask",
     "CorruptedPayload",
     "CrashFault",
     "Engine",
@@ -96,10 +105,12 @@ __all__ = [
     "Request",
     "Resource",
     "RunResult",
+    "SCHEDULERS",
     "SimulationDeadlock",
     "Status",
     "Task",
     "TaskFailed",
+    "ThreadTask",
     "VmpiError",
     "WATCHDOG_ABORT",
     "WATCHDOG_CHECKPOINT",

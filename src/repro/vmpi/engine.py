@@ -1,4 +1,4 @@
-"""Deterministic discrete-event engine with thread-backed tasks.
+"""Deterministic discrete-event engine with two task backends.
 
 This is the foundation the whole reproduction stands on.  The paper's
 system runs on a real cluster under OpenMPI; this repo substitutes a
@@ -6,9 +6,8 @@ system runs on a real cluster under OpenMPI; this repo substitutes a
 requirements that drove this design:
 
 * **API fidelity.**  Pilot/MPI code calls blocking functions
-  (``PI_Read`` blocks until a message arrives).  Generator-style
-  coroutines would force ``yield`` into user code, so instead every rank
-  runs in a real OS thread and blocking calls park the thread.
+  (``PI_Read`` blocks until a message arrives) with no ``yield`` or
+  ``await`` in user code.
 
 * **Determinism.**  The engine admits exactly one task at a time and
   hands control back and forth explicitly, so a given program produces
@@ -20,9 +19,21 @@ requirements that drove this design:
   run from the paper's evaluation executes in milliseconds of wall time,
   and speedup shapes survive running on a single core.
 
-The scheduler runs in the caller's thread (:meth:`Engine.run`).  Task
-threads interact with it only through the handoff protocol implemented
-by :meth:`Task._switch_to` / :meth:`Engine._yield_current`.
+The scheduler runs in the caller's thread (:meth:`Engine.run`).  Two
+interchangeable task backends implement the suspend/resume protocol
+(``Engine(scheduler=...)``; see docs/ARCHITECTURE.md):
+
+* ``"threads"`` — one OS thread per rank (:class:`ThreadTask`); blocking
+  calls park the thread via the monitor handoff in
+  :meth:`ThreadTask._switch_to` / :meth:`Engine._yield_current`.  The
+  historical backend; caps worlds at a few hundred ranks.
+* ``"coroutine"`` — every rank is a generator (:class:`CoroTask`)
+  resumed by a single-threaded trampoline; rank code is rewritten at
+  runtime by :mod:`repro.vmpi.weave` so each blocking call becomes a
+  generator suspension.  One process simulates thousands of ranks.
+
+Both backends drive the identical event heap with identical sequence
+numbers, so runs are byte-identical between them.
 """
 
 from __future__ import annotations
@@ -48,6 +59,9 @@ from repro.vmpi.errors import (
 # wedged.  Generous: this only ever fires on an internal bug.
 _HANDOFF_TIMEOUT = 60.0
 
+#: Valid values for ``Engine(scheduler=...)``.
+SCHEDULERS = ("threads", "coroutine")
+
 
 class TaskKilled(BaseException):
     """Unwinds a single task thread without touching the world.
@@ -69,9 +83,13 @@ class TaskState(enum.Enum):
 
 
 class Task:
-    """One simulated rank: a thread plus scheduling state.
+    """One simulated rank: scheduling state plus a backend execution body.
 
-    User code never constructs these; :meth:`Engine.spawn` does.
+    User code never constructs these; :meth:`Engine.spawn` does (via
+    :meth:`Engine._make_task`, which picks the backend subclass).  The
+    base class carries everything the rest of the system reads — state,
+    clocks, RNG, ``locals`` — so higher layers (watchdog, journal,
+    msglog, comm) are backend-agnostic.
     """
 
     def __init__(self, engine: "Engine", rank: int, fn: Callable[[], Any], name: str) -> None:
@@ -100,6 +118,23 @@ class Task:
         # Scratch slot for layers above (comm attaches the mailbox, the
         # Pilot runtime attaches per-rank program state).
         self.locals: dict[str, Any] = {}
+
+    def _switch_to(self) -> None:
+        """Scheduler-side: run this task until it yields again."""
+        raise NotImplementedError
+
+    def _suspend(self):
+        """Task-side generator suspension point (coroutine backend only)."""
+        raise EngineError(
+            f"task {self.name}: generator suspension is only valid on the "
+            "coroutine scheduler")
+
+
+class ThreadTask(Task):
+    """Thread-per-rank backend: a real OS thread parks on blocking calls."""
+
+    def __init__(self, engine: "Engine", rank: int, fn: Callable[[], Any], name: str) -> None:
+        super().__init__(engine, rank, fn, name)
         self.thread = threading.Thread(
             target=self._body, name=f"vmpi-{name}", daemon=True
         )
@@ -156,6 +191,77 @@ class Task:
             eng._current = None
 
 
+class CoroTask(Task):
+    """Coroutine backend: the rank body runs as a generator.
+
+    The rank function is driven through :mod:`repro.vmpi.weave`, which
+    rewrites every call on the blocking path into ``yield from``; the
+    engine's blocking primitives suspend by yielding from
+    :meth:`_suspend`, the single bare ``yield`` every suspension funnels
+    through.  ``_switch_to`` advances the generator one step; its
+    exception handling mirrors :meth:`ThreadTask._body` exactly —
+    including running the world abort *before* retiring a crashed task —
+    so both backends schedule the same wake events in the same heap
+    order.
+    """
+
+    def __init__(self, engine: "Engine", rank: int, fn: Callable[[], Any], name: str) -> None:
+        super().__init__(engine, rank, fn, name)
+        self._gen: Any = None
+
+    def _main(self):
+        self.engine._check_abort()
+        from repro.vmpi import weave
+        return (yield from weave.w_call(self.fn))
+
+    def _suspend(self):
+        yield
+        if self.killed:
+            raise TaskKilled(self.rank)
+        self.engine._check_abort()
+
+    def _switch_to(self) -> None:
+        """Scheduler-side: advance the generator until its next yield."""
+        eng = self.engine
+        if self.state is TaskState.DONE:
+            return
+        eng._current = self
+        self.state = TaskState.RUNNING
+        if self._gen is None:
+            self._gen = self._main()
+        try:
+            try:
+                self._gen.send(None)
+            except StopIteration as stop:
+                self.result = stop.value
+                self._retire()
+            except TaskKilled:
+                # Retired by recovery: the respawned incarnation owns the
+                # rank from here; must not call _abort_locked_free.
+                self.killed = True
+                self._retire()
+            except AbortedError:
+                self.aborted = True
+                self._retire()
+            except BaseException as exc:  # noqa: BLE001 - deliberate catch-all
+                self.exc = exc
+                # A crashed rank takes the world down, as mpirun would —
+                # before the task retires, matching the thread backend's
+                # except-then-finally ordering so the abort wake loop
+                # sees identical task states.
+                eng._abort_locked_free(errorcode=1, origin_rank=self.rank,
+                                       reason=f"unhandled exception: {exc!r}")
+                self._retire()
+            # A plain yield means the task suspended at a blocking point;
+            # its state was already set by the pre-suspend helper.
+        finally:
+            eng._current = None
+
+    def _retire(self) -> None:
+        self.state = TaskState.DONE
+        self.engine._live_tasks -= 1
+
+
 class Resource:
     """A FIFO shared resource with integer capacity (SimPy-style).
 
@@ -182,6 +288,15 @@ class Resource:
         self._queue.append(task)
         self.engine.block(f"acquire {self.name}")
 
+    def acquire_gen(self):
+        """Generator twin of :meth:`acquire` (coroutine scheduler)."""
+        task = self.engine._require_task()
+        if self._available > 0:
+            self._available -= 1
+            return
+        self._queue.append(task)
+        yield from self.engine.block_gen(f"acquire {self.name}")
+
     def release(self) -> None:
         if self._queue:
             # Hand the slot straight to the next waiter: _available stays 0.
@@ -194,6 +309,11 @@ class Resource:
 
     def __enter__(self) -> "Resource":
         self.acquire()
+        return self
+
+    def enter_gen(self):
+        """Generator twin of :meth:`__enter__` (coroutine scheduler)."""
+        yield from self.acquire_gen()
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -235,10 +355,20 @@ class Engine:
     skews:
         Optional per-rank :class:`ClockSkew`; ranks not listed get a
         perfect clock.  The MPE clock-sync benchmarks populate this.
+    scheduler:
+        Task backend: ``"threads"`` (one OS thread per rank, the compat
+        default) or ``"coroutine"`` (single-threaded generator
+        trampoline; scales to thousands of ranks).  Both backends
+        produce byte-identical histories for the same program and seed.
     """
 
     def __init__(self, *, seed: int = 0, clock_resolution: float = 1e-8,
-                 skews: dict[int, ClockSkew] | None = None) -> None:
+                 skews: dict[int, ClockSkew] | None = None,
+                 scheduler: str = "threads") -> None:
+        if scheduler not in SCHEDULERS:
+            raise EngineError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}")
+        self.scheduler = scheduler
         self.seed = seed
         self.clock_resolution = clock_resolution
         self._skews = dict(skews or {})
@@ -285,10 +415,29 @@ class Engine:
             raise EngineError("spawn() after run() started is not supported")
         if rank in self._tasks:
             raise EngineError(f"rank {rank} already spawned")
-        task = Task(self, rank, fn, name or f"rank{rank}")
+        task = self._make_task(rank, fn, name or f"rank{rank}")
         self._tasks[rank] = task
         self._live_tasks += 1
         return task
+
+    def _make_task(self, rank: int, fn: Callable[[], Any], name: str) -> Task:
+        """Build a task on this engine's backend (also used by msglog
+        recovery to respawn a crashed rank's fresh incarnation)."""
+        cls = ThreadTask if self.scheduler == "threads" else CoroTask
+        return cls(self, rank, fn, name)
+
+    def make_lock(self):
+        """A mutex appropriate for this backend's task bodies.
+
+        Thread backend: a real lock (rank threads exist concurrently
+        even though only one runs at a time).  Coroutine backend: a
+        no-op context manager — everything runs on one thread, and a
+        real lock held across a suspension would wedge the process.
+        """
+        if self.scheduler == "threads":
+            return threading.Lock()
+        import contextlib
+        return contextlib.nullcontext()
 
     def skew_for(self, rank: int) -> ClockSkew:
         return self._skews.get(rank, ClockSkew())
@@ -324,8 +473,8 @@ class Engine:
 
     # -- task-side blocking primitives -----------------------------------
 
-    def advance(self, dt: float, reason: str = "compute") -> None:
-        """Let virtual time pass for the calling task (declared compute)."""
+    def _advance_begin(self, dt: float, reason: str) -> Task:
+        """Everything :meth:`advance` does before suspending (both backends)."""
         if dt < 0:
             raise EngineError(f"advance() needs dt >= 0, got {dt}")
         task = self._require_task()
@@ -339,37 +488,51 @@ class Engine:
                 # incarnation's resume event would have landed.
                 task.replay = None
                 self.call_at(target, lambda: self._resume(task, None))
-                task.state = TaskState.READY
-                task.blocked_reason = reason
-                self._yield_current(task)
-                return
-            # Still behind the crash: burn replayed time only and hand
-            # control to the recovery driver, which delivers any
-            # determinants due at or before the new replay clock before
-            # resuming us (preserving what the original run observed).
-            rs.now = target
-            task.state = TaskState.READY
-            task.blocked_reason = reason
-            self._yield_current(task)
-            return
-        if dt == 0.0:
+            else:
+                # Still behind the crash: burn replayed time only and
+                # hand control to the recovery driver, which delivers
+                # any determinants due at or before the new replay clock
+                # before resuming us (preserving what the original run
+                # observed).  No heap event: the driver resumes us.
+                rs.now = target
+        else:
             # Even zero-length compute is a scheduling point: it lets
             # same-time events interleave deterministically.
-            pass
-        self.call_later(dt, lambda: self._resume(task, None))
+            self.call_later(dt, lambda: self._resume(task, None))
         task.state = TaskState.READY
         task.blocked_reason = reason
+        return task
+
+    def _block_begin(self, reason: str) -> Task:
+        """Everything :meth:`block` does before suspending (both backends)."""
+        task = self._require_task()
+        task.state = TaskState.BLOCKED
+        task.blocked_reason = reason
+        return task
+
+    def advance(self, dt: float, reason: str = "compute") -> None:
+        """Let virtual time pass for the calling task (declared compute)."""
+        task = self._advance_begin(dt, reason)
         self._yield_current(task)
+
+    def advance_gen(self, dt: float, reason: str = "compute"):
+        """Generator twin of :meth:`advance` (coroutine scheduler)."""
+        task = self._advance_begin(dt, reason)
+        yield from task._suspend()
 
     def block(self, reason: str) -> Any:
         """Park the calling task until someone calls :meth:`wake` on it.
 
         Returns the payload passed to ``wake``.
         """
-        task = self._require_task()
-        task.state = TaskState.BLOCKED
-        task.blocked_reason = reason
+        task = self._block_begin(reason)
         self._yield_current(task)
+        return task.wake_payload
+
+    def block_gen(self, reason: str):
+        """Generator twin of :meth:`block` (coroutine scheduler)."""
+        task = self._block_begin(reason)
+        yield from task._suspend()
         return task.wake_payload
 
     def wake(self, task: Task, payload: Any = None, delay: float = 0.0) -> None:
@@ -390,6 +553,15 @@ class Engine:
 
     def _yield_current(self, task: Task) -> None:
         """Task-side: give control back to the scheduler and wait."""
+        if self.scheduler != "threads":
+            raise EngineError(
+                f"blocking call ({task.blocked_reason!r}) reached the "
+                "engine synchronously on the coroutine scheduler; this "
+                "happens when un-woven code (a lambda body, a "
+                "comprehension that is not the whole value of an "
+                "assignment or return, or a module repro.vmpi.weave "
+                "declines to rewrite) tries to block — move the "
+                "blocking call into a named function or loop")
         mon = self._mon
         with mon:
             mon.notify_all()
@@ -486,7 +658,8 @@ class Engine:
                     self._abort_locked_free(errorcode=2, origin_rank=-1,
                                             reason="simulation deadlock")
                     self._drain_threads()
-                    raise SimulationDeadlock(blocked, details, self._now)
+                    raise SimulationDeadlock(blocked, details, self._now,
+                                             scheduler=self.scheduler)
             self._drain_threads()
         finally:
             self._running = False
@@ -498,13 +671,18 @@ class Engine:
         return RunResult(self._now, self._aborted, results)
 
     def _drain_threads(self) -> None:
-        """After abort/finish, make sure every task thread has exited."""
+        """After abort/finish, drain the heap and wind every task down.
+
+        On the coroutine backend draining the heap *is* the wind-down
+        (resume events advance each generator to its terminal state);
+        only the thread backend has OS threads left to join.
+        """
         while self._heap:
             t, _, fn = heapq.heappop(self._heap)
             self._now = max(self._now, t)
             fn()
         for task in self._tasks.values():
-            if task.thread.is_alive():
+            if isinstance(task, ThreadTask) and task.thread.is_alive():
                 task.thread.join(_HANDOFF_TIMEOUT)
                 if task.thread.is_alive():  # pragma: no cover - internal bug
                     raise EngineError(f"task {task.name} failed to wind down")
@@ -512,7 +690,8 @@ class Engine:
     # -- restart ----------------------------------------------------------
 
     @classmethod
-    def resume(cls, journal_dir: str, *, perf: Any = None) -> "Engine":
+    def resume(cls, journal_dir: str, *, perf: Any = None,
+               scheduler: str = "threads") -> "Engine":
         """Rebuild an engine from a journal directory, armed for replay.
 
         The manifest restores seed, clock resolution and per-rank skews;
@@ -522,6 +701,10 @@ class Engine:
         replay journal then verifies every delivery, injection and
         checkpoint barrier against the recorded run.  The caller spawns
         the same program and calls :meth:`run` as usual.
+
+        ``scheduler`` picks the task backend for the replay; the
+        manifest does not record one because both backends re-emit the
+        recorded history byte-for-byte.
         """
         from repro.vmpi.faults import plan_from_dict
         from repro.vmpi.journal import Journal
@@ -534,7 +717,7 @@ class Engine:
         engine = cls(seed=int(manifest.get("seed", 0)),
                      clock_resolution=float(
                          manifest.get("clock_resolution", 1e-8)),
-                     skews=skews)
+                     skews=skews, scheduler=scheduler)
         plan_data = manifest.get("fault_plan")
         if plan_data is not None:
             plan_from_dict(plan_data).install(engine, suppress_crashes=True)
@@ -554,3 +737,13 @@ class Engine:
             # records it re-buffers carry the original timestamps.
             return task.clock.read(task.replay.now)
         return task.clock.read(self._now)
+
+
+# Generator twins for the blocking primitives, dispatched by the
+# coroutine scheduler's call rewriter (see repro.vmpi.weave).
+from repro.vmpi import weave as _weave  # noqa: E402 - needs classes above
+
+_weave.register_twin(Engine.advance, Engine.advance_gen)
+_weave.register_twin(Engine.block, Engine.block_gen)
+_weave.register_twin(Resource.acquire, Resource.acquire_gen)
+_weave.register_twin(Resource.__enter__, Resource.enter_gen)

@@ -281,8 +281,9 @@ class MessageLogger:
             engine.stats["switches"] += 1
             old._switch_to()
         # 2. Respawn the rank's program as a fresh incarnation (same
-        # fn, so same deterministic clock/RNG streams).
-        new = Task(engine, rank, old.fn, old.name)
+        # fn, so same deterministic clock/RNG streams) on the engine's
+        # task backend.
+        new = engine._make_task(rank, old.fn, old.name)
         engine._tasks[rank] = new
         engine._live_tasks += 1
         new.last_active = crash_time  # keep the watchdog calm

@@ -21,7 +21,8 @@ Run with ``make chaos-recover`` or ``pytest tests/chaos``.
 import pytest
 
 from repro.mpe.recovery_marks import canonical_stripped_bytes
-from repro.pilot import PilotOptions, resume_pilot, run_pilot
+from repro.pilot import PilotConfig, PilotOptions, resume_pilot, run_pilot
+from repro.pilot.errors import PilotError
 from repro.pilot.api import (
     PI_MAIN,
     PI_Compute,
@@ -95,8 +96,15 @@ class TestCheckpointAndStopThenResume:
 
         # Resume with a relaxed watchdog (the recorded one would stop
         # the replay at the same virtual instant, deterministically).
-        resumed = resume_pilot(slow_feeder_app(), jdir,
-                               options=PilotOptions(watchdog_timeout=1e3))
+        # Replacing a recorded watchdog must be spelled out via
+        # allow_overrides; a bare conflicting value is an error.
+        with pytest.raises(PilotError, match="RESUME_CONFLICT|conflicts"):
+            resume_pilot(slow_feeder_app(), jdir,
+                         config=PilotConfig(watchdog_timeout=1e3))
+        resumed = resume_pilot(
+            slow_feeder_app(), jdir,
+            config=PilotConfig(watchdog_timeout=1e3,
+                               allow_overrides=("watchdog_timeout",)))
         assert resumed.aborted is None and resumed.ok
         assert resumed.journal.mode == "replay"
         assert resumed.journal.divergences == []

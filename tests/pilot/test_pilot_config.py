@@ -1,0 +1,161 @@
+"""PilotConfig: the unified run API and its migration machinery.
+
+Round-trips between the three historical spellings (``-pi*`` argv,
+``PilotOptions``, loose kwargs) and the one current one; validation;
+and the deprecation/conflict rules on :func:`run_pilot` and
+:func:`resume_pilot`.
+"""
+
+import pytest
+
+from repro.pilot import (
+    PilotConfig,
+    PilotCosts,
+    PilotOptions,
+    resume_pilot,
+    run_pilot,
+)
+from repro.pilot.api import PI_Configure, PI_StartAll, PI_StopMain
+from repro.pilot.config import RESUME_GUARDED_FIELDS
+from repro.pilot.errors import PilotError
+
+
+def tiny_main(argv):
+    PI_Configure(argv)
+    PI_StartAll()
+    PI_StopMain(0)
+    return "done"
+
+
+class TestRoundTrips:
+    def test_from_argv_strips_flags_and_layers(self):
+        cfg, leftover = PilotConfig.from_argv(
+            ["prog", "-pisvc=dj", "-picheck=2", "-piwatchdog=5:checkpoint",
+             "-pirecover=msglog", "-pischeduler=coroutine", "app-arg"])
+        assert leftover == ["prog", "app-arg"]
+        assert cfg.services == "dj"
+        assert cfg.check_level == 2
+        assert cfg.watchdog_timeout == 5.0
+        assert cfg.watchdog_action == "checkpoint"
+        assert cfg.recover == "msglog"
+        assert cfg.scheduler == "coroutine"
+
+    def test_bare_watchdog_leaves_action_unset(self):
+        # -piwatchdog=5 must not pin watchdog_action: an explicit
+        # "abort" would manufacture resume conflicts out of thin air.
+        cfg, _ = PilotConfig.from_argv(["-piwatchdog=5"])
+        assert cfg.watchdog_timeout == 5.0
+        assert cfg.watchdog_action is None
+
+    def test_to_argv_from_argv_round_trip(self):
+        cfg = PilotConfig(services="cj", check_level=3, scheduler="threads",
+                          watchdog_timeout=2.5, watchdog_action="checkpoint",
+                          recover="msglog", journal_dir="/tmp/j",
+                          fault_plan_path="/tmp/plan.json")
+        back, leftover = PilotConfig.from_argv(cfg.to_argv())
+        assert leftover == []
+        assert back == cfg
+
+    def test_from_argv_layers_on_base(self):
+        base = PilotConfig(scheduler="coroutine", seed=11)
+        cfg, _ = PilotConfig.from_argv(["-picheck=0"], base)
+        assert cfg.scheduler == "coroutine"  # carried over
+        assert cfg.seed == 11  # flags exist for neither -> untouched
+        assert cfg.check_level == 0
+
+    def test_from_env(self):
+        cfg = PilotConfig.from_env({"REPRO_PI_SVC": "d",
+                                    "REPRO_PI_SCHEDULER": "coroutine",
+                                    "REPRO_PI_WATCHDOG": "3:abort",
+                                    "UNRELATED": "x"})
+        assert cfg.services == "d"
+        assert cfg.scheduler == "coroutine"
+        assert cfg.watchdog_timeout == 3.0
+        assert cfg.watchdog_action == "abort"
+
+    def test_to_options_projection(self):
+        opts = PilotConfig(services="dj", check_level=0,
+                           scheduler="coroutine",
+                           journal_checkpoint_interval=0.5).to_options()
+        assert opts.services == frozenset("dj")
+        assert opts.check_level == 0
+        assert opts.scheduler == "coroutine"
+        assert opts.journal_checkpoint_interval == 0.5
+        # Unset fields keep the PilotOptions defaults.
+        assert opts.watchdog_action == PilotOptions().watchdog_action
+
+    def test_to_service_options_projection(self):
+        svc = PilotConfig(services="dj").to_service_options()
+        assert svc.deadlock and svc.jumpshot
+        assert not (svc.native_log or svc.static_check or svc.perf)
+        assert PilotConfig().to_service_options() == \
+            PilotOptions().service_options
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(scheduler="fibers"),
+        dict(services="zq"),
+        dict(check_level=7),
+        dict(watchdog_timeout=-1.0),
+        dict(watchdog_timeout=5.0, watchdog_action="panic"),
+        dict(watchdog_action="abort"),  # action without timeout
+        dict(recover="prayer"),
+        dict(journal_checkpoint_interval=0.0),
+        dict(clock_resolution=-1e-9),
+        dict(allow_overrides=("seed",)),
+    ])
+    def test_bad_field_raises(self, bad):
+        with pytest.raises(PilotError, match="BAD_CONFIG|BAD_OPTION"):
+            PilotConfig(**bad).validate()
+
+    def test_valid_config_returns_self(self):
+        cfg = PilotConfig(services="cdjs", scheduler="coroutine",
+                          watchdog_timeout=1.0, watchdog_action="checkpoint",
+                          allow_overrides=RESUME_GUARDED_FIELDS)
+        assert cfg.validate() is cfg
+
+
+class TestRunPilotPaths:
+    def test_config_path_runs_clean_without_warnings(self, recwarn):
+        res = run_pilot(tiny_main, 2, config=PilotConfig(check_level=1))
+        assert res.ok and res.vmpi.results[0] == "done"
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_legacy_options_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="config=PilotConfig"):
+            res = run_pilot(tiny_main, 2, options=PilotOptions())
+        assert res.ok
+
+    def test_legacy_costs_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="config=PilotConfig"):
+            res = run_pilot(tiny_main, 2, costs=PilotCosts())
+        assert res.ok
+
+    def test_pi_flags_in_argv_warn(self):
+        with pytest.warns(DeprecationWarning, match="from_argv"):
+            res = run_pilot(tiny_main, 2, argv=("-picheck=1",))
+        assert res.ok
+
+    def test_config_plus_legacy_kwarg_is_an_error(self):
+        with pytest.raises(PilotError, match="legacy keyword"):
+            run_pilot(tiny_main, 2, config=PilotConfig(), seed=3)
+
+    def test_config_plus_pi_argv_is_an_error(self):
+        with pytest.raises(PilotError, match="from_argv"):
+            run_pilot(tiny_main, 2, argv=("-pisvc=d",),
+                      config=PilotConfig())
+
+    def test_resume_rejects_config_and_options_together(self, tmp_path):
+        with pytest.raises(PilotError, match="not both"):
+            resume_pilot(tiny_main, str(tmp_path / "nonexistent"),
+                         config=PilotConfig(), options=PilotOptions())
+
+    def test_invalid_config_rejected_before_launch(self):
+        with pytest.raises(PilotError, match="scheduler"):
+            run_pilot(tiny_main, 2, config=PilotConfig(scheduler="nope"))
+
+    def test_services_r_requires_journal_dir(self):
+        with pytest.raises(PilotError, match="journal_dir"):
+            run_pilot(tiny_main, 2, config=PilotConfig(services="r"))
