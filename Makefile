@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench fleet chaos chaos-resume chaos-recover diff-trace net fsck examples figures clean check lint
+.PHONY: install test bench fleet chaos chaos-resume chaos-recover chaos-stream stream diff-trace net fsck examples figures clean check lint
 
 install:
 	$(PY) -m pip install -e . || $(PY) setup.py develop
@@ -45,6 +45,17 @@ chaos-resume:
 # recovery" in docs/robustness.md).
 chaos-recover:
 	$(PY) -m pytest tests/chaos/test_msglog.py tests/chaos/test_watchdog_recovery.py -q
+
+# Live streaming smoke: the service's unit tests (follower, fold,
+# tiles, HTTP endpoints) — see "Live monitoring" in docs/robustness.md.
+stream:
+	$(PY) -m pytest tests/stream -q
+
+# Live-view convergence under chaos: rank crashes, a silently killed
+# engine, torn tails, service kill/restart — the final live tiles must
+# be byte-identical to the batch pipeline's.
+chaos-stream:
+	$(PY) -m pytest tests/chaos/test_stream.py -q
 
 # Fault localization: inject -> replay clean -> diff -> blame matrix
 # (see "Fault localization" in docs/robustness.md).  Ad-hoc use:

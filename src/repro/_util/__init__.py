@@ -6,13 +6,19 @@ production codebase keeps in one place so that the domain packages
 """
 
 from repro._util.callsite import CallSite, capture_callsite
+from repro._util.fsio import atomic_write_json, read_json
 from repro._util.ids import IdAllocator
+from repro._util.retry import RetryError, RetryPolicy
 from repro._util.text import clamp_text, format_seconds
 
 __all__ = [
     "CallSite",
     "capture_callsite",
     "IdAllocator",
+    "RetryError",
+    "RetryPolicy",
+    "atomic_write_json",
     "clamp_text",
     "format_seconds",
+    "read_json",
 ]

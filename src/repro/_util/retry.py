@@ -1,0 +1,131 @@
+"""One retry/backoff policy for the whole codebase.
+
+Waiting-for-a-file, waiting-for-a-writer and waiting-out-transient
+I/O errors used to be ad-hoc loops scattered across the packages;
+:class:`RetryPolicy` is the single policy type they all share now.  It
+is a frozen dataclass (policies are values: comparable, hashable,
+embeddable in other configs) describing a deadline plus jittered
+exponential backoff, with the two side effects — sleeping and reading
+the clock — injectable so tests run deterministically without wall
+time.
+
+Two consumption styles:
+
+* :meth:`RetryPolicy.call` — run a callable until it stops raising the
+  retryable exceptions or the deadline lapses (then
+  :class:`RetryError` chains the last failure);
+* :meth:`RetryPolicy.attempts` — iterate ``(attempt_index, delay)``
+  pairs and decide yourself when to stop, for loops whose "failure" is
+  not an exception (e.g. "the file has not grown yet").
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class RetryError(Exception):
+    """The deadline lapsed before an attempt succeeded.
+
+    ``__cause__`` carries the last underlying failure when there was
+    one; :attr:`attempts` counts how many were made.
+    """
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline + jittered exponential backoff, as a value.
+
+    ``deadline`` is the total budget in seconds (``None`` = retry
+    forever); each backoff starts at ``initial`` seconds, multiplies by
+    ``multiplier`` and saturates at ``max_delay``; ``jitter`` spreads
+    every delay uniformly over ``[delay*(1-jitter), delay*(1+jitter)]``
+    so a herd of pollers does not re-synchronise.  A seeded ``rng``
+    (or ``jitter=0``) makes the schedule deterministic for tests.
+    """
+
+    deadline: float | None = 5.0
+    initial: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
+        if self.initial <= 0:
+            raise ValueError(f"initial must be > 0, got {self.initial}")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < self.initial:
+            raise ValueError(
+                f"max_delay {self.max_delay} < initial {self.initial}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delays(self, rng: random.Random | None = None) -> Iterator[float]:
+        """The infinite jittered backoff schedule."""
+        pick = (rng or random).uniform
+        delay = self.initial
+        while True:
+            if self.jitter:
+                yield pick(delay * (1.0 - self.jitter),
+                           delay * (1.0 + self.jitter))
+            else:
+                yield delay
+            delay = min(delay * self.multiplier, self.max_delay)
+
+    def attempts(self, *, clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: random.Random | None = None
+                 ) -> Iterator[tuple[int, float]]:
+        """Yield ``(attempt_index, elapsed_seconds)``, sleeping the
+        backoff between attempts and stopping once the next sleep would
+        land past the deadline.  At least one attempt is always
+        yielded."""
+        start = clock()
+        schedule = self.delays(rng)
+        attempt = 0
+        while True:
+            elapsed = clock() - start
+            yield attempt, elapsed
+            attempt += 1
+            delay = next(schedule)
+            if self.deadline is not None:
+                remaining = self.deadline - (clock() - start)
+                if remaining <= 0:
+                    return
+                delay = min(delay, remaining)
+            sleep(delay)
+
+    def call(self, fn: Callable[[], T], *,
+             retry_on: tuple[type[BaseException], ...] = (OSError,),
+             describe: str = "operation",
+             clock: Callable[[], float] = time.monotonic,
+             sleep: Callable[[float], None] = time.sleep,
+             rng: random.Random | None = None) -> T:
+        """Call ``fn`` until it returns, retrying the given exception
+        types under this policy; raises :class:`RetryError` (chaining
+        the last failure) when the deadline lapses first."""
+        last: BaseException | None = None
+        attempts = 0
+        for attempt, _elapsed in self.attempts(clock=clock, sleep=sleep,
+                                               rng=rng):
+            attempts = attempt + 1
+            try:
+                return fn()
+            except retry_on as exc:
+                last = exc
+        raise RetryError(
+            f"{describe}: still failing after {attempts} attempt(s) "
+            f"over {self.deadline}s ({last})", attempts) from last

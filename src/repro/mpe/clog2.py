@@ -845,6 +845,96 @@ def read_items(fh) -> tuple[list[Definition], list[LogRecord]]:
     return definitions, records
 
 
+# -- growing files (live tailing) --------------------------------------------
+
+
+class GrowingRead(NamedTuple):
+    """What :func:`read_growing` hands back for one poll of a file that
+    a writer may still be appending to.
+
+    ``items`` is every whole item parsed since the given offset;
+    ``offset`` is the first byte *not* consumed — pass it back on the
+    next poll to resume without re-reading; ``torn_bytes`` counts the
+    bytes currently held at the tail because they do not yet form a
+    complete item (version 1) or a complete CRC-valid block (version
+    2).  A non-zero ``torn_bytes`` is not damage: it is "the writer has
+    not finished this flush yet", and the held bytes are re-examined on
+    the next poll once the file has grown."""
+
+    items: list[Definition | LogRecord]
+    offset: int
+    torn_bytes: int
+
+
+def open_growing(path: str) -> tuple[Clog2Header, int] | None:
+    """Read the header of a possibly-still-being-written CLOG2 file.
+
+    Returns ``(header, body_offset)`` once the fixed header is fully on
+    disk, or ``None`` while the file is still shorter than a header
+    (the writer has opened it but not flushed yet).  Bad magic or an
+    unknown version still raise — a file that *starts* wrong will not
+    become right by growing.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(_HDR.size)
+    if len(head) < _HDR.size:
+        return None
+    return read_header(io.BytesIO(head)), _HDR.size
+
+
+def read_growing(path: str, offset: int, *,
+                 checksummed: bool = False) -> GrowingRead:
+    """Parse whole items from ``offset`` to the current end of ``path``.
+
+    The growing-file contract (unlike :func:`iter_items` /
+    :func:`iter_framed_items`, which treat a torn tail as a format
+    error): a partial item or partial block at the tail is *held*, not
+    raised and not dropped — the returned offset stops at the last
+    clean boundary so the caller can re-poll after the writer's next
+    flush.  Real damage still raises: an unknown type byte, or a
+    version-2 block whose bytes are all present but whose CRC does not
+    match, cannot be healed by waiting.
+    """
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        data = fh.read()
+    items: list[Definition | LogRecord] = []
+    pos = 0
+    end = len(data)
+    if checksummed:
+        while pos < end:
+            if pos + _BLOCK.size > end:
+                break  # block header still being written
+            length, crc = _BLOCK.unpack_from(data, pos)
+            body = pos + _BLOCK.size
+            if body + length > end:
+                break  # block payload still being written
+            payload = data[body:body + length]
+            if zlib.crc32(payload) != crc:
+                raise Clog2ChecksumError(
+                    f"block checksum mismatch at offset {offset + pos} "
+                    f"(stored 0x{crc:08x}, "
+                    f"computed 0x{zlib.crc32(payload):08x})")
+            ipos = 0
+            while ipos < length:
+                parsed = _parse_item_at(payload, ipos, length)
+                if parsed is None:
+                    # Blocks end on item boundaries by construction.
+                    raise Clog2FormatError(
+                        "item torn across a block boundary")
+                item, ipos = parsed
+                items.append(item)
+            pos = body + length
+    else:
+        while pos < end:
+            parsed = _parse_item_at(data, pos, end)
+            if parsed is None:
+                break  # item still being written
+            item, pos = parsed
+            items.append(item)
+    return GrowingRead(items, offset + pos, end - pos)
+
+
 # -- tolerant reading (the crash-tolerant pipeline) -------------------------
 
 _PARSE_ERRORS = (Clog2FormatError, struct.error, UnicodeDecodeError,

@@ -35,6 +35,7 @@ import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro._util.retry import RetryPolicy
 from repro.mpe.clog2 import (
     _HDR,
     Clog2File,
@@ -171,14 +172,25 @@ def _sniff(path: str) -> tuple[str, int]:
     return "unknown", 0
 
 
+#: Policy for the quarantine re-read of the damaged source: the scan
+#: just read this file, so a failure here is transient (another process
+#: rotating it, a flaky network mount) and worth a few backed-off
+#: retries before fsck gives up on preserving the evidence.
+QUARANTINE_RETRY = RetryPolicy(deadline=1.0, initial=0.02, max_delay=0.25)
+
+
 def _quarantine(path: str, issues: list[FsckIssue], out_path: str) -> None:
     """Copy every damaged span verbatim to a sidecar file.
 
     Layout: for each span, an ASCII line ``source start end reason\\n``
     followed by the raw bytes — greppable provenance, exact payloads.
     """
-    with open(path, "rb") as src:
-        data = src.read()
+    def reread() -> bytes:
+        with open(path, "rb") as src:
+            return src.read()
+
+    data = QUARANTINE_RETRY.call(reread,
+                                 describe=f"re-reading {path} to quarantine")
     with open(out_path, "wb") as out:
         for issue in issues:
             head = (f"{issue.source} {issue.start} {issue.end} "

@@ -217,6 +217,89 @@ def _read_append_partial(path: str) -> Partial:
     return Partial(rank, sync_points, definitions, records, resolution)
 
 
+class PartialTail(NamedTuple):
+    """One poll of a growing append-mode partial (see
+    :func:`tail_partial`).  ``offset`` resumes the next poll at the
+    first unconsumed byte; ``torn_bytes`` counts the held tail (a chunk
+    the writer has not finished appending — re-examined next poll, not
+    damage)."""
+
+    rank: int
+    clock_resolution: float
+    sync_points: list[SyncPoint]
+    definitions: list[Definition]
+    records: list[LogRecord]
+    offset: int
+    torn_bytes: int
+
+
+def tail_partial(path: str, offset: int = 0) -> PartialTail | None:
+    """Incrementally read an append-mode partial that a rank may still
+    be checkpointing to.
+
+    Pass ``offset=0`` on first attach, then the returned ``offset`` on
+    every later poll — whole chunks between the two are parsed, a
+    partial chunk at the tail is held (never emitted, never dropped).
+    Returns ``None`` while the file is still shorter than its header.
+    Rewrite-mode partials (magic ``CLOGPART``) are atomically replaced
+    wholesale on every checkpoint, so byte offsets mean nothing across
+    polls there; this function refuses them — re-read those with
+    :func:`read_partial_log` instead.
+    """
+    with open(path, "rb") as fh:
+        if offset == 0:
+            head = fh.read(_AHDR.size)
+            if len(head) < 8:
+                return None
+            if head[:8] == PARTIAL_MAGIC:
+                raise Clog2FormatError(
+                    f"{path}: rewrite-mode partials are replaced wholesale "
+                    "per checkpoint; tail_partial only supports append mode")
+            if head[:8] != APPEND_MAGIC:
+                raise Clog2FormatError(f"bad partial magic {head[:8]!r}")
+            if len(head) < _AHDR.size:
+                return None
+            _, rank, resolution, _ = _AHDR.unpack(head)
+            offset = _AHDR.size
+        else:
+            head = fh.read(_AHDR.size)
+            if len(head) < _AHDR.size:
+                raise Clog2FormatError(f"{path}: shrank below its header")
+            _, rank, resolution, _ = _AHDR.unpack(head)
+            fh.seek(offset)
+        data = fh.read()
+    import io as _io
+
+    from repro.mpe.clog2 import read_items
+
+    sync_points: list[SyncPoint] = []
+    definitions: list[Definition] = []
+    records: list[LogRecord] = []
+    pos = 0
+    end = len(data)
+    while pos < end:
+        if pos + _CHUNK.size > end:
+            break  # chunk frame still being written
+        kind, length = _CHUNK.unpack_from(data, pos)
+        body = pos + _CHUNK.size
+        if body + length > end:
+            break  # chunk payload still being written
+        payload = data[body:body + length]
+        if kind == _K_SYNC:
+            local_time, off = _SYNC.unpack(payload)
+            sync_points.append(SyncPoint(local_time, off))
+        elif kind == _K_RECORDS:
+            defs, recs = read_items(_io.BytesIO(payload))
+            definitions.extend(defs)
+            records.extend(recs)
+        else:
+            raise Clog2FormatError(
+                f"unknown partial chunk kind 0x{kind:02x}")
+        pos = body + length
+    return PartialTail(rank, resolution, sync_points, definitions, records,
+                       offset + pos, end - pos)
+
+
 def read_partial_log(path: str, *, errors: str = "strict"
                      ) -> PartialReadResult:
     """Parse one partial of either layout — the one entry point.

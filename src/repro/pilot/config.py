@@ -66,6 +66,9 @@ class PilotConfig:
     watchdog_timeout: float | None = None
     watchdog_action: str | None = None  # "abort" | "checkpoint"
     recover: str | None = None  # "msglog"
+    # Live trace streaming (repro.stream): ``True`` arms the ``v``
+    # service on any free port, an ``int`` arms it on that port.
+    stream: bool | int | None = None
     # -- simulation parameters (former run_pilot kwargs) ----------------
     costs: PilotCosts | None = None
     network: Any | None = None  # NetworkModel
@@ -115,6 +118,9 @@ class PilotConfig:
             updates["recover"] = opts.recover
         if opts.scheduler is not None:
             updates["scheduler"] = opts.scheduler
+        if "v" in opts.services:
+            updates["stream"] = (opts.stream_port
+                                 if opts.stream_port else True)
         cfg = dataclasses.replace(base or cls(), **updates)
         return cfg.validate(), leftover
 
@@ -140,7 +146,8 @@ class PilotConfig:
                           ("REPRO_PI_JOURNAL", "-pijournal"),
                           ("REPRO_PI_WATCHDOG", "-piwatchdog"),
                           ("REPRO_PI_RECOVER", "-pirecover"),
-                          ("REPRO_PI_SCHEDULER", "-pischeduler")):
+                          ("REPRO_PI_SCHEDULER", "-pischeduler"),
+                          ("REPRO_PI_STREAM_PORT", "-pistream-port")):
             value = environ.get(var)
             if value:
                 argv.append(f"{flag}={value}")
@@ -175,6 +182,11 @@ class PilotConfig:
             argv.append(f"-pirecover={self.recover}")
         if self.scheduler is not None:
             argv.append(f"-pischeduler={self.scheduler}")
+        if self.stream:
+            if "v" not in (self.services or ""):
+                argv.append("-pisvc=v")
+            if self.stream is not True:
+                argv.append(f"-pistream-port={int(self.stream)}")
         return argv
 
     def to_service_options(self) -> ServiceOptions:
@@ -199,6 +211,11 @@ class PilotConfig:
             value = getattr(self, name)
             if value is not None:
                 updates[name] = value
+        if self.stream:
+            updates["services"] = (updates.get("services", opts.services)
+                                   | frozenset("v"))
+            if self.stream is not True:
+                updates["stream_port"] = int(self.stream)
         return dataclasses.replace(opts, **updates)
 
     # -- validation -----------------------------------------------------
@@ -228,6 +245,12 @@ class PilotConfig:
                           "arms nothing; set both")
         if self.recover is not None and self.recover != "msglog":
             raise bad(f"recover must be 'msglog', got {self.recover!r}")
+        if self.stream is not None and not isinstance(self.stream, bool):
+            if not isinstance(self.stream, int):
+                raise bad(f"stream must be a bool or a port number, "
+                          f"got {self.stream!r}")
+            if not 0 <= self.stream <= 65535:
+                raise bad(f"stream port must be 0..65535, got {self.stream}")
         if (self.journal_checkpoint_interval is not None
                 and self.journal_checkpoint_interval <= 0):
             raise bad("journal_checkpoint_interval must be > 0, "

@@ -94,6 +94,9 @@ class PilotOptions:
     # means "not chosen here" so layered option sources can tell an
     # explicit choice from the default ("threads").
     scheduler: str | None = None
+    # ``-pistream-port=N`` with ``-pisvc=v``: where the live streaming
+    # service listens (0 = any free port).
+    stream_port: int = 0
 
     @property
     def service_options(self) -> ServiceOptions:
@@ -141,6 +144,7 @@ def parse_argv(argv: list[str] | tuple[str, ...],
     watchdog_action = opts.watchdog_action
     recover = opts.recover
     scheduler = opts.scheduler
+    stream_port = opts.stream_port
     leftover: list[str] = []
     for arg in argv:
         if arg.startswith("-pisvc="):
@@ -189,6 +193,18 @@ def parse_argv(argv: list[str] | tuple[str, ...],
                     "BAD_OPTION",
                     f"-pischeduler must be one of {'/'.join(SCHEDULERS)}, "
                     f"got {scheduler!r}", None, -1))
+        elif arg.startswith("-pistream-port="):
+            try:
+                stream_port = int(arg.split("=", 1)[1])
+            except ValueError:
+                raise PilotError(Diagnostic(
+                    "BAD_OPTION", f"bad -pistream-port value in {arg!r}",
+                    None, -1)) from None
+            if not 0 <= stream_port <= 65535:
+                raise PilotError(Diagnostic(
+                    "BAD_OPTION",
+                    f"-pistream-port must be 0..65535, got {stream_port}",
+                    None, -1))
         elif arg.startswith("-picheck="):
             try:
                 check = int(arg.split("=", 1)[1])
@@ -207,7 +223,7 @@ def parse_argv(argv: list[str] | tuple[str, ...],
         journal_dir=journal_dir,
         journal_checkpoint_interval=opts.journal_checkpoint_interval,
         watchdog_timeout=watchdog_timeout, watchdog_action=watchdog_action,
-        recover=recover, scheduler=scheduler)
+        recover=recover, scheduler=scheduler, stream_port=stream_port)
     return new_opts, leftover
 
 

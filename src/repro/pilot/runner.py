@@ -44,6 +44,7 @@ class PilotResult:
     journal: "Journal | None" = None  # when -pijournal= / resume was on
     watchdog: "Any | None" = None  # ProgressWatchdog when -piwatchdog= was on
     msglog: "Any | None" = None  # MessageLogger when -pirecover=msglog was on
+    stream: "Any | None" = None  # StreamService when -pisvc=v was on
 
     @property
     def ok(self) -> bool:
@@ -225,6 +226,40 @@ def _launch(main: Callable[[list[str]], Any], nprocs: int,
 
     if svc.needs_service_rank:
         run.hooks.add(ServiceFeedHook(run))
+
+    # -pisvc=v: live trace streaming.  It tails the salvage partials,
+    # so it forces salvage checkpoints on (there is nothing to stream
+    # otherwise) and must adjust mpe_options before the logging hook
+    # captures them.
+    stream_service = None
+    if svc.stream:
+        if not (svc.jumpshot and opts.mpe_available):
+            print("PILOT WARNING: live streaming (-pisvc=v) needs MPE "
+                  "logging (-pisvc=j); streaming stays off",
+                  file=sys.stderr)
+        else:
+            from repro.pilotlog.integration import JumpshotOptions
+            from repro.stream.cursors import cursors_path
+            from repro.stream.follow import exit_path
+            from repro.stream.service import StreamService
+
+            if mpe_options is None:
+                mpe_options = JumpshotOptions(salvage=True)
+            elif not mpe_options.salvage:
+                mpe_options = dataclasses.replace(mpe_options, salvage=True)
+            # A fresh run invalidates any previous run's sidecars at
+            # the same base path (a *service* restart keeps them; this
+            # is a new writer, not a new reader).
+            for stale in (exit_path(opts.mpe_log_path),
+                          cursors_path(opts.mpe_log_path)):
+                try:
+                    os.remove(stale)
+                except OSError:
+                    pass
+            stream_service = StreamService(
+                opts.mpe_log_path, port=opts.stream_port,
+                journal_dir=opts.journal_dir, expected_ranks=nprocs,
+                perf=perf).start()
     if svc.jumpshot:
         if opts.mpe_available:
             # Imported lazily: pilotlog builds on pilot, not vice versa.
@@ -251,6 +286,7 @@ def _launch(main: Callable[[list[str]], Any], nprocs: int,
         except _RankDone as done:
             return done.status
 
+    vres = None
     try:
         vres = world.run(rank_body)
     except SimulationDeadlock as exc:
@@ -269,12 +305,48 @@ def _launch(main: Callable[[list[str]], Any], nprocs: int,
             journal.close()
         if msglog is not None:
             msglog.close()
+        if stream_service is not None:
+            # The exit sidecar is the follower's "writer is done"
+            # signal; write it even when the launch raised, so a live
+            # client converges instead of waiting out the stall
+            # deadline.
+            _write_exit_sidecar(opts.mpe_log_path, vres, faults)
+    assert vres is not None  # an exception above would have propagated
     if journal is not None and journal.mode == "replay":
         journal.check()  # raises ReplayDivergence if the rerun disagreed
     if perf is not None:
         perf.dump(opts.perf_snapshot_path)
     return PilotResult(run, vres, perf, journal=journal, watchdog=watchdog,
-                       msglog=msglog)
+                       msglog=msglog, stream=stream_service)
+
+
+def _write_exit_sidecar(base_path: str, vres: RunResult | None,
+                        faults: "Any | None") -> None:
+    """``<base>.exit.json``: how the writer ended, for the follower."""
+    from repro._util.fsio import atomic_write_json
+    from repro.stream.follow import exit_path
+
+    crashed: dict[str, float | None] = {}
+    if faults is not None:
+        try:
+            crashed = {str(rank): at
+                       for rank, at in faults.crashed_ranks().items()}
+        except Exception:  # noqa: BLE001 - advisory marker data only
+            pass
+    info: dict[str, Any] = {"finished": True,
+                            "ok": vres is not None and vres.aborted is None,
+                            "crashed_ranks": crashed}
+    if vres is None:
+        info["reason"] = "launch raised before the run completed"
+    elif vres.aborted is not None:
+        info["errorcode"] = vres.aborted.errorcode
+        info["origin_rank"] = vres.aborted.origin_rank
+        info["reason"] = vres.aborted.reason
+        crashed.setdefault(str(vres.aborted.origin_rank), None)
+    try:
+        atomic_write_json(exit_path(base_path), info)
+    except OSError:
+        pass  # the follower still has journal/stall detection
 
 
 def run_pilot(main: Callable[[list[str]], Any], nprocs: int,

@@ -21,6 +21,9 @@ letter   flag                service
 ``r``    ``resume``          resume from a journal (``-pijournal=DIR``):
                              verified replay that regenerates the log a
                              crash destroyed
+``v``    ``stream``          live trace streaming service (HTTP + SSE
+                             tiles over the growing log; see
+                             :mod:`repro.stream`)
 =======  ==================  ============================================
 
 A deterministic fault plan can ride along via
@@ -44,6 +47,7 @@ SERVICE_LETTERS: dict[str, str] = {
     "s": "static_check",
     "p": "perf",
     "r": "resume",
+    "v": "stream",
 }
 
 
@@ -72,6 +76,7 @@ class ServiceOptions:
     static_check: bool = False
     perf: bool = False
     resume: bool = False
+    stream: bool = False
     fault_plan_path: str | None = None
 
     @classmethod

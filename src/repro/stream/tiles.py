@@ -1,0 +1,123 @@
+"""Timeline windows served as cached frame tiles.
+
+A tile address is ``(level, frame)``: level ``L`` splits the tree's
+root span into ``2**L`` equal windows and ``frame`` picks one, so a
+client can fetch any zoom without knowing the frame tree's shape.  The
+rendered tile is a **pure function of the document tree and the
+address** — canonical JSON (sorted keys, sorted drawables, compact
+separators), no timestamps, no epoch — which is what lets the chaos
+tests assert the live service's final tiles are *byte-identical* to
+tiles rendered straight off the batch pipeline.
+
+:class:`TileCache` is the service's bounded LRU over rendered tiles,
+keyed by ``(epoch, level, frame)``; bumping the epoch (the service does
+this when it swaps the provisional tree for the batch-final one)
+implicitly invalidates every cached tile without a scan.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.slog2.model import Arrow, Event, State
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.slog2.frames import FrameTree
+
+#: Levels beyond this are refused (2**20 windows is already far below
+#: clock resolution for any real trace).
+MAX_TILE_LEVEL = 20
+
+DEFAULT_CACHE_TILES = 256
+
+
+def tile_bounds(t0: float, t1: float, level: int,
+                frame: int) -> tuple[float, float]:
+    """The time window of tile ``(level, frame)`` over root span
+    ``[t0, t1]``; raises :class:`ValueError` for a bad address."""
+    if not 0 <= level <= MAX_TILE_LEVEL:
+        raise ValueError(f"tile level out of range: {level}")
+    if not 0 <= frame < (1 << level):
+        raise ValueError(
+            f"tile frame out of range at level {level}: {frame}")
+    width = (t1 - t0) / (1 << level)
+    return (t0 + frame * width, t0 + (frame + 1) * width)
+
+
+def _serialize_drawable(d: object) -> dict:
+    if isinstance(d, State):
+        return {"type": "state", "category": d.category, "rank": d.rank,
+                "start": d.start, "end": d.end, "depth": d.depth,
+                "start_text": d.start_text, "end_text": d.end_text}
+    if isinstance(d, Event):
+        return {"type": "event", "category": d.category, "rank": d.rank,
+                "time": d.time, "text": d.text}
+    if isinstance(d, Arrow):
+        return {"type": "arrow", "category": d.category,
+                "src_rank": d.src_rank, "dst_rank": d.dst_rank,
+                "start": d.start, "end": d.end, "tag": d.tag,
+                "size": d.size}
+    raise TypeError(f"not a drawable: {d!r}")
+
+
+def render_tile(tree: "FrameTree", level: int, frame: int) -> bytes:
+    """Canonical JSON for one tile of ``tree``.
+
+    Drawables are deduplicated by identity of their serialized form and
+    sorted on it, so the byte stream does not depend on insertion order
+    — two trees holding the same drawables render the same tiles.
+    """
+    t0, t1 = tree.root.t0, tree.root.t1
+    lo, hi = tile_bounds(t0, t1, level, frame)
+    drawables, _previewed = tree.query(lo, hi)
+    blobs = sorted({json.dumps(_serialize_drawable(d), sort_keys=True,
+                               separators=(",", ":"))
+                    for d in drawables})
+    body = ('{"drawables":[' + ",".join(blobs) + "],"
+            + json.dumps({"frame": frame, "level": level, "t0": lo,
+                          "t1": hi}, sort_keys=True,
+                         separators=(",", ":"))[1:])
+    return body.encode("utf-8")
+
+
+class TileCache:
+    """Bounded, thread-safe LRU of rendered tiles."""
+
+    def __init__(self, max_tiles: int = DEFAULT_CACHE_TILES) -> None:
+        if max_tiles < 1:
+            raise ValueError(f"max_tiles must be >= 1, got {max_tiles}")
+        self.max_tiles = max_tiles
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._tiles: OrderedDict[tuple[int, int, int], bytes] = OrderedDict()
+
+    def get(self, epoch: int, level: int, frame: int) -> bytes | None:
+        key = (epoch, level, frame)
+        with self._lock:
+            body = self._tiles.get(key)
+            if body is None:
+                self.misses += 1
+                return None
+            self._tiles.move_to_end(key)
+            self.hits += 1
+            return body
+
+    def put(self, epoch: int, level: int, frame: int, body: bytes) -> None:
+        key = (epoch, level, frame)
+        with self._lock:
+            self._tiles[key] = body
+            self._tiles.move_to_end(key)
+            while len(self._tiles) > self.max_tiles:
+                self._tiles.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._tiles.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tiles)

@@ -1,0 +1,152 @@
+"""The stream service's built-in viewer page.
+
+One self-contained HTML document (no external assets, served from
+memory at ``GET /``): a canvas timeline fed by the tile endpoint, a
+status strip fed by ``/status``, and an ``EventSource`` on ``/events``
+so watermark advances, crashes and the final tree swap repaint without
+polling.  It is deliberately minimal — the real viewers are the SVG
+and ASCII renderers; this page exists so a live run can be watched
+with nothing but a browser.
+"""
+
+from __future__ import annotations
+
+VIEWER_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro.stream — live timeline</title>
+<style>
+  body { margin: 0; font: 13px/1.4 system-ui, sans-serif;
+         background: #13161b; color: #d8dee9; }
+  #bar { padding: 8px 12px; background: #1b2027;
+         border-bottom: 1px solid #2c333d; }
+  #bar b { color: #8fbcbb; }
+  #banner { display: none; padding: 6px 12px; background: #5a1f1f;
+            color: #ffd7d7; }
+  #wrap { padding: 12px; }
+  canvas { width: 100%; height: 420px; background: #0d0f12;
+           border: 1px solid #2c333d; display: block; }
+  #legend span { display: inline-block; margin: 6px 10px 0 0; }
+  #legend i { display: inline-block; width: 10px; height: 10px;
+              margin-right: 4px; }
+</style>
+</head>
+<body>
+<div id="bar">
+  <b>repro.stream</b>
+  <span id="state">connecting…</span> ·
+  <span id="meta"></span>
+</div>
+<div id="banner"></div>
+<div id="wrap"><canvas id="tl"></canvas><div id="legend"></div></div>
+<script>
+"use strict";
+const canvas = document.getElementById("tl");
+const ctx = canvas.getContext("2d");
+let status = null, ranks = [], epoch = -1;
+const LEVEL = 4;                       /* 16 tiles across the run */
+
+async function getJSON(url) {
+  const r = await fetch(url);
+  if (!r.ok) throw new Error(url + ": " + r.status);
+  return r.json();
+}
+
+function colorOf(cat) {
+  const c = (status && status.categories[cat]) || null;
+  return c ? c.color : "#888";
+}
+
+function laneY(rank, h) {
+  const n = Math.max(status ? status.num_ranks : 1, 1);
+  const lane = h / n;
+  return [rank * lane + lane * 0.15, lane * 0.7];
+}
+
+function tx(t, w) {
+  const [t0, t1] = status.span;
+  return (t - t0) / Math.max(t1 - t0, 1e-12) * w;
+}
+
+function drawTile(tile, w, h) {
+  for (const d of tile.drawables) {
+    if (d.type === "state") {
+      const [y, lh] = laneY(d.rank, h);
+      ctx.fillStyle = colorOf(d.category);
+      const x0 = tx(d.start, w), x1 = tx(d.end, w);
+      const inset = Math.min(d.depth * 3, lh / 2);
+      ctx.fillRect(x0, y + inset, Math.max(x1 - x0, 1), lh - 2 * inset);
+    } else if (d.type === "event") {
+      const [y, lh] = laneY(d.rank, h);
+      ctx.fillStyle = colorOf(d.category);
+      ctx.beginPath();
+      ctx.arc(tx(d.time, w), y + lh / 2, 3, 0, 7);
+      ctx.fill();
+    } else if (d.type === "arrow") {
+      const [ys, lhs] = laneY(d.src_rank, h);
+      const [yd, lhd] = laneY(d.dst_rank, h);
+      ctx.strokeStyle = "#ffffff88";
+      ctx.beginPath();
+      ctx.moveTo(tx(d.start, w), ys + lhs / 2);
+      ctx.lineTo(tx(d.end, w), yd + lhd / 2);
+      ctx.stroke();
+    }
+  }
+}
+
+function drawMarkers(w, h) {
+  for (const m of (status.markers || [])) {
+    const [y, lh] = laneY(m.rank, h);
+    const x = m.at == null ? w - 6 : tx(m.at, w);
+    ctx.strokeStyle = m.kind === "recovered" ? "#ce93d8" : "#ff5252";
+    ctx.lineWidth = 2;
+    ctx.beginPath();
+    ctx.moveTo(x - 4, y); ctx.lineTo(x + 4, y + lh);
+    ctx.moveTo(x + 4, y); ctx.lineTo(x - 4, y + lh);
+    ctx.stroke();
+    ctx.lineWidth = 1;
+  }
+}
+
+async function repaint() {
+  status = await getJSON("/status");
+  ranks = (await getJSON("/ranks")).ranks;
+  const w = canvas.width = canvas.clientWidth;
+  const h = canvas.height = canvas.clientHeight;
+  ctx.clearRect(0, 0, w, h);
+  document.getElementById("state").textContent =
+    status.state + " · epoch " + status.epoch;
+  document.getElementById("meta").textContent =
+    status.records_folded + " records · " + status.num_ranks +
+    " rank(s) · watermark " + status.watermark.toFixed(6);
+  const banner = document.getElementById("banner");
+  if (status.banner) {
+    banner.style.display = "block";
+    banner.textContent = status.banner;
+  } else banner.style.display = "none";
+  const legend = document.getElementById("legend");
+  legend.innerHTML = "";
+  for (const c of status.categories) {
+    const s = document.createElement("span");
+    s.innerHTML = "<i style='background:" + c.color + "'></i>" + c.name;
+    legend.appendChild(s);
+  }
+  const tiles = await Promise.all(
+    Array.from({length: 1 << LEVEL}, (_, i) =>
+      fetch("/tiles/" + LEVEL + "/" + i).then(r => r.ok ? r.json() : null)));
+  for (const tile of tiles) if (tile) drawTile(tile, w, h);
+  drawMarkers(w, h);
+  epoch = status.epoch;
+}
+
+const es = new EventSource("/events");
+es.onmessage = () => {};
+for (const kind of ["watermark", "ranks", "degraded", "finalized"])
+  es.addEventListener(kind, () => { repaint().catch(console.error); });
+repaint().catch(console.error);
+setInterval(() => { repaint().catch(console.error); }, 2000);
+</script>
+</body>
+</html>
+"""

@@ -60,6 +60,8 @@ import zlib
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro._util.fsio import atomic_write_json as _atomic_write_json_impl
+from repro._util.retry import RetryError, RetryPolicy
 from repro.vmpi.errors import VmpiError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -125,14 +127,15 @@ def checkpoint_name(index: int) -> str:
     return f"ckpt-{index:06d}.json"
 
 
-def _atomic_write_json(path: str, data: dict) -> None:
-    tmp = path + ".tmp"
-    with open(tmp, "w") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+# The journal's sidecars share the one atomic-JSON discipline in
+# repro._util.fsio (tmp + fsync + rename).
+_atomic_write_json = _atomic_write_json_impl
+
+#: How long :meth:`Journal.replay` waits out a manifest that is mid-
+#: atomic-replace (or on a laggy network filesystem) before declaring
+#: the directory unusable.  One shared policy type (RetryPolicy), not a
+#: private sleep loop.
+MANIFEST_RETRY = RetryPolicy(deadline=0.25, initial=0.02, max_delay=0.1)
 
 
 @dataclass(frozen=True)
@@ -316,18 +319,34 @@ class Journal:
 
     @classmethod
     def replay(cls, path: str, *,
+               retry: RetryPolicy | None = None,
                perf: "PerfRecorder | None" = None) -> "Journal":
-        """Open an existing journal read-only, for verified replay."""
+        """Open an existing journal read-only, for verified replay.
+
+        The manifest load runs under ``retry`` (default
+        :data:`MANIFEST_RETRY`): a manifest caught mid-atomic-replace
+        or behind a slow filesystem gets a few backed-off re-reads
+        before the directory is declared unusable.  A manifest that is
+        *still* missing or corrupt at the deadline raises
+        :class:`JournalError` exactly as before.
+        """
         manifest_path = os.path.join(path, MANIFEST_NAME)
-        try:
+
+        def load() -> dict:
             with open(manifest_path) as fh:
-                manifest = json.load(fh)
-        except FileNotFoundError:
-            raise JournalError(f"{path}: no {MANIFEST_NAME} — not a "
-                               "journal directory") from None
-        except ValueError as exc:
+                return json.load(fh)
+
+        try:
+            manifest = (retry or MANIFEST_RETRY).call(
+                load, retry_on=(FileNotFoundError, ValueError),
+                describe=f"loading {manifest_path}")
+        except RetryError as exc:
+            cause = exc.__cause__
+            if isinstance(cause, FileNotFoundError):
+                raise JournalError(f"{path}: no {MANIFEST_NAME} — not a "
+                                   "journal directory") from None
             raise JournalError(
-                f"{manifest_path}: corrupt manifest ({exc})") from None
+                f"{manifest_path}: corrupt manifest ({cause})") from None
         journal = cls(path, "replay", manifest,
                       checkpoint_interval=float(
                           manifest.get("checkpoint_interval", 0.0)),

@@ -1,0 +1,176 @@
+"""Growing-file readers: a mid-write tail is held, never corrupted.
+
+The regression this file pins down (PR 9 satellite): reading a CLOG2
+file while its writer is still appending must return the clean prefix
+plus a resumable offset — the torn last item/block is *held* until the
+writer's next flush, not dropped and not misparsed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.mpe.clog2 import (
+    Clog2ChecksumError,
+    Clog2File,
+    open_growing,
+    read_growing,
+    write_clog2,
+)
+from repro.mpe.records import BareEvent, EventDef, MsgEvent, StateDef
+
+
+def sample_log(n_records: int = 40) -> Clog2File:
+    defs = [
+        StateDef(1, 2, "work", "RoyalBlue"),
+        EventDef(9, "tick", "red"),
+    ]
+    records = []
+    for i in range(n_records):
+        if i % 3 == 2:
+            records.append(MsgEvent(i * 1e-3, i % 4, i % 2, (i + 1) % 4,
+                                    7, 128))
+        else:
+            records.append(BareEvent(i * 1e-3, i % 4, 9, f"tick {i}"))
+    return Clog2File(1e-6, 4, defs, records)
+
+
+def full_bytes(tmp_path, log: Clog2File, *, checksum: bool) -> bytes:
+    path = str(tmp_path / "full.clog2")
+    write_clog2(path, log, checksum=checksum)
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+@pytest.mark.parametrize("checksum", [False, True])
+def test_shorter_than_header_returns_none(tmp_path, checksum):
+    data = full_bytes(tmp_path, sample_log(4), checksum=checksum)
+    path = str(tmp_path / "grow.clog2")
+    with open(path, "wb") as fh:
+        fh.write(data[:10])
+    assert open_growing(path) is None
+
+
+@pytest.mark.parametrize("checksum", [False, True])
+def test_every_cut_point_yields_clean_prefix(tmp_path, checksum):
+    """Truncate the file at *every* byte boundary: no cut may ever
+    produce a wrong item, a raise, or a non-resumable offset."""
+    log = sample_log(12)
+    data = full_bytes(tmp_path, log, checksum=checksum)
+    opened = open_growing(str(tmp_path / "full.clog2"))
+    assert opened is not None
+    _, body = opened
+    path = str(tmp_path / "grow.clog2")
+    expected = len(log.definitions) + len(log.records)
+    for cut in range(body, len(data) + 1):
+        with open(path, "wb") as fh:
+            fh.write(data[:cut])
+        got = read_growing(path, body, checksummed=checksum)
+        # The held tail plus the consumed prefix always account for
+        # every byte on disk — nothing silently vanishes.
+        assert got.offset + got.torn_bytes == cut
+        assert got.offset >= body
+        assert len(got.items) <= expected
+    # The final (complete) cut parses everything.
+    assert len(got.items) == expected
+    assert got.torn_bytes == 0
+
+
+@pytest.mark.parametrize("checksum", [False, True])
+def test_resume_from_offset_sees_no_duplicates(tmp_path, checksum):
+    log = sample_log(30)
+    data = full_bytes(tmp_path, log, checksum=checksum)
+    opened = open_growing(str(tmp_path / "full.clog2"))
+    assert opened is not None
+    header, body = opened
+    assert header.num_ranks == 4
+    path = str(tmp_path / "grow.clog2")
+    collected = []
+    offset = body
+    # Grow the file in awkward 37-byte steps, polling after each.
+    for cut in list(range(body, len(data), 37)) + [len(data)]:
+        with open(path, "wb") as fh:
+            fh.write(data[:cut])
+        got = read_growing(path, offset, checksummed=checksum)
+        assert got.offset >= offset
+        offset = got.offset
+        collected.extend(got.items)
+    assert collected == list(log.definitions) + list(log.records)
+
+
+def test_background_writer_thread_regression(tmp_path):
+    """The PR 9 regression test: poll ``read_growing`` while a real
+    writer thread appends — the reader must converge on exactly the
+    written items, once each, with only clean-prefix views on the way."""
+    log = sample_log(60)
+    data = full_bytes(tmp_path, log, checksum=True)
+    path = str(tmp_path / "live.clog2")
+    done = threading.Event()
+
+    def writer():
+        with open(path, "wb") as fh:
+            for start in range(0, len(data), 23):
+                fh.write(data[start:start + 23])
+                fh.flush()
+                time.sleep(0.0005)
+        done.set()
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    try:
+        collected: list = []
+        offset = None
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if offset is None:
+                if os.path.exists(path):
+                    opened = open_growing(path)
+                    if opened is not None:
+                        offset = opened[1]
+                if offset is None:
+                    time.sleep(0.001)
+                    continue
+            got = read_growing(path, offset, checksummed=True)
+            offset = got.offset
+            collected.extend(got.items)
+            if done.is_set() and offset == len(data):
+                assert got.torn_bytes == 0
+                break
+            time.sleep(0.001)
+        else:
+            pytest.fail("reader never caught up with the writer")
+    finally:
+        thread.join(timeout=30.0)
+    assert collected == list(log.definitions) + list(log.records)
+
+
+def test_crc_mismatch_on_complete_block_raises(tmp_path):
+    """A *complete* block with a bad CRC is damage, not growth — waiting
+    will not heal it, so the growing reader must raise, not hold."""
+    data = full_bytes(tmp_path, sample_log(8), checksum=True)
+    opened = open_growing(str(tmp_path / "full.clog2"))
+    assert opened is not None
+    _, body = opened
+    corrupted = bytearray(data)
+    corrupted[-1] ^= 0xFF  # flip a payload byte in the last block
+    path = str(tmp_path / "bad.clog2")
+    with open(path, "wb") as fh:
+        fh.write(bytes(corrupted))
+    with pytest.raises(Clog2ChecksumError, match="checksum mismatch"):
+        read_growing(path, body, checksummed=True)
+
+
+def test_v1_unknown_type_byte_raises(tmp_path):
+    data = full_bytes(tmp_path, sample_log(8), checksum=False)
+    opened = open_growing(str(tmp_path / "full.clog2"))
+    assert opened is not None
+    _, body = opened
+    path = str(tmp_path / "bad.clog2")
+    with open(path, "wb") as fh:
+        fh.write(data[:body] + b"\xee" + data[body:])
+    with pytest.raises(Exception):
+        read_growing(path, body, checksummed=False)

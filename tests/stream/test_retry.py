@@ -1,0 +1,186 @@
+"""Unit tests for the shared retry/backoff policy (repro._util.retry).
+
+Everything runs against an injected fake clock, so no test here ever
+sleeps for real and the schedules are bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro._util.retry import RetryError, RetryPolicy
+
+
+class FakeTime:
+    """A clock that only advances when someone sleeps on it."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.sleeps: list[float] = []
+
+    def clock(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+def test_policy_is_a_value():
+    a = RetryPolicy(deadline=1.0)
+    b = RetryPolicy(deadline=1.0)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+@pytest.mark.parametrize("kwargs,fragment", [
+    (dict(deadline=0.0), "deadline"),
+    (dict(deadline=-1.0), "deadline"),
+    (dict(initial=0.0), "initial"),
+    (dict(multiplier=0.5), "multiplier"),
+    (dict(initial=0.2, max_delay=0.1), "max_delay"),
+    (dict(jitter=-0.1), "jitter"),
+    (dict(jitter=1.0), "jitter"),
+])
+def test_post_init_validation(kwargs, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        RetryPolicy(**kwargs)
+
+
+def test_delays_without_jitter_is_the_plain_schedule():
+    policy = RetryPolicy(initial=0.01, multiplier=2.0, max_delay=0.05,
+                         jitter=0.0)
+    schedule = policy.delays()
+    got = [next(schedule) for _ in range(6)]
+    assert got == [0.01, 0.02, 0.04, 0.05, 0.05, 0.05]
+
+
+def test_delays_jitter_stays_in_band():
+    policy = RetryPolicy(initial=0.01, multiplier=2.0, max_delay=0.5,
+                         jitter=0.1)
+    schedule = policy.delays(random.Random(7))
+    base = 0.01
+    for _ in range(20):
+        delay = next(schedule)
+        assert base * 0.9 <= delay <= base * 1.1
+        base = min(base * 2.0, 0.5)
+
+
+def test_delays_seeded_rng_is_deterministic():
+    policy = RetryPolicy(jitter=0.1)
+    a = [next(policy.delays(random.Random(3))) for _ in range(1)]
+    b = [next(policy.delays(random.Random(3))) for _ in range(1)]
+    assert a == b
+
+
+def test_attempts_yields_at_least_once_even_past_deadline():
+    t = FakeTime()
+    t.now = 100.0  # the clock starts wherever it starts
+    policy = RetryPolicy(deadline=0.001, initial=0.01, jitter=0.0)
+    seen = list(policy.attempts(clock=t.clock, sleep=t.sleep))
+    assert len(seen) >= 1
+    assert seen[0] == (0, 0.0)
+
+
+def test_attempts_stops_at_the_deadline():
+    t = FakeTime()
+    policy = RetryPolicy(deadline=0.1, initial=0.02, multiplier=2.0,
+                         max_delay=0.5, jitter=0.0)
+    seen = list(policy.attempts(clock=t.clock, sleep=t.sleep))
+    # 0.02 + 0.04 sleeps fit; the 0.08 backoff is clamped to the 0.04
+    # remaining; the next sleep would land past the deadline.
+    assert [i for i, _ in seen] == [0, 1, 2, 3]
+    assert t.sleeps == [0.02, 0.04, pytest.approx(0.04)]
+    assert t.now <= 0.1 + 1e-9
+
+
+def test_attempts_reports_elapsed_time():
+    t = FakeTime()
+    policy = RetryPolicy(deadline=0.1, initial=0.02, multiplier=1.0,
+                         max_delay=0.5, jitter=0.0)
+    elapsed = [e for _, e in policy.attempts(clock=t.clock, sleep=t.sleep)]
+    assert elapsed[0] == 0.0
+    assert all(b > a for a, b in zip(elapsed, elapsed[1:]))
+
+
+def test_call_returns_immediately_on_success():
+    t = FakeTime()
+    policy = RetryPolicy(deadline=1.0, jitter=0.0)
+    result = policy.call(lambda: 42, clock=t.clock, sleep=t.sleep)
+    assert result == 42
+    assert t.sleeps == []
+
+
+def test_call_retries_until_success():
+    t = FakeTime()
+    policy = RetryPolicy(deadline=10.0, initial=0.01, jitter=0.0)
+    failures = iter([OSError("nope"), OSError("still"), None])
+
+    def flaky():
+        exc = next(failures)
+        if exc is not None:
+            raise exc
+        return "done"
+
+    assert policy.call(flaky, clock=t.clock, sleep=t.sleep) == "done"
+    assert len(t.sleeps) == 2
+
+
+def test_call_raises_retry_error_with_cause_and_attempts():
+    t = FakeTime()
+    policy = RetryPolicy(deadline=0.05, initial=0.02, multiplier=1.0,
+                         max_delay=0.5, jitter=0.0)
+
+    def always():
+        raise OSError("disk on fire")
+
+    with pytest.raises(RetryError, match="reading x: still failing") as info:
+        policy.call(always, describe="reading x",
+                    clock=t.clock, sleep=t.sleep)
+    assert isinstance(info.value.__cause__, OSError)
+    assert info.value.attempts >= 2
+    assert "disk on fire" in str(info.value)
+
+
+def test_call_does_not_swallow_unlisted_exceptions():
+    t = FakeTime()
+    policy = RetryPolicy(deadline=1.0, jitter=0.0)
+
+    def bad():
+        raise KeyError("not retryable")
+
+    with pytest.raises(KeyError):
+        policy.call(bad, clock=t.clock, sleep=t.sleep)
+    assert t.sleeps == []  # it never got to a backoff
+
+
+def test_call_custom_retry_on():
+    t = FakeTime()
+    policy = RetryPolicy(deadline=10.0, initial=0.01, jitter=0.0)
+    failures = iter([ValueError("transient"), None])
+
+    def flaky():
+        exc = next(failures)
+        if exc is not None:
+            raise exc
+        return "ok"
+
+    assert policy.call(flaky, retry_on=(ValueError,),
+                       clock=t.clock, sleep=t.sleep) == "ok"
+
+
+def test_deadline_none_retries_until_success():
+    t = FakeTime()
+    policy = RetryPolicy(deadline=None, initial=0.01, jitter=0.0)
+    countdown = [25]
+
+    def flaky():
+        countdown[0] -= 1
+        if countdown[0]:
+            raise OSError("again")
+        return "eventually"
+
+    assert policy.call(flaky, clock=t.clock, sleep=t.sleep) == "eventually"
+    assert len(t.sleeps) == 24

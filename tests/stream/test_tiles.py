@@ -1,0 +1,125 @@
+"""Tile addressing, canonical rendering, and the LRU tile cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.mpe.records import BareEvent, EventDef, MsgEvent, StateDef
+from repro.slog2.convert import StreamConverter
+from repro.slog2.frames import FrameTree
+from repro.stream.tiles import (
+    MAX_TILE_LEVEL,
+    TileCache,
+    render_tile,
+    tile_bounds,
+)
+
+
+def build_tree(records, *, span=(0.0, 1.0)) -> FrameTree:
+    tree = FrameTree.for_span(*span, frame_size=1024)
+    conv = StreamConverter(num_ranks=4, sink=tree.insert)
+    conv.feed_all([
+        StateDef(1, 2, "work", "RoyalBlue"),
+        EventDef(9, "tick", "red"),
+    ])
+    conv.feed_all(records)
+    return tree
+
+
+SAMPLE = [
+    BareEvent(0.1, 0, 1, "s"), BareEvent(0.3, 0, 2, "e"),
+    BareEvent(0.55, 1, 9, "mid"),
+    MsgEvent(0.2, 0, 0, 1, 5, 64), MsgEvent(0.4, 1, 1, 0, 5, 64),
+]
+
+
+def test_tile_bounds_partitions_the_span():
+    assert tile_bounds(0.0, 1.0, 0, 0) == (0.0, 1.0)
+    assert tile_bounds(0.0, 1.0, 2, 1) == (0.25, 0.5)
+    assert tile_bounds(2.0, 4.0, 1, 1) == (3.0, 4.0)
+
+
+@pytest.mark.parametrize("level,frame", [
+    (-1, 0), (MAX_TILE_LEVEL + 1, 0), (0, 1), (2, 4), (2, -1),
+])
+def test_tile_bounds_rejects_bad_addresses(level, frame):
+    with pytest.raises(ValueError):
+        tile_bounds(0.0, 1.0, level, frame)
+
+
+def test_render_tile_is_canonical_json():
+    tree = build_tree(SAMPLE)
+    body = render_tile(tree, 0, 0)
+    data = json.loads(body)
+    assert set(data) == {"drawables", "frame", "level", "t0", "t1"}
+    assert (data["t0"], data["t1"]) == (0.0, 1.0)
+    kinds = sorted(d["type"] for d in data["drawables"])
+    assert kinds == ["arrow", "event", "state"]
+    # Canonical: compact separators, alphabetically ordered top keys.
+    text = body.decode("utf-8")
+    assert ": " not in text.replace('": "', "")
+    assert text.index('"drawables"') < text.index('"frame"') \
+        < text.index('"level"') < text.index('"t0"')
+
+
+def test_render_tile_is_insertion_order_independent():
+    # Solo events commute (unlike state/arrow halves, which pair by
+    # feed order): any insertion order must render the same bytes.
+    events = [BareEvent(0.1 * i, i % 4, 9, f"e{i}") for i in range(8)]
+    a = render_tile(build_tree(events), 3, 2)
+    b = render_tile(build_tree(list(reversed(events))), 3, 2)
+    assert a == b
+
+
+def test_render_tile_zoomed_frames_partition_the_drawables():
+    tree = build_tree(SAMPLE)
+    whole = json.loads(render_tile(tree, 0, 0))["drawables"]
+    pieces = []
+    for frame in range(4):
+        pieces.extend(json.loads(render_tile(tree, 2, frame))["drawables"])
+    # Every drawable shows up in at least one zoomed frame (straddlers
+    # may appear in several); nothing new is invented.
+    canon = lambda ds: {json.dumps(d, sort_keys=True) for d in ds}  # noqa: E731
+    assert canon(whole) <= canon(pieces)
+    assert canon(pieces) <= canon(whole)
+
+
+def test_empty_window_renders_an_empty_tile():
+    tree = build_tree([BareEvent(0.01, 0, 9, "lonely")])
+    data = json.loads(render_tile(tree, 4, 15))  # [0.9375, 1.0): empty
+    assert data["drawables"] == []
+
+
+def test_cache_hit_miss_accounting():
+    cache = TileCache(8)
+    assert cache.get(1, 0, 0) is None
+    cache.put(1, 0, 0, b"x")
+    assert cache.get(1, 0, 0) == b"x"
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_cache_lru_evicts_the_coldest_tile():
+    cache = TileCache(2)
+    cache.put(1, 0, 0, b"a")
+    cache.put(1, 0, 1, b"b")
+    assert cache.get(1, 0, 0) == b"a"  # touch: 0 is now warm
+    cache.put(1, 0, 2, b"c")  # evicts (1, 0, 1)
+    assert cache.get(1, 0, 1) is None
+    assert cache.get(1, 0, 0) == b"a"
+    assert cache.get(1, 0, 2) == b"c"
+    assert len(cache) == 2
+
+
+def test_cache_epoch_bump_invalidates_without_a_scan():
+    cache = TileCache(8)
+    cache.put(1, 0, 0, b"provisional")
+    assert cache.get(2, 0, 0) is None  # new epoch: different key space
+    cache.put(2, 0, 0, b"final")
+    assert cache.get(2, 0, 0) == b"final"
+
+
+def test_cache_rejects_nonsense_capacity():
+    with pytest.raises(ValueError):
+        TileCache(0)
